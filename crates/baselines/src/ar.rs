@@ -1,0 +1,640 @@
+//! **AR**: the unsynchronized snake-like cascading replacement of Jiang
+//! et al. (WSNS'07), re-implemented from this paper's description.
+//!
+//! Differences from SR, per the paper's §1/§5:
+//!
+//! * *No synchronization:* "due to the lack of synchronization, the
+//!   existence of a hole will incur multiple replacement processes" —
+//!   here, **every** head 4-adjacent to a vacant cell initiates its own
+//!   process.
+//! * *Local direction choice:* with only 1-hop knowledge and no global
+//!   cycle, each cascade picks its next cell greedily (continue straight
+//!   away from the hole when possible, otherwise scan the remaining
+//!   neighbors), keeping a per-process visited set.
+//! * *Conflicts fail:* two cascades that ask the same head in the same
+//!   round collide — the later one fails (the paper's "overreaction").
+//!   A cascade that runs into a vacant cell or runs out of unvisited
+//!   neighbors also fails; there is no Hamilton path to guarantee
+//!   progress, which is why AR "requires at least 4×m×n deployed nodes"
+//!   to be reliable.
+//! * *Redundant deliveries:* when several processes recover the same
+//!   hole, the extra spares still travel (unnecessary node movements,
+//!   counted) and the processes still count as converged — Figure 6(b)
+//!   measures spare-finding, not usefulness.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_geometry::sample;
+use wsn_grid::{Direction, GridCoord, GridNetwork, NetworkStats};
+use wsn_simcore::{
+    EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, RoundRunner, RunReport, SimRng,
+    TraceEvent, TraceLog,
+};
+
+use wsn_coverage::SpareSelection;
+
+/// Configuration for an AR run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArConfig {
+    /// Seed for the run's deterministic RNG.
+    pub seed: u64,
+    /// Head-election policy (same role as in SR).
+    pub election: wsn_grid::HeadElection,
+    /// Spare-selection policy within a cell.
+    pub spare_selection: SpareSelection,
+    /// Round cap.
+    pub max_rounds: u64,
+    /// Cascade TTL in hops (default `m·n` at run time when 0).
+    pub ttl: usize,
+    /// Record a trace.
+    pub trace: bool,
+}
+
+impl Default for ArConfig {
+    fn default() -> Self {
+        ArConfig {
+            seed: 0,
+            election: wsn_grid::HeadElection::FirstId,
+            spare_selection: SpareSelection::ClosestToTarget,
+            max_rounds: 100_000,
+            ttl: 0,
+            trace: false,
+        }
+    }
+}
+
+impl ArConfig {
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables tracing.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ArProcess {
+    id: u64,
+    current_target: GridCoord,
+    asked: GridCoord,
+    visited: HashSet<GridCoord>,
+    hops: usize,
+}
+
+/// The AR protocol as a round-based state machine.
+#[derive(Debug, Clone)]
+pub struct ArProtocol {
+    net: GridNetwork,
+    config: ArConfig,
+    rng: SimRng,
+    trace: TraceLog,
+    metrics: Metrics,
+    energy: EnergyModel,
+    active: Vec<ArProcess>,
+    next_id: u64,
+    /// (initiator, hole) pairs that already fired during the current
+    /// vacancy episode of the hole; cleared when the hole fills.
+    initiated: HashSet<(GridCoord, GridCoord)>,
+    /// Cells where a cascade died. Re-detecting them would retry the
+    /// same doomed walk (AR has no mechanism that could do better on a
+    /// second attempt), so they stay blacklisted — this is also what
+    /// bounds AR in the under-provisioned regime the paper excludes
+    /// ("requires at least 4×m×n deployed nodes").
+    failed_holes: HashSet<GridCoord>,
+    ttl: usize,
+}
+
+impl ArProtocol {
+    /// Creates the protocol and elects initial heads.
+    pub fn new(mut net: GridNetwork, config: ArConfig) -> ArProtocol {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        net.elect_all_heads(config.election, &mut rng);
+        let trace = if config.trace {
+            TraceLog::new()
+        } else {
+            TraceLog::disabled()
+        };
+        let ttl = if config.ttl == 0 {
+            net.system().cell_count()
+        } else {
+            config.ttl
+        };
+        ArProtocol {
+            net,
+            config,
+            rng,
+            trace,
+            metrics: Metrics::new(),
+            energy: EnergyModel::default(),
+            active: Vec::new(),
+            next_id: 0,
+            initiated: HashSet::new(),
+            failed_holes: HashSet::new(),
+            ttl,
+        }
+    }
+
+    /// The network state.
+    pub fn network(&self) -> &GridNetwork {
+        &self.net
+    }
+
+    /// Cost counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Marks all still-active processes failed (driver calls this after
+    /// the run ends).
+    pub fn fail_remaining(&mut self, round: u64) {
+        for p in self.active.drain(..) {
+            self.metrics.processes_failed += 1;
+            self.trace.record(
+                round,
+                TraceEvent::ProcessFailed {
+                    process: p.id,
+                    reason: "run ended".into(),
+                },
+            );
+        }
+    }
+
+    fn is_occupied(&self, cell: GridCoord) -> bool {
+        !self.net.is_vacant(cell).unwrap_or(true)
+    }
+
+    fn select_spare(&self, cell: GridCoord, target: GridCoord) -> Option<NodeId> {
+        let spares = self.net.spares(cell).ok()?;
+        if spares.is_empty() {
+            return None;
+        }
+        let center = self
+            .net
+            .system()
+            .cell_center(target)
+            .expect("targets are cells");
+        match self.config.spare_selection {
+            SpareSelection::FirstId => spares.iter().copied().min(),
+            SpareSelection::ClosestToTarget => spares.iter().copied().min_by(|&a, &b| {
+                let da = self
+                    .net
+                    .node(a)
+                    .expect("deployed")
+                    .position()
+                    .distance_squared(center);
+                let db = self
+                    .net
+                    .node(b)
+                    .expect("deployed")
+                    .position()
+                    .distance_squared(center);
+                da.partial_cmp(&db)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            }),
+            SpareSelection::MaxEnergy => spares.iter().copied().max_by(|&a, &b| {
+                let ea = self.net.node(a).expect("deployed").battery().charge();
+                let eb = self.net.node(b).expect("deployed").battery().charge();
+                ea.partial_cmp(&eb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            }),
+        }
+    }
+
+    /// Moves `node` into the central area of `target`; elects it head if
+    /// the target was headless.
+    fn execute_move(&mut self, process: u64, node: NodeId, target: GridCoord, round: u64) -> f64 {
+        let rect = self
+            .net
+            .system()
+            .cell_rect(target)
+            .expect("targets are cells");
+        let dest = sample::point_in_central_area(&rect, self.rng.uniform_f64(), self.rng.uniform_f64());
+        let out = self
+            .net
+            .move_node(node, dest)
+            .expect("AR moves stay inside the area");
+        if self
+            .net
+            .head_of(target)
+            .expect("in bounds")
+            .is_none()
+        {
+            self.net.set_head(target, node).expect("node just arrived");
+        }
+        self.metrics.record_move(out.distance);
+        self.metrics.energy += self.energy.movement(out.distance);
+        self.trace.record(
+            round,
+            TraceEvent::NodeMoved {
+                process: Some(process),
+                node,
+                from: out.from.into(),
+                to: out.to.into(),
+                distance: out.distance,
+            },
+        );
+        out.distance
+    }
+
+    /// Picks the next cell of a cascade using 1-hop knowledge (heads
+    /// beacon their cell's enabled count, so a head knows which neighbors
+    /// hold spares): prefer an unvisited neighbor **with a spare**, then
+    /// the straight-line continuation away from the target, then any
+    /// occupied unvisited neighbor. A cascade with no occupied unvisited
+    /// neighbor is dead-ended.
+    fn next_cell(&self, p: &ArProcess) -> Option<GridCoord> {
+        let sys = self.net.system();
+        let straight = p
+            .current_target
+            .direction_to(p.asked)
+            .and_then(|d| sys.neighbor(p.asked, d));
+        let mut candidates: Vec<GridCoord> = Vec::with_capacity(4);
+        if let Some(s) = straight {
+            candidates.push(s);
+        }
+        for d in Direction::ALL {
+            if let Some(c) = sys.neighbor(p.asked, d) {
+                if !candidates.contains(&c) {
+                    candidates.push(c);
+                }
+            }
+        }
+        candidates.retain(|c| !p.visited.contains(c) && *c != p.current_target);
+        candidates
+            .iter()
+            .copied()
+            .find(|&c| {
+                self.net
+                    .spares(c)
+                    .map(|s| !s.is_empty())
+                    .unwrap_or(false)
+            })
+            .or_else(|| candidates.iter().copied().find(|&c| self.is_occupied(c)))
+    }
+
+    fn fail(&mut self, p: ArProcess, reason: &str, round: u64) {
+        self.failed_holes.insert(p.current_target);
+        self.metrics.processes_failed += 1;
+        self.trace.record(
+            round,
+            TraceEvent::ProcessFailed {
+                process: p.id,
+                reason: reason.into(),
+            },
+        );
+    }
+}
+
+impl RoundProtocol for ArProtocol {
+    fn execute_round(&mut self, round: u64) -> RoundOutcome {
+        let mut progress = false;
+        let repaired = self.net.repair_heads(self.config.election, &mut self.rng);
+        progress |= repaired > 0;
+
+        // Processes execute in id order within the round; conflicts are
+        // emergent — a cascade whose cell was drained by an earlier
+        // cascade this round finds it vacant and fails.
+        let mut still_active = Vec::with_capacity(self.active.len());
+        let processes = std::mem::take(&mut self.active);
+        for mut p in processes {
+            if !self.is_occupied(p.asked) {
+                // No head to act and no synchronization to wait under:
+                // either the cell was a hole all along or a competing
+                // cascade just drained it (the paper's "overreaction").
+                self.fail(p, "cascade ran into a vacant cell", round);
+                progress = true;
+                continue;
+            }
+            if let Some(spare) = self.select_spare(p.asked, p.current_target) {
+                self.execute_move(p.id, spare, p.current_target, round);
+                self.metrics.processes_converged += 1;
+                self.trace.record(
+                    round,
+                    TraceEvent::ProcessConverged {
+                        process: p.id,
+                        moves: p.hops as u64 + 1,
+                    },
+                );
+                progress = true;
+                continue;
+            }
+            if p.hops + 1 >= self.ttl {
+                self.fail(p, "ttl exhausted", round);
+                progress = true;
+                continue;
+            }
+            match self.next_cell(&p) {
+                Some(next) => {
+                    self.metrics.record_message();
+                    self.metrics.energy += self.energy.message_cost;
+                    let head = self
+                        .net
+                        .head_of(p.asked)
+                        .expect("in bounds")
+                        .expect("occupied cells are headed after repair");
+                    self.execute_move(p.id, head, p.current_target, round);
+                    p.visited.insert(p.asked);
+                    p.current_target = p.asked;
+                    p.asked = next;
+                    p.hops += 1;
+                    still_active.push(p);
+                    progress = true;
+                }
+                None => {
+                    self.fail(p, "no unvisited neighbor to continue", round);
+                    progress = true;
+                }
+            }
+        }
+        self.active = still_active;
+
+        // Detection: every occupied neighbor of a vacant cell initiates,
+        // once per vacancy episode. Episodes reset when the hole fills.
+        let mut initiated = std::mem::take(&mut self.initiated);
+        initiated.retain(|(_, hole)| !self.is_occupied(*hole));
+        self.initiated = initiated;
+        let vacant = self.net.vacant_cells();
+        for g in vacant {
+            // A vacancy created by a cascade relaying through is owned by
+            // that cascade (its own tail refills it); without this, every
+            // relay would spawn up to three fresh processes and the
+            // network would storm. The paper's AR redundancy is the
+            // multiple *initial* detectors per hole, modeled below.
+            if self.active.iter().any(|p| p.current_target == g) {
+                continue;
+            }
+            if self.failed_holes.contains(&g) {
+                continue; // a cascade already died here; see field docs
+            }
+            for w in self.net.system().neighbors(g) {
+                if !self.is_occupied(w) || self.initiated.contains(&(w, g)) {
+                    continue;
+                }
+                self.initiated.insert((w, g));
+                let id = self.next_id;
+                self.next_id += 1;
+                self.metrics.processes_initiated += 1;
+                self.trace.record(
+                    round,
+                    TraceEvent::ProcessInitiated {
+                        process: id,
+                        hole: g.into(),
+                        initiator: w.into(),
+                    },
+                );
+                let mut visited = HashSet::new();
+                visited.insert(g);
+                self.active.push(ArProcess {
+                    id,
+                    current_target: g,
+                    asked: w,
+                    visited,
+                    hops: 0,
+                });
+                progress = true;
+            }
+        }
+
+        self.metrics.rounds = round + 1;
+        if progress {
+            RoundOutcome::Progress
+        } else {
+            RoundOutcome::Quiescent
+        }
+    }
+}
+
+/// Report of a completed AR run, mirroring
+/// [`wsn_coverage::RecoveryReport`]'s headline fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArReport {
+    /// How the round loop terminated.
+    pub run: RunReport,
+    /// Aggregate cost counters.
+    pub metrics: Metrics,
+    /// Occupancy before recovery.
+    pub initial_stats: NetworkStats,
+    /// Occupancy after recovery.
+    pub final_stats: NetworkStats,
+    /// Every cell ended with a head.
+    pub fully_covered: bool,
+}
+
+impl fmt::Display for ArReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ar {}: {} -> {} holes, {}",
+            if self.fully_covered { "complete" } else { "incomplete" },
+            self.initial_stats.vacant,
+            self.final_stats.vacant,
+            self.metrics
+        )
+    }
+}
+
+/// Drives AR recovery to quiescence.
+#[derive(Debug, Clone)]
+pub struct ArRecovery {
+    protocol: ArProtocol,
+    runner: RoundRunner,
+}
+
+impl ArRecovery {
+    /// Prepares an AR run (initial head election happens here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`wsn_simcore::EngineError`] for a zero round cap.
+    pub fn new(net: GridNetwork, config: ArConfig) -> Result<ArRecovery, wsn_simcore::EngineError> {
+        let runner = RoundRunner::with_quiescence(config.max_rounds.max(1), 2)?;
+        Ok(ArRecovery {
+            protocol: ArProtocol::new(net, config),
+            runner,
+        })
+    }
+
+    /// Runs to quiescence (or the cap) and reports.
+    pub fn run(&mut self) -> ArReport {
+        let initial_stats = self.protocol.network().stats();
+        let run = self.runner.run(&mut self.protocol);
+        self.protocol.fail_remaining(run.rounds);
+        let final_stats = self.protocol.network().stats();
+        ArReport {
+            run,
+            metrics: *self.protocol.metrics(),
+            initial_stats,
+            final_stats,
+            fully_covered: final_stats.vacant == 0,
+        }
+    }
+
+    /// The network state.
+    pub fn network(&self) -> &GridNetwork {
+        self.protocol.network()
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        self.protocol.trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_grid::{deploy, GridSystem};
+
+    fn network_with_holes(
+        cols: u16,
+        rows: u16,
+        holes: &[GridCoord],
+        per_cell: usize,
+        seed: u64,
+    ) -> GridNetwork {
+        let sys = GridSystem::new(cols, rows, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::with_holes(&sys, holes, per_cell, &mut rng);
+        GridNetwork::new(sys, &pos)
+    }
+
+    #[test]
+    fn single_hole_recovers_but_with_multiple_processes() {
+        let hole = GridCoord::new(2, 2);
+        let net = network_with_holes(6, 6, &[hole], 2, 1);
+        let mut rec = ArRecovery::new(net, ArConfig::default().with_seed(1)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        // The headline AR defect: an interior hole has 4 occupied
+        // neighbors, so 4 processes fire for one hole (SR fires 1).
+        assert_eq!(report.metrics.processes_initiated, 4);
+        assert!(report.metrics.processes_converged >= 1);
+        // Redundant deliveries => more than one movement for one hole.
+        assert!(report.metrics.moves >= 1);
+        rec.network().debug_invariants();
+    }
+
+    #[test]
+    fn corner_hole_gets_two_processes() {
+        let hole = GridCoord::new(0, 0);
+        let net = network_with_holes(6, 6, &[hole], 2, 3);
+        let mut rec = ArRecovery::new(net, ArConfig::default().with_seed(3)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.metrics.processes_initiated, 2);
+    }
+
+    #[test]
+    fn ar_moves_exceed_sr_moves_on_dense_networks() {
+        // The paper's headline comparison at healthy density.
+        use wsn_coverage::{Recovery, SrConfig};
+        let holes = [
+            GridCoord::new(1, 1),
+            GridCoord::new(4, 2),
+            GridCoord::new(2, 4),
+        ];
+        let net_ar = network_with_holes(6, 6, &holes, 3, 5);
+        let net_sr = network_with_holes(6, 6, &holes, 3, 5);
+        let ar = ArRecovery::new(net_ar, ArConfig::default().with_seed(5))
+            .unwrap()
+            .run();
+        let sr = Recovery::new(net_sr, SrConfig::default().with_seed(5))
+            .unwrap()
+            .run();
+        assert!(ar.fully_covered && sr.fully_covered);
+        assert!(
+            ar.metrics.processes_initiated > sr.metrics.processes_initiated,
+            "AR {} vs SR {} processes",
+            ar.metrics.processes_initiated,
+            sr.metrics.processes_initiated
+        );
+        assert!(
+            ar.metrics.moves >= sr.metrics.moves,
+            "AR {} vs SR {} moves",
+            ar.metrics.moves,
+            sr.metrics.moves
+        );
+    }
+
+    #[test]
+    fn vacant_neighbor_dead_end_fails_cleanly() {
+        // A 2x2 block of holes: cascades bump into vacant cells.
+        let holes = [
+            GridCoord::new(2, 2),
+            GridCoord::new(3, 2),
+            GridCoord::new(2, 3),
+            GridCoord::new(3, 3),
+        ];
+        let net = network_with_holes(6, 6, &holes, 2, 7);
+        let mut rec = ArRecovery::new(net, ArConfig::default().with_seed(7)).unwrap();
+        let report = rec.run();
+        // Recovery may or may not complete, but the run must terminate
+        // and account every process.
+        assert!(report.run.is_quiescent());
+        assert_eq!(
+            report.metrics.processes_initiated,
+            report.metrics.processes_converged + report.metrics.processes_failed
+        );
+        rec.network().debug_invariants();
+    }
+
+    #[test]
+    fn no_spares_cannot_complete_coverage() {
+        // With 15 nodes for 16 cells AR can shuffle the hole around —
+        // uncoordinated cascades even dump nodes into occupied cells,
+        // creating transient "spares" for other cascades (the redundancy
+        // defect) — but coverage can never complete, and the run must
+        // terminate with every process accounted for.
+        let net = network_with_holes(4, 4, &[GridCoord::new(1, 1)], 1, 9);
+        assert_eq!(net.total_spares(), 0);
+        let mut rec = ArRecovery::new(net, ArConfig::default().with_seed(9)).unwrap();
+        let report = rec.run();
+        assert!(report.run.is_quiescent());
+        assert!(!report.fully_covered);
+        assert!(report.final_stats.vacant >= 1);
+        assert!(report.metrics.processes_failed >= 1);
+        assert_eq!(
+            report.metrics.processes_initiated,
+            report.metrics.processes_converged + report.metrics.processes_failed
+        );
+        rec.network().debug_invariants();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let net = network_with_holes(6, 6, &[GridCoord::new(3, 3)], 2, 11);
+            ArRecovery::new(net, ArConfig::default().with_seed(seed))
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn report_display_nonempty() {
+        let net = network_with_holes(4, 4, &[], 2, 13);
+        let mut rec = ArRecovery::new(net, ArConfig::default()).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.metrics.processes_initiated, 0);
+        assert!(!report.to_string().is_empty());
+    }
+}

@@ -1,0 +1,235 @@
+//! A virtual-force deployment baseline (after Wang, Cao & La Porta [5]
+//! and Zou & Chakrabarty [10], as characterized by the paper's §1).
+//!
+//! Nodes exert pairwise virtual forces: repulsion when closer than a
+//! threshold, attraction when farther (up to a communication-range
+//! cutoff). Each round every node takes a bounded step along its net
+//! force; density gradients slowly push nodes from crowded cells toward
+//! sparse regions and holes. The paper's criticism — "without global
+//! information, these methods may take a long time to converge and are
+//! not practical … due to the cost in total moving distance, total number
+//! of movements" — is exactly what the bench harness measures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_geometry::{Point2, Vec2};
+use wsn_grid::{GridNetwork, NetworkStats};
+use wsn_simcore::{Metrics, SimRng};
+
+/// Configuration for the virtual-force baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfConfig {
+    /// Seed for the deterministic RNG (used only for symmetry breaking).
+    pub seed: u64,
+    /// Preferred inter-node spacing, as a multiple of the cell side
+    /// (nodes closer than this repel; default √2, the spacing that
+    /// tiles one node per cell).
+    pub spacing_factor: f64,
+    /// Maximum step per round, as a multiple of the cell side.
+    pub step_factor: f64,
+    /// Movements smaller than this fraction of the cell side are treated
+    /// as jitter and not executed.
+    pub min_step_factor: f64,
+    /// Round cap.
+    pub max_rounds: u64,
+}
+
+impl Default for VfConfig {
+    fn default() -> Self {
+        VfConfig {
+            seed: 0,
+            spacing_factor: std::f64::consts::SQRT_2,
+            step_factor: 0.5,
+            min_step_factor: 0.05,
+            max_rounds: 300,
+        }
+    }
+}
+
+/// Report of a virtual-force run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfReport {
+    /// Cost counters (`processes_*` stay zero: VF has no processes).
+    pub metrics: Metrics,
+    /// Occupancy before.
+    pub initial_stats: NetworkStats,
+    /// Occupancy after.
+    pub final_stats: NetworkStats,
+    /// Every cell ended with at least one enabled node.
+    pub fully_covered: bool,
+    /// Rounds until the force field settled (or the cap).
+    pub rounds: u64,
+}
+
+impl fmt::Display for VfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vf {} after {} rounds: {} -> {} holes, {}",
+            if self.fully_covered { "complete" } else { "incomplete" },
+            self.rounds,
+            self.initial_stats.vacant,
+            self.final_stats.vacant,
+            self.metrics
+        )
+    }
+}
+
+/// Runs the virtual-force protocol to force-equilibrium (no node wants to
+/// move) or the round cap, then re-elects heads and reports.
+pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let initial_stats = net.stats();
+    let mut metrics = Metrics::new();
+    let r = net.system().cell_side();
+    let spacing = config.spacing_factor * r;
+    let cutoff = net.system().comm_range();
+    let max_step = config.step_factor * r;
+    let min_step = config.min_step_factor * r;
+    let area = net.system().area();
+
+    let mut rounds = 0;
+    for round in 0..config.max_rounds {
+        rounds = round + 1;
+        // Gather enabled ids and positions (forces computed on a frozen
+        // snapshot — synchronous rounds).
+        let enabled: Vec<(wsn_simcore::NodeId, Point2)> = net
+            .nodes()
+            .iter()
+            .filter(|n| n.status().is_enabled())
+            .map(|n| (n.id(), n.position()))
+            .collect();
+        let mut moved_any = false;
+        for (i, &(id, pos)) in enabled.iter().enumerate() {
+            let mut force = Vec2::ZERO;
+            for (j, &(_, other)) in enabled.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let d = pos.distance(other);
+                if d >= cutoff || d <= f64::EPSILON {
+                    continue;
+                }
+                let dir = match (pos - other).normalized() {
+                    Some(v) => v,
+                    None => continue,
+                };
+                if d < spacing {
+                    // Repulsion grows as the overlap deepens.
+                    force = force + dir * ((spacing - d) / spacing);
+                } else {
+                    // Mild attraction keeps the network connected.
+                    force = force - dir * (0.2 * (d - spacing) / cutoff);
+                }
+            }
+            let mag = force.length();
+            if mag * r < min_step {
+                continue;
+            }
+            let step = force * (max_step / mag.max(1.0));
+            let mut target = pos + step;
+            // Tiny deterministic jitter breaks symmetric stalemates.
+            target.x += (rng.uniform_f64() - 0.5) * 1e-3 * r;
+            target.y += (rng.uniform_f64() - 0.5) * 1e-3 * r;
+            let target = area.clamp_point(target);
+            if let Ok(out) = net.move_node(id, target) {
+                if out.distance >= min_step {
+                    metrics.record_move(out.distance);
+                    moved_any = true;
+                }
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+    metrics.rounds = rounds;
+    let mut rng2 = SimRng::seed_from_u64(config.seed.wrapping_add(1));
+    net.elect_all_heads(wsn_grid::HeadElection::FirstId, &mut rng2);
+    let final_stats = net.stats();
+    VfReport {
+        metrics,
+        initial_stats,
+        fully_covered: final_stats.vacant == 0,
+        final_stats,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_grid::{deploy, GridCoord, GridSystem};
+
+    #[test]
+    fn spreads_clustered_deployment_toward_coverage() {
+        let sys = GridSystem::new(6, 6, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        // Everything clustered in one corner: terrible initial coverage.
+        let pos = deploy::clustered(&sys, 72, 1, 3.0, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        let before = net.stats().occupied;
+        let report = run(net, &VfConfig::default());
+        assert!(
+            report.final_stats.occupied > before,
+            "VF must improve occupancy: {} -> {}",
+            before,
+            report.final_stats.occupied
+        );
+        assert!(report.metrics.moves > 0);
+        assert!(report.metrics.distance > 0.0);
+    }
+
+    #[test]
+    fn single_hole_costs_many_movements() {
+        // The paper's point: VF moves *lots* of nodes to fix one hole.
+        let sys = GridSystem::new(6, 6, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let pos = deploy::with_holes(&sys, &[GridCoord::new(3, 3)], 2, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        let report = run(net, &VfConfig::default());
+        // Dozens of nodes jostle, far more than SR's 1-2 moves.
+        assert!(
+            report.metrics.moves > 10,
+            "expected many VF moves, got {}",
+            report.metrics.moves
+        );
+    }
+
+    #[test]
+    fn equilibrium_network_stops_early() {
+        // One node per cell at the centers: perfectly spaced, no forces
+        // above threshold.
+        let sys = GridSystem::new(4, 4, 4.4721).unwrap();
+        let pos: Vec<Point2> = sys
+            .iter_coords()
+            .map(|c| sys.cell_center(c).unwrap())
+            .collect();
+        let net = GridNetwork::new(sys, &pos);
+        let report = run(net, &VfConfig::default());
+        assert!(report.rounds < 50, "should settle fast, took {}", report.rounds);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            let sys = GridSystem::new(5, 4, 4.4721).unwrap();
+            let mut rng = SimRng::seed_from_u64(7);
+            let pos = deploy::uniform(&sys, 50, &mut rng);
+            GridNetwork::new(sys, &pos)
+        };
+        let a = run(mk(), &VfConfig::default());
+        let b = run(mk(), &VfConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_display() {
+        let sys = GridSystem::new(3, 3, 1.0).unwrap();
+        let net = GridNetwork::new(sys, &[]);
+        let report = run(net, &VfConfig::default());
+        assert!(!report.fully_covered);
+        assert!(!report.to_string().is_empty());
+    }
+}

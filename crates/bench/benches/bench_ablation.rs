@@ -1,0 +1,100 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! spare-selection and head-election policies, and hole shape (uniform
+//! random vs jammer-clustered).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_coverage::{Recovery, SpareSelection, SrConfig};
+use wsn_grid::{deploy, GridNetwork, GridSystem, HeadElection};
+use wsn_simcore::{FaultEvent, SimRng};
+use wsn_geometry::{Disk, Point2};
+
+fn deployment(seed: u64) -> GridNetwork {
+    let sys = GridSystem::for_comm_range(16, 16, 10.0).unwrap();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pos = deploy::uniform(&sys, 200 + sys.cell_count(), &mut rng);
+    GridNetwork::new(sys, &pos)
+}
+
+fn bench_spare_selection(c: &mut Criterion) {
+    let net = deployment(11);
+    let mut g = c.benchmark_group("ablation_spare_selection");
+    for (name, policy) in [
+        ("closest_to_target", SpareSelection::ClosestToTarget),
+        ("first_id", SpareSelection::FirstId),
+        ("max_energy", SpareSelection::MaxEnergy),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| {
+                Recovery::new(
+                    black_box(net.clone()),
+                    SrConfig::default().with_seed(11).with_spare_selection(p),
+                )
+                .unwrap()
+                .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let net = deployment(13);
+    let mut g = c.benchmark_group("ablation_head_election");
+    for (name, policy) in [
+        ("first_id", HeadElection::FirstId),
+        ("max_energy", HeadElection::MaxEnergy),
+        ("closest_to_center", HeadElection::ClosestToCenter),
+        ("random", HeadElection::Random),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| {
+                Recovery::new(
+                    black_box(net.clone()),
+                    SrConfig::default().with_seed(13).with_election(p),
+                )
+                .unwrap()
+                .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hole_shape(c: &mut Criterion) {
+    // Uniform holes (the paper's methodology) vs a jammer strike
+    // (clustered holes, the paper's cited attack [8]).
+    let mut g = c.benchmark_group("ablation_hole_shape");
+    let net = deployment(17);
+    g.bench_function("uniform_random_holes", |b| {
+        b.iter(|| {
+            Recovery::new(black_box(net.clone()), SrConfig::default().with_seed(17))
+                .unwrap()
+                .run()
+        })
+    });
+    let sys = *net.system();
+    let strike = Disk::new(
+        Point2::new(sys.area().width() / 2.0, sys.area().height() / 2.0),
+        3.0 * sys.cell_side(),
+    )
+    .unwrap();
+    g.bench_function("jammer_strike_holes", |b| {
+        b.iter(|| {
+            let mut jammed = net.clone();
+            let mut rng = SimRng::seed_from_u64(17);
+            jammed.apply_fault(&FaultEvent::KillRegion(strike), &mut rng);
+            Recovery::new(black_box(jammed), SrConfig::default().with_seed(17))
+                .unwrap()
+                .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spare_selection, bench_election, bench_hole_shape
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the analytical model (Figures 3 and 5).
+//!
+//! Benchmarks the Theorem 2 evaluation at the exact parameters the paper
+//! plots: `M(19, N)` (Figure 3(a)/5(a)) and `M(255, N)` (Figure
+//! 3(b)/5(b)), in both the paper's product form and the telescoped closed
+//! form, plus whole-curve generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_bench::figures;
+use wsn_coverage::analysis;
+
+fn bench_expected_moves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_expected_moves");
+    for &(l, n) in &[(19usize, 12usize), (255, 55), (255, 1000)] {
+        g.bench_with_input(
+            BenchmarkId::new("closed_form", format!("L{l}_N{n}")),
+            &(l, n),
+            |b, &(l, n)| b.iter(|| analysis::expected_moves(black_box(l), black_box(n))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("paper_form_full_pmf", format!("L{l}_N{n}")),
+            &(l, n),
+            |b, &(l, n)| {
+                b.iter(|| {
+                    (1..=l)
+                        .map(|i| i as f64 * analysis::p_moves_paper_form(l, n, i))
+                        .sum::<f64>()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_fig5_curves");
+    g.bench_function("fig3_both_grids", |b| b.iter(figures::fig3));
+    g.bench_function("fig5_both_grids", |b| b.iter(figures::fig5));
+    g.bench_function("fig7_overlay_totals", |b| {
+        b.iter(|| figures::analytical_total_moves(black_box(255), black_box(200), black_box(40)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_expected_moves, bench_curves
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the extension baselines (virtual force and the
+//! SMART-style scans) against SR on the same single-hole scenario — the
+//! quantitative version of the paper's §1 positioning ("quick convergence
+//! but … many unnecessary node movements").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_baselines::{smart, vf, SmartConfig, VfConfig};
+use wsn_coverage::{Recovery, SrConfig};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem};
+use wsn_simcore::SimRng;
+
+fn single_hole_network(seed: u64) -> GridNetwork {
+    let sys = GridSystem::for_comm_range(8, 8, 10.0).unwrap();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pos = deploy::with_holes(&sys, &[GridCoord::new(4, 4)], 2, &mut rng);
+    GridNetwork::new(sys, &pos)
+}
+
+fn bench_single_hole(c: &mut Criterion) {
+    let net = single_hole_network(5);
+    let mut g = c.benchmark_group("single_hole_8x8");
+    g.bench_function("sr", |b| {
+        b.iter(|| {
+            Recovery::new(black_box(net.clone()), SrConfig::default().with_seed(5))
+                .unwrap()
+                .run()
+        })
+    });
+    g.bench_function("smart_scan", |b| {
+        b.iter(|| smart::run(black_box(net.clone()), &SmartConfig { seed: 5 }))
+    });
+    g.bench_function("virtual_force", |b| {
+        b.iter(|| {
+            vf::run(
+                black_box(net.clone()),
+                &VfConfig {
+                    seed: 5,
+                    max_rounds: 60,
+                    ..VfConfig::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_hole
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for topology construction (the structures behind
+//! Figures 1(b) and 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_grid::GridCoord;
+use wsn_hamilton::{CycleTopology, DualPathCycle, HamiltonCycle};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    for &(cols, rows) in &[(4u16, 5u16), (16, 16), (64, 64), (128, 128)] {
+        g.bench_with_input(
+            BenchmarkId::new("cycle", format!("{cols}x{rows}")),
+            &(cols, rows),
+            |b, &(cols, rows)| b.iter(|| HamiltonCycle::build(black_box(cols), black_box(rows))),
+        );
+    }
+    for &(cols, rows) in &[(5u16, 5u16), (15, 15), (63, 63), (127, 127)] {
+        g.bench_with_input(
+            BenchmarkId::new("dual_path", format!("{cols}x{rows}")),
+            &(cols, rows),
+            |b, &(cols, rows)| b.iter(|| DualPathCycle::build(black_box(cols), black_box(rows))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let topo = CycleTopology::build(16, 16).unwrap();
+    let dual = CycleTopology::build(15, 15).unwrap();
+    let mut g = c.benchmark_group("topology_queries");
+    g.bench_function("monitors_16x16", |b| {
+        b.iter(|| topo.monitors(black_box(GridCoord::new(7, 9))))
+    });
+    g.bench_function("backward_from_16x16", |b| {
+        b.iter(|| topo.backward_from(black_box(GridCoord::new(7, 9)), black_box(GridCoord::new(3, 3))))
+    });
+    g.bench_function("backward_from_dual_15x15", |b| {
+        b.iter(|| dual.backward_from(black_box(GridCoord::new(7, 9)), black_box(GridCoord::new(3, 3))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_build, bench_queries
+}
+criterion_main!(benches);

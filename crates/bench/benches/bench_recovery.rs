@@ -1,0 +1,59 @@
+//! Criterion bench for the Monte-Carlo comparison behind Figures 6–8:
+//! full SR and AR recoveries on the paper's 16×16 deployment at three
+//! representative spare levels (below, at, and above the N ≈ 55
+//! crossover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_baselines::{ArConfig, ArRecovery};
+use wsn_coverage::{Recovery, SrConfig};
+use wsn_grid::{deploy, GridNetwork, GridSystem};
+use wsn_simcore::SimRng;
+
+fn deployment(n_target: usize, seed: u64) -> GridNetwork {
+    let sys = GridSystem::for_comm_range(16, 16, 10.0).unwrap();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let pos = deploy::uniform(&sys, n_target + sys.cell_count(), &mut rng);
+    GridNetwork::new(sys, &pos)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_fig7_fig8_recovery_16x16");
+    for &n in &[10usize, 55, 200, 1000] {
+        let net = deployment(n, 42);
+        g.bench_with_input(BenchmarkId::new("sr", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rec =
+                    Recovery::new(black_box(net.clone()), SrConfig::default().with_seed(42))
+                        .unwrap();
+                rec.run()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ar", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rec =
+                    ArRecovery::new(black_box(net.clone()), ArConfig::default().with_seed(42))
+                        .unwrap();
+                rec.run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_deployment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deployment_16x16");
+    for &n in &[10usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, &n| {
+            b.iter(|| deployment(black_box(n), black_box(7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recovery, bench_deployment
+}
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Regenerates every evaluation figure of the paper.
+//!
+//! ```text
+//! cargo run -p wsn-bench --bin figures --release            # all figures
+//! cargo run -p wsn-bench --bin figures --release -- fig6    # one figure
+//! cargo run -p wsn-bench --bin figures --release -- --quick # smoke sweep
+//! ```
+//!
+//! ASCII plots go to stdout; `<fig>.txt` and `<fig>.csv` land in
+//! `results/` at the workspace root (or `$WSN_RESULTS_DIR`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wsn_bench::figures;
+use wsn_bench::sweep::{run_sweep, SweepConfig};
+use wsn_stats::table::TextTable;
+
+fn out_dir() -> PathBuf {
+    std::env::var_os("WSN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |id: &str| wanted.is_empty() || wanted.iter().any(|w| id.starts_with(w));
+    let known = ["fig3", "fig5", "fig6", "fig7", "fig8", "figpmf", "figsc"];
+    for w in &wanted {
+        if !known.iter().any(|k| w.starts_with(k)) {
+            eprintln!("unknown figure id '{w}'; known: {}", known.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let dir = out_dir();
+    let emit = |id: &str, title: &str, x: &str, y: &str, series: &[wsn_stats::Series]| {
+        match figures::render(id, title, x, y, series, Some(&dir)) {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("failed to write {id}: {e}"),
+        }
+    };
+
+    if want("fig3") || want("fig5") {
+        let (a3, b3) = figures::fig3();
+        if want("fig3") {
+            emit("fig3a", "Figure 3(a): # of moves, 4x5 grid (L=19), analytical", "# of spare nodes left in networks (N)", "# of moves", &a3);
+            emit("fig3b", "Figure 3(b): # of moves, 16x16 grid (L=255), analytical", "# of spare nodes left in networks (N)", "# of moves", &b3);
+        }
+        if want("fig5") {
+            let (a5, b5) = figures::fig5();
+            emit("fig5a", "Figure 5(a): total moving distance, 4x5 grid, r=10, estimate", "# of spare nodes left in networks (N)", "total moving distance", &a5);
+            emit("fig5b", "Figure 5(b): total moving distance, 16x16 grid, r=10, estimate", "# of spare nodes left in networks (N)", "total moving distance", &b5);
+        }
+    }
+
+    if want("fig6") || want("fig7") || want("fig8") {
+        let cfg = if quick {
+            SweepConfig::quick()
+        } else {
+            SweepConfig::default()
+        };
+        eprintln!(
+            "running Monte-Carlo sweep: {} targets x {} trials on {}x{} ...",
+            cfg.targets.len(),
+            cfg.trials,
+            cfg.cols,
+            cfg.rows
+        );
+        let results = run_sweep(&cfg);
+
+        // A summary table in the spirit of the paper's observations.
+        let mut table = TextTable::new(vec![
+            "N", "holes", "SR proc", "AR proc", "SR ok%", "AR ok%", "SR moves", "AR moves",
+            "SR dist", "AR dist",
+        ]);
+        for &t in &cfg.targets {
+            let rows: Vec<_> = results.iter().filter(|r| r.n_target == t).collect();
+            let n = rows.len() as f64;
+            let mean = |f: &dyn Fn(&&wsn_bench::TrialResult) -> f64| {
+                rows.iter().map(f).sum::<f64>() / n
+            };
+            table.add_numeric_row(
+                t.to_string(),
+                &[
+                    mean(&|r| r.holes as f64),
+                    mean(&|r| r.sr.processes_initiated as f64),
+                    mean(&|r| r.ar.processes_initiated as f64),
+                    mean(&|r| r.sr.success_rate_percent()),
+                    mean(&|r| r.ar.success_rate_percent()),
+                    mean(&|r| r.sr.moves as f64),
+                    mean(&|r| r.ar.moves as f64),
+                    mean(&|r| r.sr.distance),
+                    mean(&|r| r.ar.distance),
+                ],
+                1,
+            );
+        }
+        println!("{table}");
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join("sweep_summary.txt"), table.to_string()))
+        {
+            eprintln!("failed to write sweep summary: {e}");
+        }
+
+        if want("fig6") {
+            emit("fig6a", "Figure 6(a): # of replacement processes initiated (16x16)", "# of spare nodes left in networks (N)", "# of processes", &figures::fig6a(&results));
+            emit("fig6b", "Figure 6(b): success rate (%) (16x16)", "# of spare nodes left in networks (N)", "percentage", &figures::fig6b(&results));
+        }
+        if want("fig7") {
+            emit("fig7", "Figure 7: # of node movements (16x16, experimental + analytical)", "# of spare nodes left in networks (N)", "# of node moves", &figures::fig7(&results));
+        }
+        if want("fig8") {
+            emit("fig8", "Figure 8: total moving distance in meters (16x16, experimental + analytical)", "# of spare nodes left in networks (N)", "total moving distance", &figures::fig8(&results));
+        }
+    }
+
+    // Extension figures (not in the paper; see EXPERIMENTS.md).
+    if wanted.iter().any(|w| w.starts_with("figpmf")) {
+        let trials = if quick { 300 } else { 2000 };
+        eprintln!("simulating {trials} single replacements for the P(i) distribution ...");
+        emit(
+            "figpmf",
+            "Extension: movement-count distribution vs Theorem 2's P(i) (4x5, N=12)",
+            "movements i",
+            "probability",
+            &figures::fig_pmf(trials, 777_000),
+        );
+    }
+    if wanted.iter().any(|w| w.starts_with("figsc")) {
+        let cfg = if quick {
+            SweepConfig::quick()
+        } else {
+            SweepConfig::default()
+        };
+        eprintln!("running SR vs SR-SC shortcut sweep ...");
+        let (moves, dist) = figures::fig_shortcut(&cfg);
+        emit(
+            "figsc_moves",
+            "Extension: SR vs SR-SC shortcut, total node movements (16x16)",
+            "# of spare nodes left in networks (N)",
+            "# of node moves",
+            &moves,
+        );
+        emit(
+            "figsc_dist",
+            "Extension: SR vs SR-SC shortcut, total moving distance (16x16)",
+            "# of spare nodes left in networks (N)",
+            "total moving distance",
+            &dist,
+        );
+    }
+
+    eprintln!("figures written to {}", dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,338 @@
+//! Per-figure series generators and rendering.
+
+use std::io;
+use std::path::Path;
+
+use wsn_coverage::analysis;
+use wsn_stats::{csv, plot::AsciiPlot, Series};
+
+use crate::sweep::TrialResult;
+
+/// `L` for the paper's 4×5 grid (Figure 3(a)).
+pub const L_4X5: usize = 19;
+/// `L` for the paper's 16×16 grid (Figure 3(b)).
+pub const L_16X16: usize = 255;
+/// Cell side used by Figures 5–8 overlays (`r = R/√5`, `R = 10 m`).
+pub const R_16X16: f64 = 10.0 / 2.236_067_977_499_79;
+
+/// Figure 3: analytical number of movements per replacement vs `N`.
+/// Returns `(fig3a, fig3b)` — the 4×5 (`L = 19`, N ≤ 140) and 16×16
+/// (`L = 255`, N ≤ 1400) curves.
+pub fn fig3() -> (Vec<Series>, Vec<Series>) {
+    let a = Series::from_points(
+        "analytical M(19, N)",
+        (1..=140)
+            .map(|n| (n as f64, analysis::expected_moves(L_4X5, n)))
+            .collect(),
+    );
+    let b = Series::from_points(
+        "analytical M(255, N)",
+        (1..=1400)
+            .step_by(5)
+            .map(|n| (n as f64, analysis::expected_moves(L_16X16, n)))
+            .collect(),
+    );
+    (vec![a], vec![b])
+}
+
+/// Figure 5: analytical total moving distance per replacement vs `N`,
+/// with the paper's `r = 10` (its Figure 5 caption). Returns
+/// `(fig5a, fig5b)`.
+pub fn fig5() -> (Vec<Series>, Vec<Series>) {
+    let r = 10.0;
+    let a = Series::from_points(
+        "estimate 1.08*r*M(19, N)",
+        (1..=140)
+            .map(|n| (n as f64, analysis::expected_distance(L_4X5, n, r)))
+            .collect(),
+    );
+    let b = Series::from_points(
+        "estimate 1.08*r*M(255, N)",
+        (1..=1000)
+            .step_by(5)
+            .map(|n| (n as f64, analysis::expected_distance(L_16X16, n, r)))
+            .collect(),
+    );
+    (vec![a], vec![b])
+}
+
+fn mean_by_target<F: Fn(&TrialResult) -> f64>(
+    results: &[TrialResult],
+    label: &str,
+    f: F,
+) -> Series {
+    let mut raw = Series::new(label);
+    for r in results {
+        raw.push(r.n_target as f64, f(r));
+    }
+    raw.aggregate_mean()
+}
+
+/// Figure 6(a): number of replacement processes initiated, AR vs SR.
+pub fn fig6a(results: &[TrialResult]) -> Vec<Series> {
+    vec![
+        mean_by_target(results, "AR", |r| r.ar.processes_initiated as f64),
+        mean_by_target(results, "SR", |r| r.sr.processes_initiated as f64),
+    ]
+}
+
+/// Figure 6(b): per-process success rate (%), AR vs SR.
+pub fn fig6b(results: &[TrialResult]) -> Vec<Series> {
+    vec![
+        mean_by_target(results, "AR", |r| r.ar.success_rate_percent()),
+        mean_by_target(results, "SR", |r| r.sr.success_rate_percent()),
+    ]
+}
+
+/// The Theorem-2 overlay for one trial, as the paper plots it
+/// (Figure 7(b)): each of the `holes` replacements costs `M(L, N)`
+/// movements at the trial's spare level `N`, so the expected total is
+/// `holes · M(L, N)`.
+///
+/// This is an upper-ish estimate: during recovery the live spare count
+/// ranges from `N + holes` down to `N`, so experimental totals sit
+/// somewhat below the overlay at low `N` — the same relationship visible
+/// between the paper's Figures 7(a) and 7(b).
+pub fn analytical_total_moves(l: usize, n_target: usize, holes: usize) -> f64 {
+    if holes == 0 {
+        return 0.0;
+    }
+    holes as f64 * analysis::expected_moves(l, n_target.max(1))
+}
+
+/// Figure 7: total number of node movements vs `N` — experimental AR and
+/// SR (7(a)) plus the analytical SR overlay (7(b)).
+pub fn fig7(results: &[TrialResult]) -> Vec<Series> {
+    let l = L_16X16;
+    vec![
+        mean_by_target(results, "AR", |r| r.ar.moves as f64),
+        mean_by_target(results, "SR", |r| r.sr.moves as f64),
+        mean_by_target(results, "SR analytical", |r| {
+            analytical_total_moves(l, r.n_target, r.holes)
+        }),
+    ]
+}
+
+/// Figure 8: total moving distance (meters) vs `N` — experimental AR and
+/// SR (8(a)) plus the analytical SR overlay (8(b),
+/// `1.08 · r · Σ M`).
+pub fn fig8(results: &[TrialResult]) -> Vec<Series> {
+    let l = L_16X16;
+    vec![
+        mean_by_target(results, "AR", |r| r.ar.distance),
+        mean_by_target(results, "SR", |r| r.sr.distance),
+        mean_by_target(results, "SR analytical", |r| {
+            wsn_geometry::CellGeometry::AVG_MOVE_FACTOR
+                * R_16X16
+                * analytical_total_moves(l, r.n_target, r.holes)
+        }),
+    ]
+}
+
+/// Extension figure `figpmf`: the *distribution* of movement counts, not
+/// just the mean — empirical hop frequencies over single replacements on
+/// the paper's 4×5 grid with `N = 12`, against Theorem 2's `P(i)`.
+pub fn fig_pmf(trials: u64, base_seed: u64) -> Vec<Series> {
+    let (l, n) = (L_4X5, 12usize);
+    let mut counts = vec![0u64; l + 1];
+    for t in 0..trials {
+        let hops = crate::sweep::simulate_single_replacement(4, 5, n, base_seed + t) as usize;
+        counts[hops.min(l)] += 1;
+    }
+    let mut empirical = Series::new("simulated frequency");
+    for (i, &c) in counts.iter().enumerate().skip(1) {
+        empirical.push(i as f64, c as f64 / trials as f64);
+    }
+    let analytical = Series::from_points(
+        "analytical P(i)",
+        (1..=l)
+            .map(|i| (i as f64, analysis::p_moves(l, n, i)))
+            .collect(),
+    );
+    vec![empirical, analytical]
+}
+
+/// Extension figure `figsc`: the paper's future-work short-cut. SR vs
+/// SR-SC total node movements (and messages) across the sweep targets —
+/// the prediction being that SR-SC "reduce[s] the cost of SR greatly in
+/// the cases when N < 55".
+pub fn fig_shortcut(cfg: &crate::sweep::SweepConfig) -> (Vec<Series>, Vec<Series>) {
+    let mut sr_moves = Series::new("SR moves");
+    let mut sc_moves = Series::new("SR-SC moves");
+    let mut sr_dist = Series::new("SR distance");
+    let mut sc_dist = Series::new("SR-SC distance");
+    for (i, &t) in cfg.targets.iter().enumerate() {
+        for trial in 0..cfg.trials {
+            let seed = cfg.base_seed + i as u64 * 10_000 + trial;
+            let (sr, sc) = crate::sweep::run_trial_with_shortcut(cfg, t, seed);
+            sr_moves.push(t as f64, sr.sr.moves as f64);
+            sc_moves.push(t as f64, sc.moves as f64);
+            sr_dist.push(t as f64, sr.sr.distance);
+            sc_dist.push(t as f64, sc.distance);
+        }
+    }
+    (
+        vec![sr_moves.aggregate_mean(), sc_moves.aggregate_mean()],
+        vec![sr_dist.aggregate_mean(), sc_dist.aggregate_mean()],
+    )
+}
+
+/// Renders a figure as an ASCII plot, optionally writing `<id>.txt` and
+/// `<id>.csv` under `out_dir`. Returns the plot text.
+///
+/// # Errors
+///
+/// Propagates filesystem errors when `out_dir` is given.
+pub fn render(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    out_dir: Option<&Path>,
+) -> io::Result<String> {
+    let text = AsciiPlot::new(title, x_label, y_label).render(series);
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{id}.txt")), &text)?;
+        csv::save_series(&dir.join(format!("{id}.csv")), series)?;
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{run_sweep, SweepConfig};
+
+    #[test]
+    fn fig3_shapes_match_paper() {
+        let (a, b) = fig3();
+        // Figure 3(a): starts near (L+1)/2 = 10 at N = 1, falls toward 1.
+        let pts = a[0].points();
+        assert!((pts[0].1 - 10.0).abs() < 1e-9);
+        assert!(pts.last().unwrap().1 < 1.2);
+        // The paper's spot value at N = 12.
+        let at12 = pts.iter().find(|p| p.0 == 12.0).unwrap().1;
+        assert!((at12 - 2.0139).abs() < 2e-3);
+        // Figure 3(b): monotone decreasing from 128 toward 1.
+        let ptsb = b[0].points();
+        assert!((ptsb[0].1 - 128.0).abs() < 1e-9);
+        assert!(ptsb.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12));
+    }
+
+    #[test]
+    fn fig5_is_fig3_scaled() {
+        let (m, _) = fig3();
+        let (d, _) = fig5();
+        for (pm, pd) in m[0].points().iter().zip(d[0].points()) {
+            assert!((pd.1 - 1.08 * 10.0 * pm.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_figures_have_expected_relations() {
+        let results = run_sweep(&SweepConfig::quick());
+        let f6a = fig6a(&results);
+        let f6b = fig6b(&results);
+        let f7 = fig7(&results);
+        let f8 = fig8(&results);
+        // Series order and labels.
+        assert_eq!(f6a[0].label(), "AR");
+        assert_eq!(f6a[1].label(), "SR");
+        assert_eq!(f7[2].label(), "SR analytical");
+        // SR initiates fewer processes than AR at every swept N.
+        for (ar, sr) in f6a[0].points().iter().zip(f6a[1].points()) {
+            assert!(sr.1 <= ar.1, "SR {} vs AR {} at N={}", sr.1, ar.1, sr.0);
+        }
+        // SR success rate is 100% everywhere; AR's never exceeds it.
+        for (ar, sr) in f6b[0].points().iter().zip(f6b[1].points()) {
+            assert_eq!(sr.1, 100.0);
+            assert!(ar.1 <= 100.0);
+        }
+        // Moves and distance decrease with N for SR (more spares =>
+        // shorter walks).
+        let srm = f7[1].points();
+        assert!(srm.first().unwrap().1 >= srm.last().unwrap().1);
+        // Distance ~ 1.05-1.08 r per move.
+        for (m, d) in f7[1].points().iter().zip(f8[1].points()) {
+            if m.1 > 0.0 {
+                let per_hop = d.1 / m.1 / R_16X16;
+                assert!((0.9..=1.2).contains(&per_hop), "per-hop {per_hop}");
+            }
+        }
+    }
+
+    #[test]
+    fn analytical_overlay_tracks_experiment() {
+        let results = run_sweep(&SweepConfig {
+            targets: vec![200, 600],
+            trials: 6,
+            ..SweepConfig::default()
+        });
+        let f7 = fig7(&results);
+        let (sr, overlay) = (f7[1].points(), f7[2].points());
+        for (s, o) in sr.iter().zip(overlay) {
+            let rel = (s.1 - o.1).abs() / o.1.max(1.0);
+            assert!(
+                rel < 0.45,
+                "experimental {} vs analytical {} at N={}",
+                s.1,
+                o.1,
+                s.0
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_extension_matches_theorem_2_distribution() {
+        let series = fig_pmf(400, 1234);
+        let empirical = &series[0];
+        let analytical = &series[1];
+        // Total variation distance between the empirical and analytical
+        // PMFs must be small.
+        let mut tv = 0.0;
+        for (e, a) in empirical.points().iter().zip(analytical.points()) {
+            assert_eq!(e.0, a.0);
+            tv += (e.1 - a.1).abs();
+        }
+        tv /= 2.0;
+        assert!(tv < 0.12, "total variation distance {tv}");
+    }
+
+    #[test]
+    fn shortcut_extension_wins_on_moves_everywhere() {
+        let cfg = SweepConfig {
+            targets: vec![10, 200],
+            trials: 2,
+            ..SweepConfig::default()
+        };
+        let (moves, dist) = fig_shortcut(&cfg);
+        for (sr, sc) in moves[0].points().iter().zip(moves[1].points()) {
+            assert!(
+                sc.1 < sr.1,
+                "SR-SC must move less: {} vs {} at N={}",
+                sc.1,
+                sr.1,
+                sr.0
+            );
+        }
+        // The win is biggest at low N, as the paper predicts.
+        let gain_low = moves[0].points()[0].1 / moves[1].points()[0].1.max(1.0);
+        let gain_high = moves[0].points()[1].1 / moves[1].points()[1].1.max(1.0);
+        assert!(gain_low > gain_high, "gain {gain_low} vs {gain_high}");
+        assert_eq!(dist[0].label(), "SR distance");
+    }
+
+    #[test]
+    fn render_writes_files() {
+        let dir = std::env::temp_dir().join("wsn_bench_render_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, _) = fig3();
+        let text = render("fig3a", "Fig 3(a)", "N", "moves", &a, Some(&dir)).unwrap();
+        assert!(text.contains("Fig 3(a)"));
+        assert!(dir.join("fig3a.txt").exists());
+        assert!(dir.join("fig3a.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness: regenerates every evaluation figure of the paper.
+//!
+//! The paper's evaluation (its §5) compares **SR** (this repository's
+//! [`wsn_coverage`]) against **AR** ([`wsn_baselines::ar`]) on a 16×16
+//! virtual grid with `R = 10 m` (`r = 4.4721 m`), uniform deployment, and
+//! "number of spare sensors N" swept from 10 to 1000. Figures 3 and 5 are
+//! purely analytical (Theorem 2); Figures 6–8 are Monte-Carlo.
+//!
+//! | Figure | Content | Generator |
+//! |---|---|---|
+//! | 3(a)/3(b) | analytical #moves vs N (4×5, 16×16) | [`figures::fig3`] |
+//! | 5(a)/5(b) | analytical distance vs N (r = 10) | [`figures::fig5`] |
+//! | 6(a) | #processes initiated, AR vs SR | [`figures::fig6a`] |
+//! | 6(b) | success rate (%), AR vs SR | [`figures::fig6b`] |
+//! | 7(a)/(b) | #node moves, experimental + analytical | [`figures::fig7`] |
+//! | 8(a)/(b) | total moving distance, experimental + analytical | [`figures::fig8`] |
+//!
+//! Deployment methodology (from the paper): with `(N + m·n)` enabled
+//! nodes dropped uniformly, the network holds `N + holes` spares and
+//! `holes` vacant cells; each replacement consumes exactly one spare, so
+//! `N` spares remain after full recovery. [`sweep::run_sweep`] executes
+//! the Monte-Carlo trials (in parallel across seeds via crossbeam) and
+//! both schemes see byte-identical deployments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{run_sweep, SweepConfig, TrialResult};

@@ -1,0 +1,137 @@
+//! Replacement-process bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_grid::GridCoord;
+
+/// Dense identifier of a replacement process within one run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProcessId(u64);
+
+impl ProcessId {
+    /// Creates an id from its dense index.
+    pub const fn new(index: u64) -> ProcessId {
+        ProcessId(index)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a replacement process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessStatus {
+    /// Still cascading (or waiting for a blocking hole to fill).
+    Active,
+    /// A spare reached the cascade — the hole chain is fully repaired.
+    Converged,
+    /// The walk exhausted the structure without finding a spare, or had
+    /// no occupied cell to relay through.
+    Failed,
+}
+
+impl ProcessStatus {
+    /// `true` for [`ProcessStatus::Converged`].
+    pub fn is_converged(self) -> bool {
+        matches!(self, ProcessStatus::Converged)
+    }
+}
+
+impl fmt::Display for ProcessStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessStatus::Active => write!(f, "active"),
+            ProcessStatus::Converged => write!(f, "converged"),
+            ProcessStatus::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// Per-process summary included in the recovery report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSummary {
+    /// Process id (dense per run).
+    pub id: ProcessId,
+    /// The hole that triggered the process.
+    pub hole: GridCoord,
+    /// Cell of the head that initiated it.
+    pub initiator: GridCoord,
+    /// Round the process was initiated in.
+    pub initiated_round: u64,
+    /// Round the process ended (converged/failed); `None` while active.
+    pub ended_round: Option<u64>,
+    /// Final status.
+    pub status: ProcessStatus,
+    /// Backward hops walked (1 hop = the initiator supplied the spare —
+    /// Theorem 2's `i`).
+    pub hops: u64,
+    /// Node movements performed for this process.
+    pub moves: u64,
+    /// Total distance moved, meters.
+    pub distance: f64,
+}
+
+impl fmt::Display for ProcessSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hole {} ({}): {} hops, {} moves, {:.2} m",
+            self.id, self.hole, self.status, self.hops, self.moves, self.distance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_ordering() {
+        assert_eq!(ProcessId::new(5).raw(), 5);
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::new(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn status_display_and_predicates() {
+        assert!(ProcessStatus::Converged.is_converged());
+        assert!(!ProcessStatus::Failed.is_converged());
+        assert!(!ProcessStatus::Active.is_converged());
+        for s in [
+            ProcessStatus::Active,
+            ProcessStatus::Converged,
+            ProcessStatus::Failed,
+        ] {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn summary_display_mentions_hole() {
+        let s = ProcessSummary {
+            id: ProcessId::new(0),
+            hole: GridCoord::new(2, 3),
+            initiator: GridCoord::new(2, 2),
+            initiated_round: 0,
+            ended_round: Some(3),
+            status: ProcessStatus::Converged,
+            hops: 2,
+            moves: 2,
+            distance: 9.5,
+        };
+        let text = s.to_string();
+        assert!(text.contains("(2, 3)"));
+        assert!(text.contains("converged"));
+    }
+}

@@ -1,0 +1,233 @@
+//! High-level recovery driver: wires the protocol to the round runner and
+//! produces a structured report.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_grid::{GridNetwork, NetworkStats};
+use wsn_hamilton::{CycleTopology, HamiltonError};
+use wsn_simcore::{EngineError, Metrics, RoundRunner, RunReport, TraceLog};
+
+use crate::process::ProcessSummary;
+use crate::{SrConfig, SrProtocol};
+
+/// Errors surfaced when assembling a recovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrError {
+    /// No Hamilton structure exists for the network's grid dimensions.
+    Topology(HamiltonError),
+    /// Invalid runner configuration (zero round cap or quiescence
+    /// window).
+    Engine(EngineError),
+    /// The SR-SC shortcut variant requires a single Hamilton cycle
+    /// (even-sided grid); see [`crate::shortcut`].
+    ShortcutNeedsCycle,
+}
+
+impl fmt::Display for SrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrError::Topology(e) => write!(f, "topology: {e}"),
+            SrError::Engine(e) => write!(f, "engine: {e}"),
+            SrError::ShortcutNeedsCycle => write!(
+                f,
+                "the shortcut variant requires a single hamilton cycle (one even grid side)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SrError::Topology(e) => Some(e),
+            SrError::Engine(e) => Some(e),
+            SrError::ShortcutNeedsCycle => None,
+        }
+    }
+}
+
+impl From<HamiltonError> for SrError {
+    fn from(e: HamiltonError) -> Self {
+        SrError::Topology(e)
+    }
+}
+
+impl From<EngineError> for SrError {
+    fn from(e: EngineError) -> Self {
+        SrError::Engine(e)
+    }
+}
+
+/// The result of a completed recovery run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// How the round loop terminated.
+    pub run: RunReport,
+    /// Aggregate cost counters (the paper's Figures 6–8 metrics).
+    pub metrics: Metrics,
+    /// Occupancy before recovery.
+    pub initial_stats: NetworkStats,
+    /// Occupancy after recovery.
+    pub final_stats: NetworkStats,
+    /// `true` when every cell ended with a head — the paper's complete
+    /// coverage goal (Theorem 1's postcondition when a spare existed).
+    pub fully_covered: bool,
+    /// Per-process details.
+    pub processes: Vec<ProcessSummary>,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery {}: {} -> {} holes, {}",
+            if self.fully_covered { "complete" } else { "incomplete" },
+            self.initial_stats.vacant,
+            self.final_stats.vacant,
+            self.metrics
+        )
+    }
+}
+
+/// Drives SR recovery on a network to quiescence.
+///
+/// ```
+/// use wsn_coverage::{Recovery, SrConfig};
+/// use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem};
+/// use wsn_simcore::SimRng;
+///
+/// let system = GridSystem::for_comm_range(6, 6, 10.0)?;
+/// let mut rng = SimRng::seed_from_u64(3);
+/// let positions = deploy::with_holes(&system, &[GridCoord::new(2, 2)], 2, &mut rng);
+/// let net = GridNetwork::new(system, &positions);
+///
+/// let mut recovery = Recovery::new(net, SrConfig::default())?;
+/// let report = recovery.run();
+/// assert!(report.fully_covered);
+/// assert_eq!(report.metrics.processes_initiated, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    protocol: SrProtocol,
+    runner: RoundRunner,
+}
+
+impl Recovery {
+    /// Builds the cycle topology for the network's dimensions and
+    /// prepares the protocol (initial head election happens here).
+    ///
+    /// # Errors
+    ///
+    /// [`SrError::Topology`] when the grid has no Hamilton structure
+    /// (any side < 2, or odd×odd below 3×3), and [`SrError::Engine`] for
+    /// invalid round caps in `config`.
+    pub fn new(net: GridNetwork, config: SrConfig) -> Result<Recovery, SrError> {
+        let topo = CycleTopology::build(net.system().cols(), net.system().rows())?;
+        let runner = RoundRunner::with_quiescence(config.max_rounds, config.quiescent_rounds)?;
+        Ok(Recovery {
+            protocol: SrProtocol::new(net, topo, config),
+            runner,
+        })
+    }
+
+    /// Runs to quiescence (or the round cap) and reports.
+    pub fn run(&mut self) -> RecoveryReport {
+        let initial_stats = self.protocol.network().stats();
+        let run = self.runner.run(&mut self.protocol);
+        self.protocol.fail_remaining(run.rounds);
+        let final_stats = self.protocol.network().stats();
+        RecoveryReport {
+            run,
+            metrics: *self.protocol.metrics(),
+            initial_stats,
+            final_stats,
+            fully_covered: final_stats.vacant == 0,
+            processes: self.protocol.process_summaries().to_vec(),
+        }
+    }
+
+    /// The network state (before [`Recovery::run`]: as deployed with
+    /// heads elected; after: the recovered state).
+    pub fn network(&self) -> &GridNetwork {
+        self.protocol.network()
+    }
+
+    /// The protocol's event trace.
+    pub fn trace(&self) -> &TraceLog {
+        self.protocol.trace()
+    }
+
+    /// The underlying protocol (for custom inspection).
+    pub fn protocol(&self) -> &SrProtocol {
+        &self.protocol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_grid::{deploy, GridCoord, GridSystem};
+    use wsn_simcore::SimRng;
+
+    #[test]
+    fn report_round_trip_on_simple_network() {
+        let sys = GridSystem::new(4, 4, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let pos = deploy::with_holes(&sys, &[GridCoord::new(1, 2)], 2, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        let mut rec = Recovery::new(net, SrConfig::default().with_trace(true)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.initial_stats.vacant, 1);
+        assert_eq!(report.final_stats.vacant, 0);
+        assert_eq!(report.processes.len(), 1);
+        assert!(report.run.is_quiescent());
+        assert!(!report.to_string().is_empty());
+        assert!(!rec.trace().is_empty());
+        assert!(rec.protocol().process_summaries().len() == 1);
+    }
+
+    #[test]
+    fn intact_network_is_a_no_op() {
+        let sys = GridSystem::new(4, 4, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(6);
+        let pos = deploy::per_cell_exact(&sys, 2, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        let mut rec = Recovery::new(net, SrConfig::default()).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.metrics.moves, 0);
+        assert_eq!(report.metrics.processes_initiated, 0);
+        assert_eq!(report.metrics.success_rate_percent(), 100.0);
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        let sys = GridSystem::new(1, 4, 1.0).unwrap();
+        let net = GridNetwork::new(sys, &[]);
+        match Recovery::new(net, SrConfig::default()) {
+            Err(SrError::Topology(_)) => {}
+            other => panic!("expected topology error, got {other:?}"),
+        }
+        let sys = GridSystem::new(4, 4, 1.0).unwrap();
+        let net = GridNetwork::new(sys, &[]);
+        let cfg = SrConfig::default().with_max_rounds(0);
+        match Recovery::new(net, cfg) {
+            Err(SrError::Engine(_)) => {}
+            other => panic!("expected engine error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_display_and_source() {
+        use std::error::Error as _;
+        let e = SrError::from(HamiltonError::TooSmall { cols: 1, rows: 1 });
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+        let e = SrError::from(EngineError::ZeroMaxRounds);
+        assert!(!e.to_string().is_empty());
+        assert!(e.source().is_some());
+    }
+}

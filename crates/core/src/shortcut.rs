@@ -1,0 +1,541 @@
+//! **SR-SC** — the short-cut extension the paper leaves as future work.
+//!
+//! The paper's §5: "A short-cut along the Hamilton cycle can reduce the
+//! length of the path for replacement process to approach a spare node.
+//! The construction of such a short-cut will be our future work … the
+//! cost of SR will be reduced greatly in the cases when N < 55."
+//!
+//! This module implements one concrete such construction, staying within
+//! the paper's 1-hop communication model:
+//!
+//! * Every head maintains a **spare-distance gradient** along the
+//!   directed Hamilton cycle: `dist(u) = 0` if `u`'s cell holds a spare,
+//!   else `1 + dist(pred(u))`, refreshed by one gossip exchange with the
+//!   predecessor per round (the same link the replacement notifications
+//!   already use). The field converges in at most `L` rounds and is
+//!   maintained incrementally afterwards.
+//! * When a hole is detected, the notification is forwarded backward
+//!   hop-by-hop exactly `dist` hops — no head needs to *move* to keep the
+//!   search going — and the spare found there travels **straight across
+//!   the grid** to the hole: one movement per replacement instead of
+//!   Theorem 2's `M(L, N)`, and a chord-length distance instead of a
+//!   path-length one.
+//!
+//! Trade-off (quantified by `bench_ablation` and the `figsc` extension
+//! figure): SR-SC pays `dist` extra notification messages and the gossip
+//! overhead, in exchange for collapsing the movement count; at low `N` —
+//! exactly where the paper predicts — the savings are largest. The
+//! single long straight move also concentrates battery drain on one node
+//! instead of spreading it over the cascade, which is why SR proper
+//! remains the better choice for energy-balanced deployments.
+//!
+//! The construction is defined on single Hamilton cycles; odd×odd
+//! (dual-path) grids are rejected with [`SrError::ShortcutNeedsCycle`] —
+//! extending the gradient over the A/B fork is possible but the paper's
+//! future-work remark targets the plain cycle.
+
+use wsn_grid::{GridCoord, GridNetwork, NetworkStats};
+use wsn_hamilton::{CycleTopology, HamiltonCycle};
+use wsn_simcore::{
+    EnergyModel, Metrics, RoundOutcome, RoundProtocol, RoundRunner, RunReport, SimRng, TraceEvent,
+    TraceLog,
+};
+
+use crate::movement::movement_target;
+use crate::process::{ProcessId, ProcessStatus, ProcessSummary};
+use crate::recovery::SrError;
+use crate::SrConfig;
+
+#[derive(Debug, Clone)]
+struct ScProcess {
+    id: ProcessId,
+    hole: GridCoord,
+    /// Where the notification currently sits.
+    courier: GridCoord,
+    /// Hops forwarded so far.
+    forwarded: usize,
+}
+
+/// The SR-SC protocol (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ShortcutProtocol {
+    net: GridNetwork,
+    cycle: HamiltonCycle,
+    config: SrConfig,
+    rng: SimRng,
+    trace: TraceLog,
+    metrics: Metrics,
+    energy: EnergyModel,
+    /// Gossip field: backward hops to the nearest spare, `u32::MAX` when
+    /// unknown/unreachable. Indexed by dense cell index.
+    spare_dist: Vec<u32>,
+    active: Vec<ScProcess>,
+    summaries: Vec<ProcessSummary>,
+    failed_holes: std::collections::HashSet<GridCoord>,
+}
+
+impl ShortcutProtocol {
+    /// Creates the protocol over a single-cycle topology.
+    pub(crate) fn new(mut net: GridNetwork, cycle: HamiltonCycle, config: SrConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        net.elect_all_heads(config.election, &mut rng);
+        let trace = if config.trace {
+            TraceLog::new()
+        } else {
+            TraceLog::disabled()
+        };
+        let cells = net.system().cell_count();
+        ShortcutProtocol {
+            net,
+            cycle,
+            config,
+            rng,
+            trace,
+            metrics: Metrics::new(),
+            energy: EnergyModel::default(),
+            spare_dist: vec![u32::MAX; cells],
+            active: Vec::new(),
+            summaries: Vec::new(),
+            failed_holes: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The network state.
+    pub fn network(&self) -> &GridNetwork {
+        &self.net
+    }
+
+    /// Cost counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Per-process summaries.
+    pub fn process_summaries(&self) -> &[ProcessSummary] {
+        &self.summaries
+    }
+
+    /// Marks still-active processes failed (driver calls after the run).
+    pub fn fail_remaining(&mut self, round: u64) {
+        for p in self.active.drain(..) {
+            let s = &mut self.summaries[p.id.raw() as usize];
+            s.status = ProcessStatus::Failed;
+            s.ended_round = Some(round);
+            self.metrics.processes_failed += 1;
+            self.trace.record(
+                round,
+                TraceEvent::ProcessFailed {
+                    process: p.id.raw(),
+                    reason: "no reachable spare (run ended)".into(),
+                },
+            );
+        }
+    }
+
+    fn spare_count(&self, cell: GridCoord) -> usize {
+        self.net.spares(cell).map(|s| s.len()).unwrap_or(0)
+    }
+
+    fn idx(&self, cell: GridCoord) -> usize {
+        self.net
+            .system()
+            .index_of(cell)
+            .expect("cycle cells are in bounds")
+    }
+
+    /// One synchronous gossip sweep: every head reads its predecessor's
+    /// distance from the previous round. (Computed from a frozen copy,
+    /// exactly as a real per-round beacon exchange would.)
+    fn gossip(&mut self) {
+        let prev = self.spare_dist.clone();
+        let sys = *self.net.system();
+        for coord in sys.iter_coords() {
+            let i = self.idx(coord);
+            if self.net.is_vacant(coord).unwrap_or(true) {
+                self.spare_dist[i] = u32::MAX;
+                continue;
+            }
+            self.spare_dist[i] = if self.spare_count(coord) > 0 {
+                0
+            } else {
+                let p = prev[self.idx(self.cycle.predecessor(coord))];
+                p.saturating_add(1)
+            };
+        }
+        // Gossip beacons ride the existing per-round head exchange; the
+        // paper does not bill monitoring beacons, so neither do we.
+    }
+
+    fn step_process(&mut self, i: usize, round: u64) -> bool {
+        let p = self.active[i].clone();
+        if self.net.is_vacant(p.courier).unwrap_or(true) {
+            // Courier cell lost its head (hole run); wait for its repair.
+            return false;
+        }
+        if self.spare_count(p.courier) > 0 {
+            // Dispatch: the spare flies straight to the hole.
+            let spare = self
+                .net
+                .spares(p.courier)
+                .expect("in bounds")
+                .into_iter()
+                .min()
+                .expect("non-empty by spare_count");
+            let dest = movement_target(self.net.system(), p.hole, &mut self.rng);
+            let out = self
+                .net
+                .move_node(spare, dest)
+                .expect("targets inside the area");
+            self.net
+                .set_head(p.hole, spare)
+                .expect("spare just arrived");
+            self.metrics.record_move(out.distance);
+            self.metrics.energy += self.energy.movement(out.distance);
+            self.trace.record(
+                round,
+                TraceEvent::NodeMoved {
+                    process: Some(p.id.raw()),
+                    node: spare,
+                    from: out.from.into(),
+                    to: out.to.into(),
+                    distance: out.distance,
+                },
+            );
+            let s = &mut self.summaries[p.id.raw() as usize];
+            s.hops = p.forwarded as u64 + 1;
+            s.moves += 1;
+            s.distance += out.distance;
+            s.status = ProcessStatus::Converged;
+            s.ended_round = Some(round);
+            self.metrics.processes_converged += 1;
+            self.trace.record(
+                round,
+                TraceEvent::ProcessConverged {
+                    process: p.id.raw(),
+                    moves: s.moves,
+                },
+            );
+            self.active.remove(i);
+            return true;
+        }
+        if p.forwarded >= self.cycle.deduced_path_hops() {
+            let s = &mut self.summaries[p.id.raw() as usize];
+            s.status = ProcessStatus::Failed;
+            s.ended_round = Some(round);
+            self.metrics.processes_failed += 1;
+            self.trace.record(
+                round,
+                TraceEvent::ProcessFailed {
+                    process: p.id.raw(),
+                    reason: "notification circled the cycle without finding a spare".into(),
+                },
+            );
+            self.failed_holes.insert(p.hole);
+            self.active.remove(i);
+            return true;
+        }
+        // Forward the notification one hop backward. The gradient makes
+        // this walk beeline to the nearest spare; when the field is still
+        // cold (MAX) the walk degrades gracefully to SR's blind backward
+        // search — minus the node movements.
+        let next = self.cycle.predecessor(p.courier);
+        if next == p.hole {
+            // Skip over the hole itself (its cell cannot relay or hold
+            // the spare we are looking for).
+            let beyond = self.cycle.predecessor(next);
+            self.active[i].courier = beyond;
+        } else {
+            self.active[i].courier = next;
+        }
+        self.active[i].forwarded += 1;
+        self.metrics.record_message();
+        self.metrics.energy += self.energy.message_cost;
+        self.trace.record(
+            round,
+            TraceEvent::NotificationSent {
+                process: p.id.raw(),
+                from: p.courier.into(),
+                to: self.active[i].courier.into(),
+            },
+        );
+        true
+    }
+
+    fn detect_and_initiate(&mut self, round: u64) -> usize {
+        let vacant = self.net.vacant_cells();
+        let mut initiated = 0;
+        for g in vacant {
+            if self.failed_holes.contains(&g)
+                || self.active.iter().any(|p| p.hole == g)
+            {
+                continue;
+            }
+            let monitor = self.cycle.predecessor(g);
+            if self.net.is_vacant(monitor).unwrap_or(true) {
+                continue;
+            }
+            let id = ProcessId::new(self.summaries.len() as u64);
+            self.summaries.push(ProcessSummary {
+                id,
+                hole: g,
+                initiator: monitor,
+                initiated_round: round,
+                ended_round: None,
+                status: ProcessStatus::Active,
+                hops: 0,
+                moves: 0,
+                distance: 0.0,
+            });
+            self.active.push(ScProcess {
+                id,
+                hole: g,
+                courier: monitor,
+                forwarded: 0,
+            });
+            self.metrics.processes_initiated += 1;
+            self.trace.record(
+                round,
+                TraceEvent::ProcessInitiated {
+                    process: id.raw(),
+                    hole: g.into(),
+                    initiator: monitor.into(),
+                },
+            );
+            initiated += 1;
+        }
+        initiated
+    }
+}
+
+impl RoundProtocol for ShortcutProtocol {
+    fn execute_round(&mut self, round: u64) -> RoundOutcome {
+        let mut progress = false;
+        let fault_events: Vec<_> = self
+            .config
+            .fault_plan
+            .events_at(round)
+            .cloned()
+            .collect();
+        for ev in fault_events {
+            let killed = self.net.apply_fault(&ev, &mut self.rng);
+            if !killed.is_empty() {
+                self.failed_holes.clear();
+                progress = true;
+            }
+        }
+        progress |= self.net.repair_heads(self.config.election, &mut self.rng) > 0;
+        self.gossip();
+        let mut i = 0;
+        while i < self.active.len() {
+            let before = self.active.len();
+            progress |= self.step_process(i, round);
+            if self.active.len() == before {
+                i += 1;
+            }
+        }
+        progress |= self.detect_and_initiate(round) > 0;
+        progress |= self
+            .config
+            .fault_plan
+            .last_round()
+            .is_some_and(|r| r > round);
+        self.metrics.rounds = round + 1;
+        if progress {
+            RoundOutcome::Progress
+        } else {
+            RoundOutcome::Quiescent
+        }
+    }
+}
+
+/// Drives SR-SC recovery to quiescence (the shortcut counterpart of
+/// [`crate::Recovery`]).
+#[derive(Debug, Clone)]
+pub struct ShortcutRecovery {
+    protocol: ShortcutProtocol,
+    runner: RoundRunner,
+}
+
+/// Report of a completed SR-SC run (same shape as
+/// [`crate::RecoveryReport`]).
+pub type ShortcutReport = crate::RecoveryReport;
+
+impl ShortcutRecovery {
+    /// Builds the shortcut recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`SrError::ShortcutNeedsCycle`] on odd×odd grids (no single
+    /// Hamilton cycle), [`SrError::Topology`] for grids with no
+    /// structure at all, and [`SrError::Engine`] for invalid round caps.
+    pub fn new(net: GridNetwork, config: SrConfig) -> Result<ShortcutRecovery, SrError> {
+        let topo = CycleTopology::build(net.system().cols(), net.system().rows())?;
+        let CycleTopology::Single(cycle) = topo else {
+            return Err(SrError::ShortcutNeedsCycle);
+        };
+        let runner = RoundRunner::with_quiescence(config.max_rounds, config.quiescent_rounds)?;
+        Ok(ShortcutRecovery {
+            protocol: ShortcutProtocol::new(net, cycle, config),
+            runner,
+        })
+    }
+
+    /// Runs to quiescence and reports.
+    pub fn run(&mut self) -> ShortcutReport {
+        let initial_stats: NetworkStats = self.protocol.network().stats();
+        let run: RunReport = self.runner.run(&mut self.protocol);
+        self.protocol.fail_remaining(run.rounds);
+        let final_stats = self.protocol.network().stats();
+        ShortcutReport {
+            run,
+            metrics: *self.protocol.metrics(),
+            initial_stats,
+            final_stats,
+            fully_covered: final_stats.vacant == 0,
+            processes: self.protocol.process_summaries().to_vec(),
+        }
+    }
+
+    /// The network state.
+    pub fn network(&self) -> &GridNetwork {
+        self.protocol.network()
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &TraceLog {
+        self.protocol.trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recovery;
+    use wsn_grid::{deploy, GridSystem};
+
+    fn network_with_holes(holes: &[GridCoord], per_cell: usize, seed: u64) -> GridNetwork {
+        let sys = GridSystem::new(8, 8, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::with_holes(&sys, holes, per_cell, &mut rng);
+        GridNetwork::new(sys, &pos)
+    }
+
+    #[test]
+    fn one_move_per_replacement() {
+        let holes = [GridCoord::new(2, 2), GridCoord::new(6, 5)];
+        let net = network_with_holes(&holes, 2, 1);
+        let mut rec = ShortcutRecovery::new(net, SrConfig::default().with_seed(1)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.metrics.processes_converged, 2);
+        // The headline property: exactly one movement per hole.
+        assert_eq!(report.metrics.moves, 2);
+        rec.network().debug_invariants();
+    }
+
+    #[test]
+    fn beats_sr_on_moves_at_low_spare_density() {
+        // One spare far away: SR cascades ~L hops; SR-SC moves once.
+        let sys = GridSystem::new(8, 8, 4.4721).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let hole = GridCoord::new(4, 4);
+        let mut pos = deploy::with_holes(&sys, &[hole], 1, &mut rng);
+        pos.push(sys.cell_rect(GridCoord::new(0, 0)).unwrap().center());
+        let net = GridNetwork::new(sys, &pos);
+
+        let sr = Recovery::new(net.clone(), SrConfig::default().with_seed(2))
+            .unwrap()
+            .run();
+        let sc = ShortcutRecovery::new(net, SrConfig::default().with_seed(2))
+            .unwrap()
+            .run();
+        assert!(sr.fully_covered && sc.fully_covered);
+        assert!(sr.metrics.moves > 1);
+        assert_eq!(sc.metrics.moves, 1);
+        assert!(
+            sc.metrics.distance < sr.metrics.distance,
+            "straight chord {} must beat the cascade path {}",
+            sc.metrics.distance,
+            sr.metrics.distance
+        );
+    }
+
+    #[test]
+    fn no_spares_fails_cleanly() {
+        let net = network_with_holes(&[GridCoord::new(3, 3)], 1, 3);
+        assert_eq!(net.total_spares(), 0);
+        let mut rec = ShortcutRecovery::new(net, SrConfig::default().with_seed(3)).unwrap();
+        let report = rec.run();
+        assert!(report.run.is_quiescent());
+        assert!(!report.fully_covered);
+        assert!(report.metrics.processes_failed >= 1);
+        assert_eq!(report.metrics.moves, 0);
+    }
+
+    #[test]
+    fn dual_path_grids_are_rejected() {
+        let sys = GridSystem::new(5, 5, 4.4721).unwrap();
+        let net = GridNetwork::new(sys, &[]);
+        assert!(matches!(
+            ShortcutRecovery::new(net, SrConfig::default()),
+            Err(SrError::ShortcutNeedsCycle)
+        ));
+    }
+
+    #[test]
+    fn hole_runs_recover_sequentially() {
+        let holes = [
+            GridCoord::new(1, 1),
+            GridCoord::new(1, 2),
+            GridCoord::new(2, 1),
+            GridCoord::new(2, 2),
+        ];
+        let net = network_with_holes(&holes, 2, 5);
+        let mut rec = ShortcutRecovery::new(net, SrConfig::default().with_seed(5)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered, "{report}");
+        assert_eq!(report.metrics.moves, 4);
+        assert_eq!(report.metrics.processes_failed, 0);
+        rec.network().debug_invariants();
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let net = network_with_holes(&[GridCoord::new(5, 2)], 2, 7);
+            ShortcutRecovery::new(net, SrConfig::default().with_seed(seed))
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn gradient_guides_messages_not_random_walks() {
+        // With a warm gradient the notification path length equals the
+        // true backward distance to the nearest spare.
+        let sys = GridSystem::new(6, 6, 4.4721).unwrap();
+        let cycle = match CycleTopology::build(6, 6).unwrap() {
+            CycleTopology::Single(c) => c,
+            CycleTopology::Dual(_) => unreachable!(),
+        };
+        let mut rng = SimRng::seed_from_u64(11);
+        let hole = cycle.order()[12];
+        // Spare 5 backward hops from the hole's monitor.
+        let spare_cell = cycle.order()[12 - 6];
+        let mut pos = deploy::with_holes(&sys, &[hole], 1, &mut rng);
+        pos.push(sys.cell_rect(spare_cell).unwrap().center());
+        let net = GridNetwork::new(sys, &pos);
+        let mut rec = ShortcutRecovery::new(net, SrConfig::default().with_seed(11)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered);
+        assert_eq!(report.processes.len(), 1);
+        assert_eq!(report.processes[0].hops, 6, "monitor + 5 forwards");
+        assert_eq!(report.metrics.messages, 5);
+    }
+}

@@ -1,0 +1,223 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{GeometryError, Point2, Rect, Result};
+
+/// A closed disk: the sensing or communication footprint of a node.
+///
+/// Used for two purposes in the reproduction:
+///
+/// * communication reachability (`R = √5·r` between heads of neighboring
+///   grid cells, per the GAF model the paper builds on), and
+/// * geometric coverage checks (what fraction of the surveillance area is
+///   inside at least one sensing disk).
+///
+/// ```
+/// use wsn_geometry::{Disk, Point2};
+///
+/// let d = Disk::new(Point2::ORIGIN, 5.0)?;
+/// assert!(d.contains(Point2::new(3.0, 4.0)));
+/// assert!(!d.contains(Point2::new(3.1, 4.0)));
+/// # Ok::<(), wsn_geometry::GeometryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    center: Point2,
+    radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk from center and radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::NonPositiveExtent`] when `radius <= 0`,
+    /// and [`GeometryError::NonFinite`] on non-finite input.
+    pub fn new(center: Point2, radius: f64) -> Result<Disk> {
+        if !center.is_finite() || !radius.is_finite() {
+            return Err(GeometryError::NonFinite { context: "Disk::new" });
+        }
+        if radius <= 0.0 {
+            return Err(GeometryError::NonPositiveExtent {
+                context: "Disk::new radius",
+                value: radius,
+            });
+        }
+        Ok(Disk { center, radius })
+    }
+
+    /// Center of the disk.
+    #[inline]
+    pub fn center(&self) -> Point2 {
+        self.center
+    }
+
+    /// Radius of the disk.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Area `π·radius²`.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Closed containment: points exactly on the boundary are inside.
+    #[inline]
+    pub fn contains(&self, p: Point2) -> bool {
+        self.center.distance_squared(p) <= self.radius * self.radius
+    }
+
+    /// Whether two closed disks share at least one point.
+    #[inline]
+    pub fn intersects_disk(&self, other: &Disk) -> bool {
+        let r = self.radius + other.radius;
+        self.center.distance_squared(other.center) <= r * r
+    }
+
+    /// Whether the closed disk and closed rectangle share at least one
+    /// point.
+    #[inline]
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        rect.distance_to_point(self.center) <= self.radius
+    }
+
+    /// Whether the rectangle lies entirely inside the disk (used to prove
+    /// a cell fully covered by a single sensor).
+    ///
+    /// True iff all four corners are inside, since disks are convex.
+    pub fn covers_rect(&self, rect: &Rect) -> bool {
+        rect.corners().iter().all(|&c| self.contains(c))
+    }
+}
+
+impl fmt::Display for Disk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk({}, r={:.3})", self.center, self.radius)
+    }
+}
+
+/// Estimates the fraction of `area` covered by at least one disk, by
+/// sampling a `resolution × resolution` lattice of probe points.
+///
+/// This is the standard Monte-Carlo-style coverage estimator used to
+/// validate the GAF guarantee ("a head in every cell ⇒ full coverage")
+/// geometrically rather than combinatorially. Accuracy is
+/// `O(1/resolution)`; `resolution = 100` (10⁴ probes) is plenty for the
+/// assertions in this repository.
+///
+/// # Panics
+///
+/// Panics if `resolution == 0` (a caller bug: there is no meaningful
+/// zero-probe estimate).
+pub fn coverage_fraction(area: &Rect, disks: &[Disk], resolution: usize) -> f64 {
+    assert!(resolution > 0, "coverage_fraction: resolution must be > 0");
+    let mut covered = 0usize;
+    let total = resolution * resolution;
+    for iy in 0..resolution {
+        for ix in 0..resolution {
+            // Probe at cell centers of the sampling lattice.
+            let fx = (ix as f64 + 0.5) / resolution as f64;
+            let fy = (iy as f64 + 0.5) / resolution as f64;
+            let p = Point2::new(
+                area.min().x + fx * area.width(),
+                area.min().y + fy * area.height(),
+            );
+            if disks.iter().any(|d| d.contains(p)) {
+                covered += 1;
+            }
+        }
+    }
+    covered as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(Disk::new(Point2::ORIGIN, 0.0).is_err());
+        assert!(Disk::new(Point2::ORIGIN, -1.0).is_err());
+        assert!(Disk::new(Point2::new(f64::NAN, 0.0), 1.0).is_err());
+        assert!(Disk::new(Point2::ORIGIN, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn containment_boundary_closed() {
+        let d = Disk::new(Point2::ORIGIN, 1.0).unwrap();
+        assert!(d.contains(Point2::new(1.0, 0.0)));
+        assert!(!d.contains(Point2::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn disk_disk_intersection() {
+        let a = Disk::new(Point2::ORIGIN, 1.0).unwrap();
+        let b = Disk::new(Point2::new(2.0, 0.0), 1.0).unwrap();
+        assert!(a.intersects_disk(&b)); // tangent
+        let c = Disk::new(Point2::new(2.1, 0.0), 1.0).unwrap();
+        assert!(!a.intersects_disk(&c));
+    }
+
+    #[test]
+    fn disk_rect_intersection() {
+        let d = Disk::new(Point2::ORIGIN, 1.0).unwrap();
+        let near = Rect::from_size(Point2::new(0.5, 0.5), 1.0, 1.0).unwrap();
+        assert!(d.intersects_rect(&near));
+        let far = Rect::from_size(Point2::new(2.0, 2.0), 1.0, 1.0).unwrap();
+        assert!(!d.intersects_rect(&far));
+    }
+
+    #[test]
+    fn covers_rect_by_corners() {
+        // A disk of radius √2 centered on a unit square centered at origin
+        // covers it; radius 0.5 does not.
+        let sq = Rect::centered_square(Point2::ORIGIN, 2.0).unwrap();
+        let big = Disk::new(Point2::ORIGIN, 2.0_f64.sqrt()).unwrap();
+        assert!(big.covers_rect(&sq));
+        let small = Disk::new(Point2::ORIGIN, 1.0).unwrap();
+        assert!(!small.covers_rect(&sq));
+    }
+
+    #[test]
+    fn gaf_range_covers_cell_from_anywhere_inside() {
+        // GAF guarantee geometry: a sensor anywhere in an r x r cell with
+        // sensing radius >= sqrt(2) * r covers its own whole cell. The
+        // worst case is a corner sensor reaching the opposite corner.
+        let r = 4.4721;
+        let cell = Rect::from_size(Point2::ORIGIN, r, r).unwrap();
+        let corner_sensor = Disk::new(Point2::ORIGIN, r * 2.0_f64.sqrt()).unwrap();
+        assert!(corner_sensor.covers_rect(&cell));
+    }
+
+    #[test]
+    fn coverage_fraction_estimates() {
+        let area = Rect::from_size(Point2::ORIGIN, 10.0, 10.0).unwrap();
+        // One giant disk covering everything.
+        let all = vec![Disk::new(Point2::new(5.0, 5.0), 10.0).unwrap()];
+        assert_eq!(coverage_fraction(&area, &all, 50), 1.0);
+        // No disks: zero.
+        assert_eq!(coverage_fraction(&area, &[], 50), 0.0);
+        // Half-disk on the left edge: exact area is pi * 25 / 2 of 100.
+        let half = vec![Disk::new(Point2::new(0.0, 5.0), 5.0).unwrap()];
+        let f = coverage_fraction(&area, &half, 100);
+        let exact = std::f64::consts::PI * 25.0 / 2.0 / 100.0;
+        assert!((f - exact).abs() < 0.02, "got {f}, exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn coverage_fraction_zero_resolution_panics() {
+        let area = Rect::from_size(Point2::ORIGIN, 1.0, 1.0).unwrap();
+        coverage_fraction(&area, &[], 0);
+    }
+
+    #[test]
+    fn area_and_display() {
+        let d = Disk::new(Point2::ORIGIN, 2.0).unwrap();
+        assert!((d.area() - 4.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!(!d.to_string().is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error type for fallible geometry constructors.
+///
+/// All variants indicate invalid numeric input (non-finite coordinates or
+/// non-positive extents); this crate never panics on user input that is
+/// rejected by these checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// A coordinate was NaN or infinite.
+    NonFinite {
+        /// Which construction rejected the value.
+        context: &'static str,
+    },
+    /// A width, height or radius was zero or negative.
+    NonPositiveExtent {
+        /// Which construction rejected the value.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A rectangle was constructed with `min` not component-wise `<= max`.
+    InvertedRect {
+        /// The minimum corner supplied.
+        min: (f64, f64),
+        /// The maximum corner supplied.
+        max: (f64, f64),
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::NonFinite { context } => {
+                write!(f, "non-finite coordinate in {context}")
+            }
+            GeometryError::NonPositiveExtent { context, value } => {
+                write!(f, "non-positive extent {value} in {context}")
+            }
+            GeometryError::InvertedRect { min, max } => {
+                write!(
+                    f,
+                    "inverted rectangle: min ({}, {}) exceeds max ({}, {})",
+                    min.0, min.1, max.0, max.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            GeometryError::NonFinite { context: "test" },
+            GeometryError::NonPositiveExtent {
+                context: "test",
+                value: -1.0,
+            },
+            GeometryError::InvertedRect {
+                min: (1.0, 1.0),
+                max: (0.0, 0.0),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! Planar geometry primitives for wireless-sensor-network simulation.
+//!
+//! This crate is the lowest-level substrate of the reproduction of
+//! *Mobility Control for Complete Coverage in Wireless Sensor Networks*
+//! (Jiang, Wu, Kline, Krantz — ICDCS 2008 Workshops). Everything above it
+//! (the virtual grid, the Hamilton-cycle topology, the replacement
+//! protocols) manipulates positions, distances and areas through the types
+//! defined here.
+//!
+//! # Contents
+//!
+//! * [`Point2`] / [`Vec2`] — points and displacement vectors in the plane.
+//! * [`Rect`] — axis-aligned rectangles (cells, surveillance areas).
+//! * [`Disk`] — sensing / communication disks.
+//! * [`cell`] — the geometry of an `r × r` virtual-grid cell, including the
+//!   *central area* used by the paper's mobility control (§4 of the paper)
+//!   and the movement-distance bounds `r/4 ≤ d ≤ (√58/4)·r`.
+//! * [`sample`] — uniform sampling inside rectangles given caller-supplied
+//!   random numbers (this crate has no RNG dependency; callers pass
+//!   uniform `f64`s in `[0, 1)`).
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_geometry::{Point2, Rect};
+//!
+//! let area = Rect::from_size(Point2::ORIGIN, 100.0, 50.0)?;
+//! assert!(area.contains(Point2::new(10.0, 10.0)));
+//! assert_eq!(area.center(), Point2::new(50.0, 25.0));
+//! # Ok::<(), wsn_geometry::GeometryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+mod disk;
+mod error;
+mod point;
+mod rect;
+pub mod sample;
+
+pub use cell::CellGeometry;
+pub use disk::{coverage_fraction, Disk};
+pub use error::GeometryError;
+pub use point::{Point2, Vec2};
+pub use rect::Rect;
+
+/// Convenient result alias for fallible geometry constructors.
+pub type Result<T> = std::result::Result<T, GeometryError>;

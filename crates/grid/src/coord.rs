@@ -1,0 +1,217 @@
+//! Cell addressing: coordinates and the four cardinal directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four cardinal directions between neighboring cells.
+///
+/// The paper: "Each grid (x, y) … has four neighbors (x, y+1), (x−1, y),
+/// (x, y−1), and (x+1, y), with one in each of four directions: north,
+/// south, east, and west." (Note the paper's east/west pairing of the
+/// x-offsets is typographically garbled; we use the conventional mapping
+/// east = +x, west = −x, north = +y, south = −y.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `+y`.
+    North,
+    /// `−y`.
+    South,
+    /// `+x`.
+    East,
+    /// `−x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in N, S, E, W order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// The `(dx, dy)` cell offset of this direction.
+    pub fn offset(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, 1),
+            Direction::South => (0, -1),
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::East => "east",
+            Direction::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The address of a grid cell: `(x, y)` with `0 ≤ x < n`, `0 ≤ y < m`
+/// (bounds are held by [`crate::GridSystem`], not by the coordinate).
+///
+/// ```
+/// use wsn_grid::GridCoord;
+///
+/// let c = GridCoord::new(2, 3);
+/// assert_eq!(c.manhattan(GridCoord::new(4, 1)), 4);
+/// assert!(c.is_adjacent(GridCoord::new(2, 4)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct GridCoord {
+    /// Column index (0-based, east-positive).
+    pub x: u16,
+    /// Row index (0-based, north-positive).
+    pub y: u16,
+}
+
+impl GridCoord {
+    /// Creates a coordinate.
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> GridCoord {
+        GridCoord { x, y }
+    }
+
+    /// The neighbor in `dir`, or `None` when it would go below zero.
+    /// (Upper bounds are checked by [`crate::GridSystem::contains`].)
+    pub fn step(self, dir: Direction) -> Option<GridCoord> {
+        let (dx, dy) = dir.offset();
+        let x = i32::from(self.x) + dx;
+        let y = i32::from(self.y) + dy;
+        if x < 0 || y < 0 || x > i32::from(u16::MAX) || y > i32::from(u16::MAX) {
+            None
+        } else {
+            Some(GridCoord::new(x as u16, y as u16))
+        }
+    }
+
+    /// Manhattan distance in cells.
+    pub fn manhattan(self, other: GridCoord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// `true` when the two cells are 4-adjacent ("neighboring grids" in
+    /// the paper: addresses differ by exactly 1 in exactly one dimension).
+    pub fn is_adjacent(self, other: GridCoord) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// The direction from `self` to a 4-adjacent `other`, or `None` if
+    /// they are not adjacent.
+    pub fn direction_to(self, other: GridCoord) -> Option<Direction> {
+        if !self.is_adjacent(other) {
+            return None;
+        }
+        Some(if other.x > self.x {
+            Direction::East
+        } else if other.x < self.x {
+            Direction::West
+        } else if other.y > self.y {
+            Direction::North
+        } else {
+            Direction::South
+        })
+    }
+}
+
+impl fmt::Display for GridCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for GridCoord {
+    fn from((x, y): (u16, u16)) -> Self {
+        GridCoord::new(x, y)
+    }
+}
+
+impl From<GridCoord> for (u16, u16) {
+    fn from(c: GridCoord) -> Self {
+        (c.x, c.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_opposites_and_offsets() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.offset();
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn step_and_bounds() {
+        let c = GridCoord::new(0, 0);
+        assert_eq!(c.step(Direction::North), Some(GridCoord::new(0, 1)));
+        assert_eq!(c.step(Direction::East), Some(GridCoord::new(1, 0)));
+        assert_eq!(c.step(Direction::South), None);
+        assert_eq!(c.step(Direction::West), None);
+        let top = GridCoord::new(u16::MAX, u16::MAX);
+        assert_eq!(top.step(Direction::North), None);
+        assert_eq!(top.step(Direction::East), None);
+    }
+
+    #[test]
+    fn adjacency_is_manhattan_one() {
+        let c = GridCoord::new(3, 3);
+        assert!(c.is_adjacent(GridCoord::new(3, 4)));
+        assert!(c.is_adjacent(GridCoord::new(2, 3)));
+        assert!(!c.is_adjacent(GridCoord::new(4, 4))); // diagonal
+        assert!(!c.is_adjacent(c));
+        assert_eq!(c.manhattan(GridCoord::new(0, 0)), 6);
+    }
+
+    #[test]
+    fn direction_to_matches_step() {
+        let c = GridCoord::new(5, 5);
+        for d in Direction::ALL {
+            let n = c.step(d).unwrap();
+            assert_eq!(c.direction_to(n), Some(d));
+            assert_eq!(n.direction_to(c), Some(d.opposite()));
+        }
+        assert_eq!(c.direction_to(GridCoord::new(6, 6)), None);
+        assert_eq!(c.direction_to(c), None);
+    }
+
+    #[test]
+    fn tuple_conversions_and_display() {
+        let c: GridCoord = (4u16, 7u16).into();
+        let t: (u16, u16) = c.into();
+        assert_eq!(t, (4, 7));
+        assert_eq!(c.to_string(), "(4, 7)");
+        assert_eq!(Direction::North.to_string(), "north");
+    }
+
+    #[test]
+    fn ordering_is_row_major_friendly() {
+        // Ord derive: x first then y; used only for determinism in sets.
+        assert!(GridCoord::new(0, 5) < GridCoord::new(1, 0));
+        assert!(GridCoord::new(1, 0) < GridCoord::new(1, 1));
+    }
+}

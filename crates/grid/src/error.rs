@@ -1,0 +1,97 @@
+use std::fmt;
+
+use crate::GridCoord;
+
+/// Errors reported by the grid layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// Grid dimensions must each be at least 1 and the cell count must
+    /// fit the occupancy index.
+    InvalidDimensions {
+        /// Requested columns (`n`).
+        cols: u32,
+        /// Requested rows (`m`).
+        rows: u32,
+    },
+    /// Cell side / communication range must be positive and finite.
+    InvalidRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A coordinate outside the grid was used.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: GridCoord,
+        /// Grid columns.
+        cols: u16,
+        /// Grid rows.
+        rows: u16,
+    },
+    /// A node id not present in this network was used.
+    UnknownNode {
+        /// The offending dense index.
+        index: usize,
+    },
+    /// Operation requires an enabled node but the node is disabled.
+    NodeDisabled {
+        /// The node's dense index.
+        index: usize,
+    },
+    /// A movement target lies outside the surveillance area.
+    TargetOutsideArea,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidDimensions { cols, rows } => {
+                write!(f, "invalid grid dimensions {cols}x{rows}")
+            }
+            GridError::InvalidRange { value } => {
+                write!(f, "invalid cell side or communication range {value}")
+            }
+            GridError::OutOfBounds { coord, cols, rows } => {
+                write!(f, "coordinate {coord} outside {cols}x{rows} grid")
+            }
+            GridError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            GridError::NodeDisabled { index } => {
+                write!(f, "node index {index} is disabled")
+            }
+            GridError::TargetOutsideArea => {
+                write!(f, "movement target outside the surveillance area")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            GridError::InvalidDimensions { cols: 0, rows: 4 },
+            GridError::InvalidRange { value: -1.0 },
+            GridError::OutOfBounds {
+                coord: GridCoord::new(9, 9),
+                cols: 4,
+                rows: 4,
+            },
+            GridError::UnknownNode { index: 3 },
+            GridError::NodeDisabled { index: 3 },
+            GridError::TargetOutsideArea,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GridError>();
+    }
+}

@@ -1,0 +1,629 @@
+//! Mutable network state over the virtual grid: nodes, occupancy, heads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_geometry::Point2;
+use wsn_simcore::{FaultEvent, NodeId, SensorNode, SimRng};
+
+use crate::{GridCoord, GridError, GridSystem, HeadElection, Result};
+
+/// The outcome of a completed node movement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MoveOutcome {
+    /// Cell the node left.
+    pub from: GridCoord,
+    /// Cell the node arrived in.
+    pub to: GridCoord,
+    /// Distance covered, meters.
+    pub distance: f64,
+}
+
+/// Snapshot of headline occupancy numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Enabled nodes.
+    pub enabled: usize,
+    /// Cells with at least one enabled node.
+    pub occupied: usize,
+    /// Cells with no enabled node (the holes).
+    pub vacant: usize,
+    /// Spare nodes (`enabled − occupied`): the paper's `N`.
+    pub spares: usize,
+}
+
+/// The deployed network over a [`GridSystem`]: node table, per-cell
+/// membership of enabled nodes, and elected heads.
+///
+/// Invariants (checked by `debug_invariants` in tests):
+///
+/// * a node appears in exactly one cell's member list iff it is enabled,
+///   and that cell contains its position;
+/// * a cell's head, when set, is one of its members;
+/// * a cell with no members ("vacant" — the paper's *hole*) has no head.
+///
+/// ```
+/// use wsn_grid::{GridNetwork, GridSystem, HeadElection};
+/// use wsn_geometry::Point2;
+/// use wsn_simcore::SimRng;
+///
+/// let sys = GridSystem::new(2, 2, 1.0)?;
+/// let mut net = GridNetwork::new(sys, &[Point2::new(0.5, 0.5), Point2::new(0.6, 0.4)]);
+/// let mut rng = SimRng::seed_from_u64(0);
+/// net.elect_all_heads(HeadElection::FirstId, &mut rng);
+/// assert_eq!(net.stats().spares, 1);
+/// assert_eq!(net.vacant_cells().len(), 3);
+/// # Ok::<(), wsn_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridNetwork {
+    system: GridSystem,
+    nodes: Vec<SensorNode>,
+    /// Enabled members per cell, dense row-major by cell index.
+    members: Vec<Vec<NodeId>>,
+    /// Elected head per cell.
+    heads: Vec<Option<NodeId>>,
+}
+
+impl GridNetwork {
+    /// Deploys nodes at `positions` (clamped into the surveillance area,
+    /// so callers may pass raw generator output) with no heads elected
+    /// yet.
+    pub fn new(system: GridSystem, positions: &[Point2]) -> GridNetwork {
+        let area = system.area();
+        let mut nodes = Vec::with_capacity(positions.len());
+        let mut members = vec![Vec::new(); system.cell_count()];
+        for (i, &raw) in positions.iter().enumerate() {
+            let mut p = area.clamp_point(raw);
+            // The area rect is half-open per cell mapping; nudge points on
+            // the top/right boundary inwards so they land in the last cell.
+            if p.x >= area.max().x {
+                p.x = f64::from(f32::from_bits((p.x as f32).to_bits() - 1));
+            }
+            if p.y >= area.max().y {
+                p.y = f64::from(f32::from_bits((p.y as f32).to_bits() - 1));
+            }
+            let id = NodeId::new(i as u32);
+            let cell = system
+                .cell_of(p)
+                .expect("clamped position must be inside the area");
+            members[system.index_of(cell).expect("cell_of returns in-bounds")].push(id);
+            nodes.push(SensorNode::new(id, p));
+        }
+        GridNetwork {
+            system,
+            nodes,
+            members,
+            heads: vec![None; system.cell_count()],
+        }
+    }
+
+    /// The grid description.
+    #[inline]
+    pub fn system(&self) -> &GridSystem {
+        &self.system
+    }
+
+    /// All deployed nodes (enabled and disabled).
+    #[inline]
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::UnknownNode`] for ids not deployed in this
+    /// network.
+    pub fn node(&self, id: NodeId) -> Result<&SensorNode> {
+        self.nodes
+            .get(id.index())
+            .ok_or(GridError::UnknownNode { index: id.index() })
+    }
+
+    /// Number of deployed nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of enabled nodes.
+    pub fn enabled_count(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// The cell currently containing enabled node `id`, or `None` when
+    /// the node is disabled or unknown.
+    pub fn cell_of_node(&self, id: NodeId) -> Option<GridCoord> {
+        let node = self.nodes.get(id.index())?;
+        if !node.status().is_enabled() {
+            return None;
+        }
+        self.system.cell_of(node.position())
+    }
+
+    /// Enabled members of `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn members(&self, coord: GridCoord) -> Result<&[NodeId]> {
+        Ok(&self.members[self.system.index_of(coord)?])
+    }
+
+    /// The head of `coord`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn head_of(&self, coord: GridCoord) -> Result<Option<NodeId>> {
+        Ok(self.heads[self.system.index_of(coord)?])
+    }
+
+    /// `true` when `coord` holds no enabled node — the paper's *vacant
+    /// grid* / *hole*.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn is_vacant(&self, coord: GridCoord) -> Result<bool> {
+        Ok(self.members(coord)?.is_empty())
+    }
+
+    /// All vacant cells, in row-major order.
+    pub fn vacant_cells(&self) -> Vec<GridCoord> {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_empty())
+            .map(|(i, _)| self.system.coord_of(i))
+            .collect()
+    }
+
+    /// Number of cells with at least one enabled node.
+    pub fn occupied_cells(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Spares in `coord`: enabled members that are not the head. When no
+    /// head is elected yet, all members count as spares except the one
+    /// that would be lost to head duty — the paper's `N` accounting uses
+    /// occupancy, so this returns `max(len − 1, 0)` regardless of whether
+    /// election ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn spare_count(&self, coord: GridCoord) -> Result<usize> {
+        Ok(self.members(coord)?.len().saturating_sub(1))
+    }
+
+    /// Ids of spare nodes in `coord` (members minus the head; when no
+    /// head is set, all but the first member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn spares(&self, coord: GridCoord) -> Result<Vec<NodeId>> {
+        let idx = self.system.index_of(coord)?;
+        let head = self.heads[idx];
+        let m = &self.members[idx];
+        Ok(match head {
+            Some(h) => m.iter().copied().filter(|&id| id != h).collect(),
+            None => m.iter().copied().skip(1).collect(),
+        })
+    }
+
+    /// Total spares in the network — the paper's `N`
+    /// (`enabled − occupied`).
+    pub fn total_spares(&self) -> usize {
+        self.enabled_count() - self.occupied_cells()
+    }
+
+    /// Headline occupancy numbers.
+    pub fn stats(&self) -> NetworkStats {
+        let enabled = self.enabled_count();
+        let occupied = self.occupied_cells();
+        NetworkStats {
+            enabled,
+            occupied,
+            vacant: self.system.cell_count() - occupied,
+            spares: enabled - occupied,
+        }
+    }
+
+    /// Elects a head in every occupied cell using `policy`.
+    pub fn elect_all_heads(&mut self, policy: HeadElection, rng: &mut SimRng) {
+        for idx in 0..self.members.len() {
+            let coord = self.system.coord_of(idx);
+            let center = self
+                .system
+                .cell_center(coord)
+                .expect("coord_of yields in-bounds coords");
+            self.heads[idx] = policy.elect(&self.members[idx], &self.nodes, center, rng);
+        }
+    }
+
+    /// Re-elects heads only in cells that have members but no head
+    /// (after a head was disabled or moved away). Returns how many cells
+    /// were repaired.
+    pub fn repair_heads(&mut self, policy: HeadElection, rng: &mut SimRng) -> usize {
+        let mut repaired = 0;
+        for idx in 0..self.members.len() {
+            if self.heads[idx].is_none() && !self.members[idx].is_empty() {
+                let coord = self.system.coord_of(idx);
+                let center = self
+                    .system
+                    .cell_center(coord)
+                    .expect("coord_of yields in-bounds coords");
+                self.heads[idx] = policy.elect(&self.members[idx], &self.nodes, center, rng);
+                repaired += 1;
+            }
+        }
+        repaired
+    }
+
+    /// Makes `id` the head of `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for bad coordinates and
+    /// [`GridError::UnknownNode`] when `id` is not an enabled member of
+    /// `coord`.
+    pub fn set_head(&mut self, coord: GridCoord, id: NodeId) -> Result<()> {
+        let idx = self.system.index_of(coord)?;
+        if !self.members[idx].contains(&id) {
+            return Err(GridError::UnknownNode { index: id.index() });
+        }
+        self.heads[idx] = Some(id);
+        Ok(())
+    }
+
+    /// Disables a node, removing it from its cell's member list (and from
+    /// head duty if it held it). Idempotent for already-disabled nodes.
+    /// Returns the cell the node occupied, or `None` when it was already
+    /// disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::UnknownNode`] for undeployed ids.
+    pub fn disable_node(&mut self, id: NodeId) -> Result<Option<GridCoord>> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(GridError::UnknownNode { index: id.index() })?;
+        if !node.status().is_enabled() {
+            return Ok(None);
+        }
+        node.disable();
+        let pos = node.position();
+        let cell = self
+            .system
+            .cell_of(pos)
+            .expect("enabled node positions stay in the area");
+        let idx = self.system.index_of(cell)?;
+        self.members[idx].retain(|&m| m != id);
+        if self.heads[idx] == Some(id) {
+            self.heads[idx] = None;
+        }
+        Ok(Some(cell))
+    }
+
+    /// Moves enabled node `id` to `target` (which must be inside the
+    /// surveillance area), updating membership. If the node was its
+    /// source cell's head, the source head slot is cleared; the caller
+    /// decides the destination head (protocols set the arriving spare as
+    /// the new head explicitly).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::UnknownNode`] for undeployed ids,
+    /// [`GridError::NodeDisabled`] for disabled nodes, and
+    /// [`GridError::TargetOutsideArea`] when `target` falls outside the
+    /// grid.
+    pub fn move_node(&mut self, id: NodeId, target: Point2) -> Result<MoveOutcome> {
+        let to_cell = self
+            .system
+            .cell_of(target)
+            .ok_or(GridError::TargetOutsideArea)?;
+        let node = self
+            .nodes
+            .get(id.index())
+            .ok_or(GridError::UnknownNode { index: id.index() })?;
+        if !node.status().is_enabled() {
+            return Err(GridError::NodeDisabled { index: id.index() });
+        }
+        let from_cell = self
+            .system
+            .cell_of(node.position())
+            .expect("enabled node positions stay in the area");
+        let from_idx = self.system.index_of(from_cell)?;
+        let to_idx = self.system.index_of(to_cell)?;
+        let distance = self.nodes[id.index()].move_to(target);
+        if from_idx != to_idx {
+            self.members[from_idx].retain(|&m| m != id);
+            self.members[to_idx].push(id);
+            if self.heads[from_idx] == Some(id) {
+                self.heads[from_idx] = None;
+            }
+        }
+        Ok(MoveOutcome {
+            from: from_cell,
+            to: to_cell,
+            distance,
+        })
+    }
+
+    /// Draws `amount` joules from a node's battery, returning `true`
+    /// when the battery is depleted afterwards. The caller decides what
+    /// depletion means (protocols with battery dynamics disable the
+    /// node).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::UnknownNode`] for undeployed ids.
+    pub fn draw_battery(&mut self, id: NodeId, amount: f64) -> Result<bool> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(GridError::UnknownNode { index: id.index() })?;
+        node.battery_mut().draw(amount);
+        Ok(node.battery().is_depleted())
+    }
+
+    /// Applies one fault event, returning the ids actually disabled.
+    pub fn apply_fault(&mut self, event: &FaultEvent, rng: &mut SimRng) -> Vec<NodeId> {
+        let victims: Vec<NodeId> = match event {
+            FaultEvent::KillNodes(ids) => ids
+                .iter()
+                .copied()
+                .filter(|id| {
+                    self.nodes
+                        .get(id.index())
+                        .is_some_and(|n| n.status().is_enabled())
+                })
+                .collect(),
+            FaultEvent::KillRandomEnabled { count } => {
+                let enabled: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.status().is_enabled())
+                    .map(|n| n.id())
+                    .collect();
+                rng.sample_indices(enabled.len(), *count)
+                    .into_iter()
+                    .map(|i| enabled[i])
+                    .collect()
+            }
+            FaultEvent::KillRegion(disk) => self
+                .nodes
+                .iter()
+                .filter(|n| n.status().is_enabled() && disk.contains(n.position()))
+                .map(|n| n.id())
+                .collect(),
+        };
+        for &id in &victims {
+            self.disable_node(id)
+                .expect("victims are deployed enabled nodes");
+        }
+        victims
+    }
+
+    /// Verifies the structural invariants; used by tests and proptests.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn debug_invariants(&self) {
+        let mut seen = vec![false; self.nodes.len()];
+        for (idx, m) in self.members.iter().enumerate() {
+            let coord = self.system.coord_of(idx);
+            for &id in m {
+                assert!(
+                    self.nodes[id.index()].status().is_enabled(),
+                    "disabled node {id} in member list of {coord}"
+                );
+                assert!(!seen[id.index()], "node {id} in two member lists");
+                seen[id.index()] = true;
+                let cell = self
+                    .system
+                    .cell_of(self.nodes[id.index()].position())
+                    .expect("member position inside area");
+                assert_eq!(cell, coord, "node {id} listed in wrong cell");
+            }
+            if let Some(h) = self.heads[idx] {
+                assert!(m.contains(&h), "head {h} of {coord} not a member");
+            }
+        }
+        for node in &self.nodes {
+            if node.status().is_enabled() {
+                assert!(
+                    seen[node.id().index()],
+                    "enabled node {} missing from member lists",
+                    node.id()
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for GridNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "network over {}: {} enabled, {} occupied, {} vacant, {} spares",
+            self.system, s.enabled, s.occupied, s.vacant, s.spares
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_geometry::Disk;
+
+    fn two_by_two() -> (GridNetwork, SimRng) {
+        let sys = GridSystem::new(2, 2, 1.0).unwrap();
+        // Cell (0,0): nodes 0, 1. Cell (1,0): node 2. Cells (0,1), (1,1) vacant.
+        let net = GridNetwork::new(
+            sys,
+            &[
+                Point2::new(0.2, 0.2),
+                Point2::new(0.8, 0.8),
+                Point2::new(1.5, 0.5),
+            ],
+        );
+        (net, SimRng::seed_from_u64(0))
+    }
+
+    #[test]
+    fn deployment_indexes_members() {
+        let (net, _) = two_by_two();
+        net.debug_invariants();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.enabled_count(), 3);
+        assert_eq!(net.members(GridCoord::new(0, 0)).unwrap().len(), 2);
+        assert_eq!(net.members(GridCoord::new(1, 0)).unwrap().len(), 1);
+        assert!(net.is_vacant(GridCoord::new(0, 1)).unwrap());
+        assert_eq!(net.occupied_cells(), 2);
+        assert_eq!(net.total_spares(), 1);
+        let stats = net.stats();
+        assert_eq!(stats.vacant, 2);
+        assert_eq!(stats.spares, 1);
+    }
+
+    #[test]
+    fn boundary_positions_are_clamped_inside() {
+        let sys = GridSystem::new(2, 2, 1.0).unwrap();
+        let net = GridNetwork::new(
+            sys,
+            &[
+                Point2::new(2.0, 2.0),   // exact top-right corner
+                Point2::new(5.0, -3.0),  // far outside
+            ],
+        );
+        net.debug_invariants();
+        assert_eq!(net.cell_of_node(NodeId::new(0)), Some(GridCoord::new(1, 1)));
+        assert_eq!(net.cell_of_node(NodeId::new(1)), Some(GridCoord::new(1, 0)));
+    }
+
+    #[test]
+    fn election_and_repair() {
+        let (mut net, mut rng) = two_by_two();
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), Some(NodeId::new(0)));
+        assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), None);
+        assert_eq!(net.spares(GridCoord::new(0, 0)).unwrap(), vec![NodeId::new(1)]);
+        // Disable the head; repair elects the spare.
+        net.disable_node(NodeId::new(0)).unwrap();
+        assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), None);
+        assert_eq!(net.repair_heads(HeadElection::FirstId, &mut rng), 1);
+        assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), Some(NodeId::new(1)));
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn disable_is_idempotent_and_creates_holes() {
+        let (mut net, _) = two_by_two();
+        assert_eq!(
+            net.disable_node(NodeId::new(2)).unwrap(),
+            Some(GridCoord::new(1, 0))
+        );
+        assert_eq!(net.disable_node(NodeId::new(2)).unwrap(), None);
+        assert!(net.is_vacant(GridCoord::new(1, 0)).unwrap());
+        assert_eq!(net.vacant_cells().len(), 3);
+        assert!(net.disable_node(NodeId::new(99)).is_err());
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn move_node_updates_membership_and_heads() {
+        let (mut net, mut rng) = two_by_two();
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        // Move spare node 1 into vacant cell (0,1).
+        let out = net.move_node(NodeId::new(1), Point2::new(0.5, 1.5)).unwrap();
+        assert_eq!(out.from, GridCoord::new(0, 0));
+        assert_eq!(out.to, GridCoord::new(0, 1));
+        assert!(out.distance > 0.0);
+        assert_eq!(net.members(GridCoord::new(0, 1)).unwrap(), &[NodeId::new(1)]);
+        // New cell has no head until set explicitly.
+        assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), None);
+        net.set_head(GridCoord::new(0, 1), NodeId::new(1)).unwrap();
+        assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), Some(NodeId::new(1)));
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn move_head_clears_source_head_slot() {
+        let (mut net, mut rng) = two_by_two();
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        // Node 2 is head of (1,0); move it north.
+        net.move_node(NodeId::new(2), Point2::new(1.5, 1.5)).unwrap();
+        assert_eq!(net.head_of(GridCoord::new(1, 0)).unwrap(), None);
+        assert!(net.is_vacant(GridCoord::new(1, 0)).unwrap());
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn move_validations() {
+        let (mut net, _) = two_by_two();
+        assert!(matches!(
+            net.move_node(NodeId::new(0), Point2::new(10.0, 10.0)),
+            Err(GridError::TargetOutsideArea)
+        ));
+        net.disable_node(NodeId::new(0)).unwrap();
+        assert!(matches!(
+            net.move_node(NodeId::new(0), Point2::new(0.5, 1.5)),
+            Err(GridError::NodeDisabled { .. })
+        ));
+        assert!(matches!(
+            net.move_node(NodeId::new(9), Point2::new(0.5, 1.5)),
+            Err(GridError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn set_head_requires_membership() {
+        let (mut net, _) = two_by_two();
+        assert!(net.set_head(GridCoord::new(0, 0), NodeId::new(2)).is_err());
+        assert!(net.set_head(GridCoord::new(0, 0), NodeId::new(1)).is_ok());
+    }
+
+    #[test]
+    fn fault_kill_nodes_and_region() {
+        let (mut net, mut rng) = two_by_two();
+        let killed = net.apply_fault(&FaultEvent::KillNodes(vec![NodeId::new(0)]), &mut rng);
+        assert_eq!(killed, vec![NodeId::new(0)]);
+        // Region strike over cell (1,0).
+        let disk = Disk::new(Point2::new(1.5, 0.5), 0.4).unwrap();
+        let killed = net.apply_fault(&FaultEvent::KillRegion(disk), &mut rng);
+        assert_eq!(killed, vec![NodeId::new(2)]);
+        assert!(net.is_vacant(GridCoord::new(1, 0)).unwrap());
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn fault_kill_random_saturates() {
+        let (mut net, mut rng) = two_by_two();
+        let killed = net.apply_fault(&FaultEvent::KillRandomEnabled { count: 100 }, &mut rng);
+        assert_eq!(killed.len(), 3);
+        assert_eq!(net.enabled_count(), 0);
+        assert_eq!(net.occupied_cells(), 0);
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn display_mentions_stats() {
+        let (net, _) = two_by_two();
+        let s = net.to_string();
+        assert!(s.contains("3 enabled"));
+        assert!(s.contains("2 vacant"));
+    }
+}

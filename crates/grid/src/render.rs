@@ -1,0 +1,116 @@
+//! Terminal rendering of network state (used by the examples and handy
+//! in tests when an assertion fails and you want to *see* the grid).
+
+use crate::GridNetwork;
+
+/// Renders per-cell enabled-node counts, top row first. Vacant cells
+/// print `.`, counts above 9 print `+`.
+///
+/// ```
+/// use wsn_grid::{deploy, render, GridNetwork, GridSystem};
+/// use wsn_simcore::SimRng;
+///
+/// let sys = GridSystem::new(3, 2, 1.0)?;
+/// let mut rng = SimRng::seed_from_u64(0);
+/// let net = GridNetwork::new(sys, &deploy::per_cell_exact(&sys, 2, &mut rng));
+/// assert_eq!(render::occupancy_map(&net), "2 2 2\n2 2 2\n");
+/// # Ok::<(), wsn_grid::GridError>(())
+/// ```
+pub fn occupancy_map(net: &GridNetwork) -> String {
+    let sys = net.system();
+    let mut out = String::with_capacity((sys.cols() as usize * 2 + 1) * sys.rows() as usize);
+    for y in (0..sys.rows()).rev() {
+        for x in 0..sys.cols() {
+            if x > 0 {
+                out.push(' ');
+            }
+            let n = net
+                .members(crate::GridCoord::new(x, y))
+                .expect("iterating in bounds")
+                .len();
+            out.push(match n {
+                0 => '.',
+                1..=9 => char::from_digit(n as u32, 10).expect("single digit"),
+                _ => '+',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders head status per cell: `H` = headed, `o` = occupied but
+/// headless (election pending), `.` = vacant.
+pub fn head_map(net: &GridNetwork) -> String {
+    let sys = net.system();
+    let mut out = String::new();
+    for y in (0..sys.rows()).rev() {
+        for x in 0..sys.cols() {
+            if x > 0 {
+                out.push(' ');
+            }
+            let coord = crate::GridCoord::new(x, y);
+            let headed = net.head_of(coord).expect("in bounds").is_some();
+            let occupied = !net.is_vacant(coord).expect("in bounds");
+            out.push(match (headed, occupied) {
+                (true, _) => 'H',
+                (false, true) => 'o',
+                (false, false) => '.',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{deploy, GridCoord, GridSystem, HeadElection};
+    use wsn_simcore::SimRng;
+
+    #[test]
+    fn occupancy_shows_holes_and_counts() {
+        let sys = GridSystem::new(3, 3, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        let pos = deploy::with_holes(&sys, &[GridCoord::new(1, 1)], 2, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        let map = occupancy_map(&net);
+        assert_eq!(map, "2 2 2\n2 . 2\n2 2 2\n");
+    }
+
+    #[test]
+    fn large_counts_cap_at_plus() {
+        let sys = GridSystem::new(1, 1, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let pos = deploy::per_cell_exact(&sys, 12, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        assert_eq!(occupancy_map(&net), "+\n");
+    }
+
+    #[test]
+    fn head_map_distinguishes_three_states() {
+        let sys = GridSystem::new(2, 1, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        let pos = deploy::with_holes(&sys, &[GridCoord::new(1, 0)], 1, &mut rng);
+        let mut net = GridNetwork::new(sys, &pos);
+        assert_eq!(head_map(&net), "o .\n");
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        assert_eq!(head_map(&net), "H .\n");
+    }
+
+    #[test]
+    fn top_row_prints_first() {
+        // Row y = rows-1 must be the first output line (north up).
+        let sys = GridSystem::new(2, 2, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(4);
+        let pos = deploy::with_holes(
+            &sys,
+            &[GridCoord::new(0, 1), GridCoord::new(1, 1)],
+            1,
+            &mut rng,
+        );
+        let net = GridNetwork::new(sys, &pos);
+        assert_eq!(occupancy_map(&net), ". .\n1 1\n");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the virtual-grid substrate.
+
+use proptest::prelude::*;
+use wsn_geometry::Point2;
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, HeadElection};
+use wsn_simcore::{FaultEvent, NodeId, SimRng};
+
+fn dims() -> impl Strategy<Value = (u16, u16)> {
+    (1u16..12, 1u16..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deployment_preserves_invariants((cols, rows) in dims(), count in 0usize..400, seed in 0u64..1000) {
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform(&sys, count, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        net.debug_invariants();
+        prop_assert_eq!(net.node_count(), count);
+        prop_assert_eq!(net.enabled_count(), count);
+        let stats = net.stats();
+        prop_assert_eq!(stats.occupied + stats.vacant, sys.cell_count());
+        prop_assert_eq!(stats.spares, stats.enabled - stats.occupied);
+    }
+
+    #[test]
+    fn election_heads_every_occupied_cell(
+        (cols, rows) in dims(), count in 0usize..300, seed in 0u64..1000,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            HeadElection::FirstId,
+            HeadElection::MaxEnergy,
+            HeadElection::ClosestToCenter,
+            HeadElection::Random,
+        ][policy_idx];
+        let sys = GridSystem::new(cols, rows, 1.5).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform(&sys, count, &mut rng);
+        let mut net = GridNetwork::new(sys, &pos);
+        net.elect_all_heads(policy, &mut rng);
+        net.debug_invariants();
+        for c in sys.iter_coords() {
+            let head = net.head_of(c).unwrap();
+            prop_assert_eq!(head.is_some(), !net.is_vacant(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn random_kills_preserve_invariants(
+        (cols, rows) in dims(), count in 0usize..300,
+        kills in 0usize..350, seed in 0u64..1000,
+    ) {
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform(&sys, count, &mut rng);
+        let mut net = GridNetwork::new(sys, &pos);
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        let killed = net.apply_fault(&FaultEvent::KillRandomEnabled { count: kills }, &mut rng);
+        net.debug_invariants();
+        prop_assert_eq!(killed.len(), kills.min(count));
+        prop_assert_eq!(net.enabled_count(), count - killed.len());
+        // Repair leaves every occupied cell headed again.
+        net.repair_heads(HeadElection::FirstId, &mut rng);
+        for c in sys.iter_coords() {
+            prop_assert_eq!(net.head_of(c).unwrap().is_some(), !net.is_vacant(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn moves_between_cells_preserve_population(
+        seed in 0u64..500, steps in 1usize..30,
+    ) {
+        let sys = GridSystem::new(6, 6, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::per_cell_exact(&sys, 2, &mut rng);
+        let mut net = GridNetwork::new(sys, &pos);
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        let total = net.enabled_count();
+        for _ in 0..steps {
+            let id = NodeId::new(rng.range_u32(total as u32));
+            let target = Point2::new(rng.uniform_in(0.0, 11.9), rng.uniform_in(0.0, 11.9));
+            let before = net.cell_of_node(id).unwrap();
+            let out = net.move_node(id, target).unwrap();
+            prop_assert_eq!(out.from, before);
+            net.debug_invariants();
+        }
+        prop_assert_eq!(net.enabled_count(), total);
+    }
+
+    #[test]
+    fn target_spares_hits_target((cols, rows) in (2u16..10, 2u16..10), target in 0usize..60, seed in 0u64..500) {
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform_with_target_spares(&sys, target, 100_000, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        prop_assert_eq!(net.total_spares(), target);
+    }
+
+    #[test]
+    fn cell_of_partition_is_total_and_unique(
+        (cols, rows) in dims(),
+        px in 0.0..1.0f64, py in 0.0..1.0f64,
+    ) {
+        let sys = GridSystem::new(cols, rows, 3.0).unwrap();
+        let area = sys.area();
+        let p = Point2::new(
+            area.min().x + px * area.width() * 0.9999,
+            area.min().y + py * area.height() * 0.9999,
+        );
+        let cell = sys.cell_of(p);
+        prop_assert!(cell.is_some());
+        let c = cell.unwrap();
+        prop_assert!(sys.cell_rect(c).unwrap().contains(p));
+        // No other cell contains it.
+        for other in sys.iter_coords() {
+            if other != c {
+                prop_assert!(!sys.cell_rect(other).unwrap().contains(p));
+            }
+        }
+    }
+}
+
+#[test]
+fn with_holes_matches_requested_holes_exactly() {
+    let sys = GridSystem::new(5, 5, 2.0).unwrap();
+    let mut rng = SimRng::seed_from_u64(42);
+    let holes = vec![
+        GridCoord::new(0, 0),
+        GridCoord::new(4, 4),
+        GridCoord::new(2, 3),
+    ];
+    let pos = deploy::with_holes(&sys, &holes, 3, &mut rng);
+    let net = GridNetwork::new(sys, &pos);
+    let mut vacant = net.vacant_cells();
+    vacant.sort();
+    let mut expect = holes;
+    expect.sort();
+    assert_eq!(vacant, expect);
+}

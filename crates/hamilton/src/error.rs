@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors from Hamilton-structure construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HamiltonError {
+    /// Grids smaller than 2×2 (for cycles) or 3×3 (for dual paths) have
+    /// no usable structure.
+    TooSmall {
+        /// Requested columns.
+        cols: u16,
+        /// Requested rows.
+        rows: u16,
+    },
+    /// A Hamilton cycle requires at least one even side; use
+    /// [`crate::DualPathCycle`] (or [`crate::CycleTopology::build`])
+    /// for odd×odd grids.
+    BothSidesOdd {
+        /// Requested columns.
+        cols: u16,
+        /// Requested rows.
+        rows: u16,
+    },
+    /// The dual-path construction is only defined for odd×odd grids; use
+    /// [`crate::HamiltonCycle`] when a side is even.
+    NotBothOdd {
+        /// Requested columns.
+        cols: u16,
+        /// Requested rows.
+        rows: u16,
+    },
+}
+
+impl fmt::Display for HamiltonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HamiltonError::TooSmall { cols, rows } => {
+                write!(f, "grid {cols}x{rows} too small for a Hamilton structure")
+            }
+            HamiltonError::BothSidesOdd { cols, rows } => write!(
+                f,
+                "no Hamilton cycle exists in {cols}x{rows} (both sides odd); use the dual-path construction"
+            ),
+            HamiltonError::NotBothOdd { cols, rows } => write!(
+                f,
+                "dual-path construction requires both sides odd, got {cols}x{rows}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HamiltonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            HamiltonError::TooSmall { cols: 1, rows: 1 },
+            HamiltonError::BothSidesOdd { cols: 3, rows: 3 },
+            HamiltonError::NotBothOdd { cols: 4, rows: 3 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HamiltonError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Directed Hamilton cycles over `n × m` grid systems.
+//!
+//! The synchronization at the heart of the paper threads all grid cells on
+//! a **directed Hamilton cycle**: every head monitors the successor cell,
+//! so each vacant cell has exactly one watcher and therefore exactly one
+//! replacement process. This crate builds and validates the two
+//! constructions the paper uses:
+//!
+//! * [`HamiltonCycle`] — a true directed Hamilton cycle, which exists in a
+//!   grid graph iff at least one side is even (a serpentine construction;
+//!   the paper's Figure 1(b) shows the 4×5 case).
+//! * [`DualPathCycle`] — the paper's Section 4 construction for grids with
+//!   **both sides odd**, where no Hamilton cycle exists: two directed
+//!   Hamilton paths sharing `m·n − 2` cells. Path one runs `A → D → … →
+//!   C → B`; path two runs `B → D → … → C → A`, where `C` is the common
+//!   predecessor and `D` the common successor of the special cells `A`
+//!   and `B` (Figure 4 shows the 5×5 case).
+//! * [`CycleTopology`] — picks the right construction for given
+//!   dimensions and presents the uniform *backward-walk* interface the
+//!   replacement protocol consumes ([`BackwardStep`]).
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_hamilton::{CycleTopology, HamiltonCycle};
+//! use wsn_grid::GridCoord;
+//!
+//! let cycle = HamiltonCycle::build(5, 4)?; // 5 cols x 4 rows (even side)
+//! assert_eq!(cycle.len(), 20);
+//! let c = GridCoord::new(2, 2);
+//! assert_eq!(cycle.predecessor(cycle.successor(c)), c);
+//!
+//! // Both sides odd: automatic dual-path construction.
+//! let topo = CycleTopology::build(5, 5)?;
+//! assert!(matches!(topo, CycleTopology::Dual(_)));
+//! # Ok::<(), wsn_hamilton::HamiltonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod dual;
+mod error;
+mod topology;
+pub mod validate;
+
+pub use cycle::HamiltonCycle;
+pub use dual::DualPathCycle;
+pub use error::HamiltonError;
+pub use topology::{BackwardStep, CycleTopology};
+
+/// Result alias for topology-construction errors.
+pub type Result<T> = std::result::Result<T, HamiltonError>;

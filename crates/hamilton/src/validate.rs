@@ -1,0 +1,165 @@
+//! Structural validation of Hamilton constructions.
+//!
+//! Used by unit tests, property tests and the `figures` harness sanity
+//! pass. Validation returns a human-readable description of the first
+//! violation, which makes proptest shrinking output immediately
+//! actionable.
+
+use std::collections::HashSet;
+
+use wsn_grid::GridCoord;
+
+use crate::{DualPathCycle, HamiltonCycle};
+
+/// Checks that `seq` is a Hamilton *path* over exactly the cells in
+/// `expected`: consecutive cells 4-adjacent, no repeats, full coverage.
+pub fn validate_path(seq: &[GridCoord], expected: &HashSet<GridCoord>) -> Result<(), String> {
+    if seq.len() != expected.len() {
+        return Err(format!(
+            "path visits {} cells, expected {}",
+            seq.len(),
+            expected.len()
+        ));
+    }
+    let mut seen = HashSet::with_capacity(seq.len());
+    for (i, &c) in seq.iter().enumerate() {
+        if !expected.contains(&c) {
+            return Err(format!("cell {c} at index {i} not in expected set"));
+        }
+        if !seen.insert(c) {
+            return Err(format!("cell {c} visited twice (index {i})"));
+        }
+        if i > 0 && !seq[i - 1].is_adjacent(c) {
+            return Err(format!(
+                "cells {} (index {}) and {c} (index {i}) not adjacent",
+                seq[i - 1],
+                i - 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `cycle` is a directed Hamilton cycle: a Hamilton path over
+/// all cells whose last cell is adjacent to its first, with a consistent
+/// position index.
+pub fn validate_cycle(cycle: &HamiltonCycle) -> Result<(), String> {
+    let all: HashSet<GridCoord> = (0..cycle.cols())
+        .flat_map(|x| (0..cycle.rows()).map(move |y| GridCoord::new(x, y)))
+        .collect();
+    validate_path(cycle.order(), &all)?;
+    let first = cycle.order()[0];
+    let last = *cycle.order().last().expect("cycles are nonempty");
+    if !last.is_adjacent(first) {
+        return Err(format!("cycle does not close: {last} !~ {first}"));
+    }
+    for (k, &c) in cycle.order().iter().enumerate() {
+        if cycle.position(c) != k {
+            return Err(format!("position index wrong for {c}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the paper's Section-4 dual-path structure:
+///
+/// * path one (`A → D → … → C → B`) and path two (`B → D → … → C → A`)
+///   are both Hamilton paths over the full grid;
+/// * they share exactly the `m·n − 2` chain cells;
+/// * `C` is the common predecessor of `A` and `B` (i.e. `C` is adjacent
+///   to both and immediately precedes them on the respective paths) and
+///   `D` the common successor.
+pub fn validate_dual(dual: &DualPathCycle) -> Result<(), String> {
+    let all: HashSet<GridCoord> = (0..dual.cols())
+        .flat_map(|x| (0..dual.rows()).map(move |y| GridCoord::new(x, y)))
+        .collect();
+    let p1 = dual.path_one();
+    let p2 = dual.path_two();
+    validate_path(&p1, &all).map_err(|e| format!("path one: {e}"))?;
+    validate_path(&p2, &all).map_err(|e| format!("path two: {e}"))?;
+
+    let (a, b, c, d) = (dual.a(), dual.b(), dual.c(), dual.d());
+    if p1[0] != a || *p1.last().expect("nonempty") != b {
+        return Err("path one must run from A to B".into());
+    }
+    if p2[0] != b || *p2.last().expect("nonempty") != a {
+        return Err("path two must run from B to A".into());
+    }
+    if p1[1] != d || p2[1] != d {
+        return Err("D must be the common successor of A and B".into());
+    }
+    if p1[p1.len() - 2] != c || p2[p2.len() - 2] != c {
+        return Err("C must be the common predecessor of A and B".into());
+    }
+    // Shared chain: everything except the endpoints, identical on both
+    // paths and of length m*n - 2.
+    let chain1 = &p1[1..p1.len() - 1];
+    let chain2 = &p2[1..p2.len() - 1];
+    if chain1 != chain2 {
+        return Err("paths do not share the interior chain".into());
+    }
+    if chain1.len() != all.len() - 2 {
+        return Err(format!(
+            "shared chain has {} cells, expected {}",
+            chain1.len(),
+            all.len() - 2
+        ));
+    }
+    if chain1 != dual.chain() {
+        return Err("stored chain differs from path interiors".into());
+    }
+    // A, B, C, D mutual adjacency as required by the construction.
+    for (x, y, name) in [
+        (a, d, "A-D"),
+        (b, d, "B-D"),
+        (a, c, "A-C"),
+        (b, c, "B-C"),
+    ] {
+        if !x.is_adjacent(y) {
+            return Err(format!("{name} not adjacent ({x} !~ {y})"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_path_rejects_gaps_and_repeats() {
+        let cells: HashSet<GridCoord> = [
+            GridCoord::new(0, 0),
+            GridCoord::new(1, 0),
+            GridCoord::new(1, 1),
+        ]
+        .into_iter()
+        .collect();
+        // Good path.
+        assert!(validate_path(
+            &[GridCoord::new(0, 0), GridCoord::new(1, 0), GridCoord::new(1, 1)],
+            &cells
+        )
+        .is_ok());
+        // Non-adjacent jump.
+        assert!(validate_path(
+            &[GridCoord::new(0, 0), GridCoord::new(1, 1), GridCoord::new(1, 0)],
+            &cells
+        )
+        .is_err());
+        // Repeat.
+        assert!(validate_path(
+            &[GridCoord::new(0, 0), GridCoord::new(1, 0), GridCoord::new(0, 0)],
+            &cells
+        )
+        .is_err());
+        // Wrong length.
+        assert!(validate_path(&[GridCoord::new(0, 0)], &cells).is_err());
+        // Foreign cell.
+        assert!(validate_path(
+            &[GridCoord::new(0, 0), GridCoord::new(0, 1), GridCoord::new(1, 1)],
+            &cells
+        )
+        .is_err());
+    }
+}

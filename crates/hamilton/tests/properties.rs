@@ -1,0 +1,120 @@
+//! Property-based tests over all constructible grid dimensions.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use wsn_grid::GridCoord;
+use wsn_hamilton::validate::{validate_cycle, validate_dual, validate_path};
+use wsn_hamilton::{BackwardStep, CycleTopology, DualPathCycle, HamiltonCycle};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn cycles_validate_for_all_even_sided_dims(cols in 2u16..40, rows in 2u16..40) {
+        prop_assume!(cols % 2 == 0 || rows % 2 == 0);
+        let c = HamiltonCycle::build(cols, rows).unwrap();
+        validate_cycle(&c).unwrap();
+        prop_assert_eq!(c.len(), cols as usize * rows as usize);
+    }
+
+    #[test]
+    fn duals_validate_for_all_odd_dims(ci in 1u16..20, ri in 1u16..20) {
+        let (cols, rows) = (2 * ci + 1, 2 * ri + 1);
+        let d = DualPathCycle::build(cols, rows).unwrap();
+        validate_dual(&d).unwrap();
+        prop_assert_eq!(d.chain().len(), cols as usize * rows as usize - 2);
+    }
+
+    #[test]
+    fn successor_relation_is_a_permutation(cols in 2u16..20, rows in 2u16..20) {
+        prop_assume!(cols % 2 == 0 || rows % 2 == 0);
+        let c = HamiltonCycle::build(cols, rows).unwrap();
+        let mut seen = HashSet::new();
+        for x in 0..cols {
+            for y in 0..rows {
+                let s = c.successor(GridCoord::new(x, y));
+                prop_assert!(seen.insert(s), "two cells share successor {s}");
+            }
+        }
+        prop_assert_eq!(seen.len(), cols as usize * rows as usize);
+    }
+
+    #[test]
+    fn every_cell_has_a_unique_adjacent_monitor(cols in 2u16..16, rows in 2u16..16) {
+        prop_assume!(cols >= 3 || rows % 2 == 0);
+        prop_assume!(rows >= 3 || cols % 2 == 0);
+        let t = CycleTopology::build(cols, rows).unwrap();
+        for x in 0..cols {
+            for y in 0..rows {
+                let g = GridCoord::new(x, y);
+                let m = t.monitors(g);
+                prop_assert!(m != g, "cell cannot monitor itself");
+                prop_assert!(m.is_adjacent(g), "monitor must be 1-hop");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_walk_covers_every_other_cell(cols in 2u16..12, rows in 2u16..12, hx in 0u16..12, hy in 0u16..12) {
+        // From any hole, the backward walk (probing forks both ways) must
+        // give every other cell a chance to contribute a spare: this is
+        // the "does not miss any chance to find a spare node" guarantee
+        // behind Theorem 1 and Corollary 1.
+        prop_assume!(cols >= 3 || rows % 2 == 0);
+        prop_assume!(rows >= 3 || cols % 2 == 0);
+        let hole = GridCoord::new(hx % cols, hy % rows);
+        let t = CycleTopology::build(cols, rows).unwrap();
+        let mut reached: HashSet<GridCoord> = HashSet::new();
+        let mut stack: Vec<GridCoord> = vec![t.monitors(hole)];
+        while let Some(u) = stack.pop() {
+            if u == hole || !reached.insert(u) {
+                continue;
+            }
+            match t.backward_from(u, hole) {
+                Some(BackwardStep::One(p)) => stack.push(p),
+                Some(BackwardStep::ForkAB { a, b }) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Some(BackwardStep::ProbeThen { probe, next }) => {
+                    // Probes are spare-checks: they count as covered.
+                    reached.insert(probe);
+                    stack.push(next);
+                }
+                None => {}
+            }
+        }
+        prop_assert_eq!(
+            reached.len(),
+            t.cell_count() - 1,
+            "walk from hole {} missed cells",
+            hole
+        );
+    }
+
+    #[test]
+    fn forward_distance_is_consistent(cols in 2u16..16, rows in 2u16..16, steps in 1usize..40) {
+        prop_assume!(cols % 2 == 0 || rows % 2 == 0);
+        let c = HamiltonCycle::build(cols, rows).unwrap();
+        let start = GridCoord::new(0, 0);
+        let mut cur = start;
+        for _ in 0..steps {
+            cur = c.successor(cur);
+        }
+        prop_assert_eq!(
+            c.forward_distance(start, cur),
+            steps % (cols as usize * rows as usize)
+        );
+    }
+
+    #[test]
+    fn dual_paths_are_hamilton_paths(ci in 1u16..12, ri in 1u16..12) {
+        let (cols, rows) = (2 * ci + 1, 2 * ri + 1);
+        let d = DualPathCycle::build(cols, rows).unwrap();
+        let all: HashSet<GridCoord> = (0..cols)
+            .flat_map(|x| (0..rows).map(move |y| GridCoord::new(x, y)))
+            .collect();
+        validate_path(&d.path_one(), &all).unwrap();
+        validate_path(&d.path_two(), &all).unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Fault injection: the mechanism that creates the paper's "holes".
+//!
+//! The paper's premise is that sensors "can very easily fail or
+//! misbehave" and that attackers can disable whole regions (its §1 cites
+//! jamming attacks [8] that reduce node density in certain areas). This
+//! module describes *when* and *which* nodes get disabled; the network
+//! layer applies the events to its occupancy state.
+//!
+//! Three targeting modes cover the paper's scenarios plus the extension
+//! experiments:
+//!
+//! * explicit node lists (unit tests and crafted scenarios),
+//! * uniformly random kills (the paper's §5 methodology: "we randomly
+//!   disable some nodes from the collaboration and create the holes"),
+//! * spatial regions, including a moving [`Jammer`] disk.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_geometry::{Disk, Point2, Vec2};
+
+use crate::node::NodeId;
+use crate::Round;
+
+/// One fault-injection action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Disable exactly these nodes (already-disabled ids are ignored).
+    KillNodes(Vec<NodeId>),
+    /// Disable `count` enabled nodes chosen uniformly at random.
+    KillRandomEnabled {
+        /// How many enabled nodes to disable (saturates at the number of
+        /// enabled nodes).
+        count: usize,
+    },
+    /// Disable every enabled node inside the disk (jamming strike).
+    KillRegion(Disk),
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::KillNodes(ids) => write!(f, "kill {} listed nodes", ids.len()),
+            FaultEvent::KillRandomEnabled { count } => write!(f, "kill {count} random nodes"),
+            FaultEvent::KillRegion(d) => write!(f, "kill region {d}"),
+        }
+    }
+}
+
+/// A fault event scheduled for a specific round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// Round at which the event fires (before the protocol round runs).
+    pub round: Round,
+    /// The action.
+    pub event: FaultEvent,
+}
+
+/// A chronological schedule of fault events.
+///
+/// ```
+/// use wsn_simcore::fault::{FaultEvent, FaultPlan};
+///
+/// let plan = FaultPlan::new()
+///     .at(0, FaultEvent::KillRandomEnabled { count: 10 })
+///     .at(5, FaultEvent::KillRandomEnabled { count: 3 });
+/// assert_eq!(plan.events_at(5).count(), 1);
+/// assert_eq!(plan.last_round(), Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds an event at `round` (builder style; events may be added in
+    /// any order).
+    #[must_use]
+    pub fn at(mut self, round: Round, event: FaultEvent) -> FaultPlan {
+        self.events.push(ScheduledFault { round, event });
+        self.events.sort_by_key(|e| e.round);
+        self
+    }
+
+    /// Events scheduled for exactly `round`, in insertion order.
+    pub fn events_at(&self, round: Round) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.round == round)
+            .map(|e| &e.event)
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[ScheduledFault] {
+        &self.events
+    }
+
+    /// The last round with a scheduled event, or `None` for an empty plan.
+    pub fn last_round(&self) -> Option<Round> {
+        self.events.last().map(|e| e.round)
+    }
+
+    /// `true` when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A jammer moving in a straight line, disabling everything in its disk.
+///
+/// Models the attack of Xu et al. (the paper's reference [8]): the
+/// jammer's footprint at round `t` is a disk of fixed radius centered at
+/// `start + t·velocity`. [`Jammer::plan`] expands the trajectory into a
+/// [`FaultPlan`] with one [`FaultEvent::KillRegion`] per round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jammer {
+    /// Center position at round 0.
+    pub start: Point2,
+    /// Displacement per round, meters.
+    pub velocity: Vec2,
+    /// Jamming radius, meters.
+    pub radius: f64,
+}
+
+impl Jammer {
+    /// Center position at `round`.
+    pub fn position_at(&self, round: Round) -> Point2 {
+        self.start + self.velocity * round as f64
+    }
+
+    /// Jamming footprint at `round`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`wsn_geometry::GeometryError`] when the jammer radius
+    /// or trajectory is numerically invalid.
+    pub fn disk_at(&self, round: Round) -> wsn_geometry::Result<Disk> {
+        Disk::new(self.position_at(round), self.radius)
+    }
+
+    /// Expands rounds `start_round..end_round` into a fault plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from an invalid radius/trajectory.
+    pub fn plan(&self, start_round: Round, end_round: Round) -> wsn_geometry::Result<FaultPlan> {
+        let mut plan = FaultPlan::new();
+        for r in start_round..end_round {
+            plan = plan.at(r, FaultEvent::KillRegion(self.disk_at(r)?));
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for Jammer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "jammer(start={}, v={}, r={:.2})",
+            self.start, self.velocity, self.radius
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_orders_and_filters_by_round() {
+        let plan = FaultPlan::new()
+            .at(7, FaultEvent::KillRandomEnabled { count: 1 })
+            .at(2, FaultEvent::KillRandomEnabled { count: 2 })
+            .at(7, FaultEvent::KillNodes(vec![NodeId::new(1)]));
+        assert_eq!(plan.events().len(), 3);
+        assert_eq!(plan.events()[0].round, 2);
+        assert_eq!(plan.events_at(7).count(), 2);
+        assert_eq!(plan.events_at(3).count(), 0);
+        assert_eq!(plan.last_round(), Some(7));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new().last_round(), None);
+    }
+
+    #[test]
+    fn jammer_moves_linearly() {
+        let j = Jammer {
+            start: Point2::new(0.0, 0.0),
+            velocity: Vec2::new(2.0, 1.0),
+            radius: 5.0,
+        };
+        assert_eq!(j.position_at(0), Point2::new(0.0, 0.0));
+        assert_eq!(j.position_at(3), Point2::new(6.0, 3.0));
+        let d = j.disk_at(2).unwrap();
+        assert_eq!(d.center(), Point2::new(4.0, 2.0));
+        assert_eq!(d.radius(), 5.0);
+    }
+
+    #[test]
+    fn jammer_plan_one_event_per_round() {
+        let j = Jammer {
+            start: Point2::ORIGIN,
+            velocity: Vec2::new(1.0, 0.0),
+            radius: 2.0,
+        };
+        let plan = j.plan(3, 8).unwrap();
+        assert_eq!(plan.events().len(), 5);
+        assert_eq!(plan.events()[0].round, 3);
+        assert_eq!(plan.last_round(), Some(7));
+        match &plan.events()[0].event {
+            FaultEvent::KillRegion(d) => assert_eq!(d.center(), Point2::new(3.0, 0.0)),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_jammer_radius_is_reported() {
+        let j = Jammer {
+            start: Point2::ORIGIN,
+            velocity: Vec2::ZERO,
+            radius: -1.0,
+        };
+        assert!(j.disk_at(0).is_err());
+        assert!(j.plan(0, 2).is_err());
+    }
+
+    #[test]
+    fn displays_nonempty() {
+        assert!(!FaultEvent::KillRandomEnabled { count: 3 }.to_string().is_empty());
+        assert!(!FaultEvent::KillNodes(vec![]).to_string().is_empty());
+        let j = Jammer {
+            start: Point2::ORIGIN,
+            velocity: Vec2::ZERO,
+            radius: 1.0,
+        };
+        assert!(!j.to_string().is_empty());
+        assert!(!FaultEvent::KillRegion(j.disk_at(0).unwrap()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,594 @@
+//! Structured event tracing for protocol runs.
+//!
+//! Traces serve three purposes in the reproduction: debugging the
+//! round-based protocols, rendering the step-by-step narration in the
+//! examples, and asserting fine-grained behaviour in integration tests
+//! (e.g. "exactly one replacement process was initiated for this hole" —
+//! the paper's headline synchronization property).
+//!
+//! Grid cells are identified here by plain `(x, y)` pairs to keep this
+//! crate independent of the grid layer; `wsn-grid`'s `GridCoord` converts
+//! to and from these pairs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use wsn_geometry::Point2;
+
+use crate::node::NodeId;
+use crate::Round;
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A node was disabled by fault injection.
+    NodeDisabled {
+        /// The disabled node.
+        node: NodeId,
+        /// Cell that contained the node.
+        cell: (u16, u16),
+    },
+    /// A cell was detected vacant by the monitoring head.
+    VacancyDetected {
+        /// The vacant cell.
+        cell: (u16, u16),
+        /// Cell of the head that detected the vacancy.
+        detector: (u16, u16),
+    },
+    /// A replacement process was initiated.
+    ProcessInitiated {
+        /// Process identifier (dense per run).
+        process: u64,
+        /// The hole the process is recovering.
+        hole: (u16, u16),
+        /// Cell of the initiating head.
+        initiator: (u16, u16),
+    },
+    /// A head sent a replacement notification to its predecessor.
+    NotificationSent {
+        /// Process identifier.
+        process: u64,
+        /// Sender cell.
+        from: (u16, u16),
+        /// Receiver cell.
+        to: (u16, u16),
+    },
+    /// A node moved from one cell to another.
+    NodeMoved {
+        /// Process that caused the movement (if any; `None` for
+        /// non-protocol movements such as virtual-force steps).
+        process: Option<u64>,
+        /// The moving node.
+        node: NodeId,
+        /// Source cell.
+        from: (u16, u16),
+        /// Destination cell.
+        to: (u16, u16),
+        /// Distance covered, meters.
+        distance: f64,
+    },
+    /// A replacement process converged (a spare reached the hole chain).
+    ProcessConverged {
+        /// Process identifier.
+        process: u64,
+        /// Number of movements the process used.
+        moves: u64,
+    },
+    /// A replacement process failed.
+    ProcessFailed {
+        /// Process identifier.
+        process: u64,
+        /// Human-readable failure reason.
+        reason: String,
+    },
+    /// A head was (re-)elected in a cell.
+    HeadElected {
+        /// The cell.
+        cell: (u16, u16),
+        /// The new head node.
+        node: NodeId,
+    },
+    /// A node was repositioned without protocol involvement (deployment,
+    /// balancing baselines).
+    NodeRepositioned {
+        /// The node.
+        node: NodeId,
+        /// New position.
+        to: Point2,
+        /// Distance covered, meters.
+        distance: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-friendly tag of the event kind (used by filters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::NodeDisabled { .. } => "node_disabled",
+            TraceEvent::VacancyDetected { .. } => "vacancy_detected",
+            TraceEvent::ProcessInitiated { .. } => "process_initiated",
+            TraceEvent::NotificationSent { .. } => "notification_sent",
+            TraceEvent::NodeMoved { .. } => "node_moved",
+            TraceEvent::ProcessConverged { .. } => "process_converged",
+            TraceEvent::ProcessFailed { .. } => "process_failed",
+            TraceEvent::HeadElected { .. } => "head_elected",
+            TraceEvent::NodeRepositioned { .. } => "node_repositioned",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::NodeDisabled { node, cell } => {
+                write!(f, "{node} disabled in ({}, {})", cell.0, cell.1)
+            }
+            TraceEvent::VacancyDetected { cell, detector } => write!(
+                f,
+                "vacancy at ({}, {}) detected by head of ({}, {})",
+                cell.0, cell.1, detector.0, detector.1
+            ),
+            TraceEvent::ProcessInitiated {
+                process,
+                hole,
+                initiator,
+            } => write!(
+                f,
+                "process #{process} initiated at ({}, {}) for hole ({}, {})",
+                initiator.0, initiator.1, hole.0, hole.1
+            ),
+            TraceEvent::NotificationSent { process, from, to } => write!(
+                f,
+                "process #{process}: notification ({}, {}) -> ({}, {})",
+                from.0, from.1, to.0, to.1
+            ),
+            TraceEvent::NodeMoved {
+                process,
+                node,
+                from,
+                to,
+                distance,
+            } => match process {
+                Some(p) => write!(
+                    f,
+                    "process #{p}: {node} moved ({}, {}) -> ({}, {}) [{distance:.2} m]",
+                    from.0, from.1, to.0, to.1
+                ),
+                None => write!(
+                    f,
+                    "{node} moved ({}, {}) -> ({}, {}) [{distance:.2} m]",
+                    from.0, from.1, to.0, to.1
+                ),
+            },
+            TraceEvent::ProcessConverged { process, moves } => {
+                write!(f, "process #{process} converged after {moves} moves")
+            }
+            TraceEvent::ProcessFailed { process, reason } => {
+                write!(f, "process #{process} failed: {reason}")
+            }
+            TraceEvent::HeadElected { cell, node } => {
+                write!(f, "{node} elected head of ({}, {})", cell.0, cell.1)
+            }
+            TraceEvent::NodeRepositioned { node, to, distance } => {
+                write!(f, "{node} repositioned to {to} [{distance:.2} m]")
+            }
+        }
+    }
+}
+
+/// A time-stamped trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Round in which the event occurred.
+    pub round: Round,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// An append-only event log with query helpers.
+///
+/// Recording can be disabled ([`TraceLog::disabled`]) for large
+/// Monte-Carlo sweeps; a disabled log drops events in O(1) without
+/// allocating, so protocols can trace unconditionally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceLog {
+    enabled: bool,
+    records: Vec<TraceRecord>,
+}
+
+impl TraceLog {
+    /// A log that records events.
+    pub fn new() -> TraceLog {
+        TraceLog {
+            enabled: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// A log that silently drops events (for big sweeps).
+    pub fn disabled() -> TraceLog {
+        TraceLog {
+            enabled: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends `event` at `round` (no-op when disabled).
+    pub fn record(&mut self, round: Round, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { round, event });
+        }
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records have been kept.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records whose event kind equals `kind`
+    /// (see [`TraceEvent::kind`]).
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.event.kind() == kind)
+    }
+
+    /// Counts records of the given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Renders the whole log, one event per line, for examples and debug
+    /// dumps.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "[round {:>4}] {}", r.round, r.event);
+        }
+        out
+    }
+
+    /// Serializes the log as JSON Lines (one object per record) for
+    /// external tooling: each line carries `round`, `kind` and the
+    /// event's fields flattened into simple keys. Hand-rolled on purpose
+    /// — the values are rounds, ids, cell pairs and distances, so a JSON
+    /// dependency would buy nothing (DESIGN.md keeps the dependency set
+    /// minimal).
+    pub fn to_json_lines(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let mut fields: Vec<(&str, String)> = vec![("round", r.round.to_string())];
+            let kind = r.event.kind();
+            match &r.event {
+                TraceEvent::NodeDisabled { node, cell } => {
+                    fields.push(("node", node.raw().to_string()));
+                    fields.push(("cell", format!("[{},{}]", cell.0, cell.1)));
+                }
+                TraceEvent::VacancyDetected { cell, detector } => {
+                    fields.push(("cell", format!("[{},{}]", cell.0, cell.1)));
+                    fields.push(("detector", format!("[{},{}]", detector.0, detector.1)));
+                }
+                TraceEvent::ProcessInitiated {
+                    process,
+                    hole,
+                    initiator,
+                } => {
+                    fields.push(("process", process.to_string()));
+                    fields.push(("hole", format!("[{},{}]", hole.0, hole.1)));
+                    fields.push(("initiator", format!("[{},{}]", initiator.0, initiator.1)));
+                }
+                TraceEvent::NotificationSent { process, from, to } => {
+                    fields.push(("process", process.to_string()));
+                    fields.push(("from", format!("[{},{}]", from.0, from.1)));
+                    fields.push(("to", format!("[{},{}]", to.0, to.1)));
+                }
+                TraceEvent::NodeMoved {
+                    process,
+                    node,
+                    from,
+                    to,
+                    distance,
+                } => {
+                    if let Some(p) = process {
+                        fields.push(("process", p.to_string()));
+                    }
+                    fields.push(("node", node.raw().to_string()));
+                    fields.push(("from", format!("[{},{}]", from.0, from.1)));
+                    fields.push(("to", format!("[{},{}]", to.0, to.1)));
+                    fields.push(("distance", format!("{distance:.6}")));
+                }
+                TraceEvent::ProcessConverged { process, moves } => {
+                    fields.push(("process", process.to_string()));
+                    fields.push(("moves", moves.to_string()));
+                }
+                TraceEvent::ProcessFailed { process, reason } => {
+                    fields.push(("process", process.to_string()));
+                    fields.push(("reason", format!("\"{}\"", json_escape(reason))));
+                }
+                TraceEvent::HeadElected { cell, node } => {
+                    fields.push(("cell", format!("[{},{}]", cell.0, cell.1)));
+                    fields.push(("node", node.raw().to_string()));
+                }
+                TraceEvent::NodeRepositioned { node, to, distance } => {
+                    fields.push(("node", node.raw().to_string()));
+                    fields.push(("x", format!("{:.6}", to.x)));
+                    fields.push(("y", format!("{:.6}", to.y)));
+                    fields.push(("distance", format!("{distance:.6}")));
+                }
+            }
+            let _ = write!(out, "{{\"kind\":\"{kind}\"");
+            for (k, v) in fields {
+                let _ = write!(out, ",\"{k}\":{v}");
+            }
+            let _ = writeln!(out, "}}");
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent::ProcessInitiated {
+            process: 1,
+            hole: (2, 3),
+            initiator: (2, 2),
+        }
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new();
+        log.record(0, sample_event());
+        log.record(
+            1,
+            TraceEvent::ProcessConverged {
+                process: 1,
+                moves: 2,
+            },
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].round, 0);
+        assert_eq!(log.records()[1].round, 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let mut log = TraceLog::disabled();
+        for r in 0..100 {
+            log.record(r, sample_event());
+        }
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn kind_filtering() {
+        let mut log = TraceLog::new();
+        log.record(0, sample_event());
+        log.record(
+            0,
+            TraceEvent::NodeMoved {
+                process: Some(1),
+                node: NodeId::new(5),
+                from: (0, 0),
+                to: (0, 1),
+                distance: 4.5,
+            },
+        );
+        log.record(
+            1,
+            TraceEvent::ProcessFailed {
+                process: 2,
+                reason: "no spare".into(),
+            },
+        );
+        assert_eq!(log.count_kind("process_initiated"), 1);
+        assert_eq!(log.count_kind("node_moved"), 1);
+        assert_eq!(log.count_kind("process_failed"), 1);
+        assert_eq!(log.count_kind("head_elected"), 0);
+    }
+
+    #[test]
+    fn every_event_kind_has_nonempty_display() {
+        let events = vec![
+            TraceEvent::NodeDisabled {
+                node: NodeId::new(0),
+                cell: (0, 0),
+            },
+            TraceEvent::VacancyDetected {
+                cell: (1, 1),
+                detector: (1, 0),
+            },
+            sample_event(),
+            TraceEvent::NotificationSent {
+                process: 0,
+                from: (0, 0),
+                to: (0, 1),
+            },
+            TraceEvent::NodeMoved {
+                process: None,
+                node: NodeId::new(1),
+                from: (0, 0),
+                to: (1, 0),
+                distance: 1.0,
+            },
+            TraceEvent::ProcessConverged {
+                process: 0,
+                moves: 1,
+            },
+            TraceEvent::ProcessFailed {
+                process: 0,
+                reason: "x".into(),
+            },
+            TraceEvent::HeadElected {
+                cell: (0, 0),
+                node: NodeId::new(2),
+            },
+            TraceEvent::NodeRepositioned {
+                node: NodeId::new(3),
+                to: Point2::new(1.0, 2.0),
+                distance: 2.0,
+            },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        for e in &events {
+            assert!(!e.to_string().is_empty());
+        }
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 9, "kinds must be distinct");
+    }
+
+    #[test]
+    fn render_contains_rounds_and_lines() {
+        let mut log = TraceLog::new();
+        log.record(3, sample_event());
+        let s = log.render();
+        assert!(s.contains("[round    3]"));
+        assert!(s.lines().count() == 1);
+    }
+
+    #[test]
+    fn json_lines_one_object_per_record() {
+        let mut log = TraceLog::new();
+        log.record(0, sample_event());
+        log.record(
+            1,
+            TraceEvent::NodeMoved {
+                process: Some(1),
+                node: NodeId::new(5),
+                from: (0, 0),
+                to: (0, 1),
+                distance: 4.5,
+            },
+        );
+        log.record(
+            2,
+            TraceEvent::ProcessFailed {
+                process: 2,
+                reason: "said \"no\"\nnewline".into(),
+            },
+        );
+        let jsonl = log.to_json_lines();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with("{\"kind\":\""));
+            assert!(line.ends_with('}'));
+            // Balanced quotes (escapes handled): even count of unescaped ".
+            let unescaped = line.replace("\\\"", "");
+            assert_eq!(unescaped.matches('"').count() % 2, 0, "{line}");
+        }
+        assert!(lines[0].contains("\"round\":0"));
+        assert!(lines[1].contains("\"distance\":4.5"));
+        assert!(lines[2].contains("\\\"no\\\""));
+        assert!(lines[2].contains("\\n"));
+    }
+
+    #[test]
+    fn json_lines_covers_every_event_kind() {
+        let mut log = TraceLog::new();
+        let events = vec![
+            TraceEvent::NodeDisabled {
+                node: NodeId::new(0),
+                cell: (0, 0),
+            },
+            TraceEvent::VacancyDetected {
+                cell: (1, 1),
+                detector: (1, 0),
+            },
+            sample_event(),
+            TraceEvent::NotificationSent {
+                process: 0,
+                from: (0, 0),
+                to: (0, 1),
+            },
+            TraceEvent::NodeMoved {
+                process: None,
+                node: NodeId::new(1),
+                from: (0, 0),
+                to: (1, 0),
+                distance: 1.0,
+            },
+            TraceEvent::ProcessConverged {
+                process: 0,
+                moves: 1,
+            },
+            TraceEvent::ProcessFailed {
+                process: 0,
+                reason: "x".into(),
+            },
+            TraceEvent::HeadElected {
+                cell: (0, 0),
+                node: NodeId::new(2),
+            },
+            TraceEvent::NodeRepositioned {
+                node: NodeId::new(3),
+                to: Point2::new(1.0, 2.0),
+                distance: 2.0,
+            },
+        ];
+        for (i, e) in events.into_iter().enumerate() {
+            log.record(i as u64, e);
+        }
+        let jsonl = log.to_json_lines();
+        assert_eq!(jsonl.lines().count(), 9);
+        for kind in [
+            "node_disabled",
+            "vacancy_detected",
+            "process_initiated",
+            "notification_sent",
+            "node_moved",
+            "process_converged",
+            "process_failed",
+            "head_elected",
+            "node_repositioned",
+        ] {
+            assert!(jsonl.contains(&format!("\"kind\":\"{kind}\"")), "{kind}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Confidence intervals for Monte-Carlo means.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::Summary;
+
+/// A symmetric confidence interval about a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level in `(0, 1)` (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Normal-approximation interval for the mean of `summary` at the
+    /// given level. Supported levels: 0.90, 0.95, 0.99 (the standard
+    /// z-quantiles; Monte-Carlo trial counts here are large enough that
+    /// the t-correction is negligible).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported levels.
+    pub fn normal(summary: &Summary, level: f64) -> ConfidenceInterval {
+        let z = match level {
+            l if (l - 0.90).abs() < 1e-9 => 1.644_853_626_951,
+            l if (l - 0.95).abs() < 1e-9 => 1.959_963_984_540,
+            l if (l - 0.99).abs() < 1e-9 => 2.575_829_303_549,
+            other => panic!("unsupported confidence level {other}; use 0.90/0.95/0.99"),
+        };
+        ConfidenceInterval {
+            mean: summary.mean(),
+            half_width: z * summary.std_error(),
+            level,
+        }
+    }
+
+    /// Lower bound.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.low()..=self.high()).contains(&x)
+    }
+}
+
+impl fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({:.0}%)",
+            self.mean,
+            self.half_width,
+            self.level * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(n: usize) -> Summary {
+        // Deterministic pseudo-data with known mean 0.5-ish.
+        (0..n).map(|i| ((i * 37 + 11) % 100) as f64 / 100.0).collect()
+    }
+
+    #[test]
+    fn interval_brackets_mean() {
+        let s = summary_of(1000);
+        let ci = ConfidenceInterval::normal(&s, 0.95);
+        assert!(ci.contains(s.mean()));
+        assert!(ci.low() < s.mean() && s.mean() < ci.high());
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let s = summary_of(500);
+        let c90 = ConfidenceInterval::normal(&s, 0.90);
+        let c95 = ConfidenceInterval::normal(&s, 0.95);
+        let c99 = ConfidenceInterval::normal(&s, 0.99);
+        assert!(c90.half_width < c95.half_width);
+        assert!(c95.half_width < c99.half_width);
+    }
+
+    #[test]
+    fn more_samples_narrower_interval() {
+        let a = ConfidenceInterval::normal(&summary_of(100), 0.95);
+        let b = ConfidenceInterval::normal(&summary_of(10_000), 0.95);
+        assert!(b.half_width < a.half_width);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence level")]
+    fn unsupported_level_panics() {
+        ConfidenceInterval::normal(&summary_of(10), 0.42);
+    }
+
+    #[test]
+    fn display_mentions_level() {
+        let ci = ConfidenceInterval::normal(&summary_of(10), 0.95);
+        assert!(ci.to_string().contains("95%"));
+    }
+}

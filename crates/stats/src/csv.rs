@@ -1,0 +1,99 @@
+//! Minimal CSV export (hand-rolled — the data is all numeric labels and
+//! floats, so a dependency would buy nothing).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::Series;
+
+/// Escapes one CSV field per RFC 4180: quote when the field contains a
+/// comma, quote or newline, doubling interior quotes.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Writes rows of string fields as CSV lines to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_rows<W: Write>(mut w: W, rows: &[Vec<String>]) -> io::Result<()> {
+    for row in rows {
+        let line = row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(",");
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Serializes a set of series to "long" CSV: `series,x,y` per row, with a
+/// header.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut rows: Vec<Vec<String>> = vec![vec!["series".into(), "x".into(), "y".into()]];
+    for s in series {
+        for &(x, y) in s.points() {
+            rows.push(vec![s.label().to_owned(), x.to_string(), y.to_string()]);
+        }
+    }
+    let mut buf = Vec::new();
+    write_rows(&mut buf, &rows).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("escape emits UTF-8")
+}
+
+/// Writes the series CSV to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_series(path: &Path, series: &[Series]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, series_to_csv(series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn series_csv_long_format() {
+        let s1 = Series::from_points("SR", vec![(1.0, 2.0)]);
+        let s2 = Series::from_points("AR", vec![(1.0, 4.0), (2.0, 5.0)]);
+        let csv = series_to_csv(&[s1, s2]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines[1], "SR,1,2");
+        assert_eq!(lines[3], "AR,2,5");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn save_creates_directories() {
+        let dir = std::env::temp_dir().join("wsn_stats_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        save_series(&path, &[Series::from_points("a", vec![(0.0, 1.0)])]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("a,0,1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_rows_to_vec() {
+        let mut buf = Vec::new();
+        write_rows(&mut buf, &[vec!["x".into(), "y,z".into()]]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "x,\"y,z\"\n");
+    }
+}

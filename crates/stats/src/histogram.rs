@@ -1,0 +1,176 @@
+//! Fixed-range histograms (for hop-count distributions vs Theorem 2's
+//! `P(i)`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram over `[min, max)` with equal-width bins; values outside
+/// the range are clamped into the edge bins so no observation is lost.
+///
+/// ```
+/// use wsn_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [0.5, 1.5, 2.5, 2.6, 9.9] {
+///     h.record(x); // bins are [0,2), [2,4), [4,6), [6,8), [8,10)
+/// }
+/// assert_eq!(h.counts(), &[2, 2, 0, 0, 1]);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram; `None` when the range is empty/non-finite or
+    /// `bins == 0`.
+    pub fn new(min: f64, max: f64, bins: usize) -> Option<Histogram> {
+        if !(min.is_finite() && max.is_finite()) || max <= min || bins == 0 {
+            return None;
+        }
+        Some(Histogram {
+            min,
+            max,
+            counts: vec![0; bins],
+        })
+    }
+
+    /// Records one observation (non-finite values are ignored).
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.min) / (self.max - self.min);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-bin relative frequencies (empty histogram yields zeros).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        self.min + (i as f64 + 0.5) * w
+    }
+
+    /// Renders horizontal bars, one line per bin.
+    pub fn render(&self, width: usize) -> String {
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width.max(1)) / max_count as usize);
+            out.push_str(&format!(
+                "{:>10.2} | {:<w$} {}\n",
+                self.bin_center(i),
+                bar,
+                c,
+                w = width
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram [{}, {}) with {} bins, {} observations",
+            self.min,
+            self.max,
+            self.counts.len(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 4).is_some());
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 2).unwrap();
+        h.record(-5.0);
+        h.record(15.0);
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        for i in 0..1000 {
+            h.record((i % 100) as f64 / 100.0);
+        }
+        let sum: f64 = h.frequencies().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Empty histogram: zeros, not NaN.
+        let empty = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(empty.frequencies(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_center_out_of_range_panics() {
+        Histogram::new(0.0, 1.0, 2).unwrap().bin_center(2);
+    }
+
+    #[test]
+    fn render_contains_bars_and_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.record(0.5);
+        h.record(0.6);
+        h.record(1.5);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() == 2);
+        assert!(!h.to_string().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Terminal rendering of figure data: multi-series ASCII plots.
+//!
+//! The reproduction's stand-in for gnuplot: deterministic, zero-dependency
+//! character plots good enough to read a curve's shape, crossover points
+//! and relative ordering — which is exactly what reproducing the paper's
+//! figures requires (shapes, not pixels).
+
+use crate::Series;
+
+/// A multi-series ASCII plot renderer.
+///
+/// ```
+/// use wsn_stats::{plot::AsciiPlot, Series};
+///
+/// let s = Series::from_points("demo", (0..20).map(|i| (i as f64, (i * i) as f64)).collect());
+/// let text = AsciiPlot::new("quadratic", "x", "y").render(&[s]);
+/// assert!(text.contains("quadratic"));
+/// assert!(text.contains("demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl AsciiPlot {
+    /// A plot with the default 72×20 canvas.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> AsciiPlot {
+        AsciiPlot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+        }
+    }
+
+    /// Overrides the canvas size (minimums 16×8 are enforced).
+    #[must_use]
+    pub fn with_size(mut self, width: usize, height: usize) -> AsciiPlot {
+        self.width = width.max(16);
+        self.height = height.max(8);
+        self
+    }
+
+    /// Renders the series onto a character canvas with axes and legend.
+    /// Empty input (or all-empty series) yields a "(no data)" placeholder
+    /// rather than panicking.
+    pub fn render(&self, series: &[Series]) -> String {
+        let mut bounds: Option<(f64, f64, f64, f64)> = None;
+        for s in series {
+            if let Some((x0, x1, y0, y1)) = s.bounds() {
+                bounds = Some(match bounds {
+                    None => (x0, x1, y0, y1),
+                    Some((a, b, c, d)) => (a.min(x0), b.max(x1), c.min(y0), d.max(y1)),
+                });
+            }
+        }
+        let Some((x0, x1, y0, y1)) = bounds else {
+            return format!("{}\n(no data)\n", self.title);
+        };
+        // Pad degenerate ranges so a flat series still renders.
+        let (x0, x1) = pad_range(x0, x1);
+        // Anchor y at zero when everything is positive: the paper's plots
+        // all start at 0 and shapes read better.
+        let y0 = if y0 > 0.0 { 0.0 } else { y0 };
+        let (y0, y1) = pad_range(y0, y1);
+
+        let w = self.width;
+        let h = self.height;
+        let mut canvas = vec![vec![' '; w]; h];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in s.points() {
+                let cx = ((x - x0) / (x1 - x0) * (w - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (h - 1) as f64).round() as usize;
+                let row = h - 1 - cy.min(h - 1);
+                let col = cx.min(w - 1);
+                canvas[row][col] = glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&format!("{} ^\n", self.y_label));
+        for (i, row) in canvas.iter().enumerate() {
+            let yval = y1 - (y1 - y0) * i as f64 / (h - 1) as f64;
+            let label = if i % 4 == 0 {
+                format!("{yval:>10.1}")
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!("{} +{}\n", " ".repeat(10), "-".repeat(w)));
+        out.push_str(&format!(
+            "{}{:<12.1}{:>width$.1}  ({})\n",
+            " ".repeat(12),
+            x0,
+            x1,
+            self.x_label,
+            width = w.saturating_sub(12)
+        ));
+        out.push_str("legend: ");
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!("{}={}  ", GLYPHS[si % GLYPHS.len()], s.label()));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn pad_range(lo: f64, hi: f64) -> (f64, f64) {
+    if (hi - lo).abs() < f64::EPSILON {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, slope: f64) -> Series {
+        Series::from_points(
+            label,
+            (0..50).map(|i| (i as f64, slope * i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn renders_title_axes_legend() {
+        let text = AsciiPlot::new("My Figure", "N", "moves").render(&[line("SR", 1.0)]);
+        assert!(text.contains("My Figure"));
+        assert!(text.contains("(N)"));
+        assert!(text.contains("moves ^"));
+        assert!(text.contains("*=SR"));
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let text =
+            AsciiPlot::new("f", "x", "y").render(&[line("a", 1.0), line("b", 2.0), line("c", 0.5)]);
+        assert!(text.contains("*=a"));
+        assert!(text.contains("+=b"));
+        assert!(text.contains("o=c"));
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let text = AsciiPlot::new("empty", "x", "y").render(&[]);
+        assert!(text.contains("(no data)"));
+        let text2 = AsciiPlot::new("empty2", "x", "y").render(&[Series::new("nothing")]);
+        assert!(text2.contains("(no data)"));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = Series::from_points("flat", vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]);
+        let text = AsciiPlot::new("flat", "x", "y").render(&[s]);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let s = Series::from_points("dot", vec![(1.0, 1.0)]);
+        let text = AsciiPlot::new("dot", "x", "y").render(&[s]);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn size_override_is_clamped() {
+        let p = AsciiPlot::new("t", "x", "y").with_size(1, 1);
+        let text = p.render(&[line("a", 1.0)]);
+        assert!(text.lines().count() >= 8);
+    }
+
+    #[test]
+    fn monotone_series_plots_monotone() {
+        // The rendered column of the max-x point must sit above (smaller
+        // row index) the min-x point for an increasing series.
+        let text = AsciiPlot::new("m", "x", "y").render(&[line("inc", 2.0)]);
+        let rows: Vec<&str> = text.lines().collect();
+        let first_star_row = rows.iter().position(|r| r.contains('*')).unwrap();
+        let last_star_row = rows.iter().rposition(|r| r.contains('*')).unwrap();
+        let top_row_col = rows[first_star_row].find('*').unwrap();
+        let bottom_row_col = rows[last_star_row].find('*').unwrap();
+        assert!(
+            top_row_col > bottom_row_col,
+            "higher values must appear farther right for an increasing line"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Labelled x/y series with Monte-Carlo aggregation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Summary;
+
+/// A labelled series of `(x, y)` points — one curve of a paper figure.
+///
+/// ```
+/// use wsn_stats::Series;
+///
+/// let mut s = Series::new("SR");
+/// s.push(10.0, 3.0);
+/// s.push(10.0, 5.0); // second trial at the same x
+/// s.push(20.0, 2.0);
+/// let mean = s.aggregate_mean();
+/// assert_eq!(mean.points(), &[(10.0, 4.0), (20.0, 2.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series with a legend label.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A series from existing points.
+    pub fn from_points(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Legend label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends a point (non-finite points are dropped — they would break
+    /// plotting and aggregation).
+    pub fn push(&mut self, x: f64, y: f64) {
+        if x.is_finite() && y.is_finite() {
+            self.points.push((x, y));
+        }
+    }
+
+    /// Groups points by `x` and replaces each group with its mean `y`,
+    /// returning a new series sorted by `x`. This is how raw Monte-Carlo
+    /// trials become a paper-figure curve.
+    pub fn aggregate_mean(&self) -> Series {
+        let mut groups: BTreeMap<u64, Summary> = BTreeMap::new();
+        for &(x, y) in &self.points {
+            groups.entry(x.to_bits()).or_default().push(y);
+        }
+        let mut pts: Vec<(f64, f64)> = groups
+            .into_iter()
+            .map(|(bits, s)| (f64::from_bits(bits), s.mean()))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite xs"));
+        Series {
+            label: self.label.clone(),
+            points: pts,
+        }
+    }
+
+    /// Per-x summaries (for confidence intervals), sorted by `x`.
+    pub fn aggregate_summaries(&self) -> Vec<(f64, Summary)> {
+        let mut groups: BTreeMap<u64, Summary> = BTreeMap::new();
+        for &(x, y) in &self.points {
+            groups.entry(x.to_bits()).or_default().push(y);
+        }
+        let mut out: Vec<(f64, Summary)> = groups
+            .into_iter()
+            .map(|(bits, s)| (f64::from_bits(bits), s))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite xs"));
+        out
+    }
+
+    /// Finds the first x where `self` drops to or below `other`
+    /// (piecewise-linear interpolation between shared sample points) —
+    /// the *crossover* of two cost curves, e.g. the paper's "N ≈ 55"
+    /// point where SR's movement cost falls below AR's.
+    ///
+    /// Both series are aggregated by mean per x first; only x values
+    /// present in both participate. Returns `None` when `self` never
+    /// crosses below `other` in the shared range, and the first shared x
+    /// when `self` already starts at or below `other`.
+    pub fn crossover_below(&self, other: &Series) -> Option<f64> {
+        let a = self.aggregate_mean();
+        let b = other.aggregate_mean();
+        let shared: Vec<(f64, f64, f64)> = a
+            .points()
+            .iter()
+            .filter_map(|&(x, ya)| {
+                b.points()
+                    .iter()
+                    .find(|&&(xb, _)| xb == x)
+                    .map(|&(_, yb)| (x, ya, yb))
+            })
+            .collect();
+        let mut prev: Option<(f64, f64)> = None; // (x, diff)
+        for &(x, ya, yb) in &shared {
+            let diff = ya - yb;
+            if diff <= 0.0 {
+                return Some(match prev {
+                    // Interpolate between the sign change's endpoints.
+                    Some((px, pdiff)) if pdiff > 0.0 => {
+                        px + (x - px) * pdiff / (pdiff - diff)
+                    }
+                    _ => x,
+                });
+            }
+            prev = Some((x, diff));
+        }
+        None
+    }
+
+    /// Bounds `(x_min, x_max, y_min, y_max)`, or `None` when empty.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut b = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y) in &self.points {
+            b.0 = b.0.min(x);
+            b.1 = b.1.max(x);
+            b.2 = b.2.min(y);
+            b.3 = b.3.max(y);
+        }
+        Some(b)
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "series '{}' ({} points)", self.label, self.points.len())
+    }
+}
+
+impl Extend<(f64, f64)> for Series {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (x, y) in iter {
+            self.push(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drops_non_finite() {
+        let mut s = Series::new("t");
+        s.push(1.0, 2.0);
+        s.push(f64::NAN, 1.0);
+        s.push(1.0, f64::INFINITY);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_mean_groups_and_sorts() {
+        let mut s = Series::new("t");
+        s.extend([(20.0, 4.0), (10.0, 1.0), (10.0, 3.0), (20.0, 6.0), (5.0, 9.0)]);
+        let m = s.aggregate_mean();
+        assert_eq!(m.points(), &[(5.0, 9.0), (10.0, 2.0), (20.0, 5.0)]);
+        assert_eq!(m.label(), "t");
+    }
+
+    #[test]
+    fn aggregate_summaries_counts() {
+        let mut s = Series::new("t");
+        s.extend([(1.0, 2.0), (1.0, 4.0), (2.0, 10.0)]);
+        let sums = s.aggregate_summaries();
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].1.count(), 2);
+        assert_eq!(sums[0].1.mean(), 3.0);
+        assert_eq!(sums[1].1.count(), 1);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        // a starts above b, crosses at x = 2.5 exactly.
+        let a = Series::from_points("a", vec![(1.0, 10.0), (2.0, 6.0), (3.0, 2.0)]);
+        let b = Series::from_points("b", vec![(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)]);
+        let x = a.crossover_below(&b).unwrap();
+        assert!((x - 2.5).abs() < 1e-9, "got {x}");
+        // Already below at the first shared x.
+        assert_eq!(b.crossover_below(&a), Some(1.0));
+        // Never crosses.
+        let c = Series::from_points("c", vec![(1.0, 100.0), (3.0, 50.0)]);
+        assert_eq!(c.crossover_below(&b), None);
+        // No shared x values.
+        let d = Series::from_points("d", vec![(9.0, 0.0)]);
+        assert_eq!(d.crossover_below(&b), None);
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(Series::new("e").bounds(), None);
+        let s = Series::from_points("b", vec![(1.0, -2.0), (3.0, 7.0)]);
+        assert_eq!(s.bounds(), Some((1.0, 3.0, -2.0, 7.0)));
+        assert!(!s.is_empty());
+        assert!(!s.to_string().is_empty());
+    }
+}

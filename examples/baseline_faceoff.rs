@@ -1,0 +1,81 @@
+//! Every recovery scheme in the repository on the *same* damaged
+//! network: SR (the paper's contribution), AR (its baseline), and the two
+//! schemes the introduction positions against — SMART-style scan
+//! balancing and virtual force.
+//!
+//! ```text
+//! cargo run --example baseline_faceoff            # default N = 150
+//! cargo run --example baseline_faceoff -- 30      # spare target N = 30
+//! ```
+
+use wsn::baselines::{smart, vf, ArConfig, ArRecovery, SmartConfig, VfConfig};
+use wsn::prelude::*;
+use wsn::stats::table::TextTable;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_target: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(150);
+    let seed = 20_080_617;
+
+    // The paper's experimental setup: 16x16 grid, R = 10 m, uniform
+    // deployment with (N + m*n) enabled nodes.
+    let system = GridSystem::for_comm_range(16, 16, 10.0)?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let positions = deploy::uniform(&system, n_target + system.cell_count(), &mut rng);
+    let network = GridNetwork::new(system, &positions);
+    let stats = network.stats();
+    println!(
+        "deployment: {} enabled nodes, {} holes, {} spares (target N = {n_target})\n",
+        stats.enabled, stats.vacant, stats.spares
+    );
+
+    let sr = Recovery::new(network.clone(), SrConfig::default().with_seed(seed))?.run();
+    let ar = ArRecovery::new(network.clone(), ArConfig::default().with_seed(seed))?.run();
+    let sm = smart::run(network.clone(), &SmartConfig { seed });
+    let vfr = vf::run(network, &VfConfig { seed, ..VfConfig::default() });
+
+    let mut table = TextTable::new(vec![
+        "scheme",
+        "covered",
+        "processes",
+        "success %",
+        "moves",
+        "distance (m)",
+        "rounds",
+    ]);
+    let row = |name: &str, covered: bool, m: &Metrics| {
+        vec![
+            name.to_string(),
+            if covered { "yes" } else { "NO" }.to_string(),
+            m.processes_initiated.to_string(),
+            format!("{:.1}", m.success_rate_percent()),
+            m.moves.to_string(),
+            format!("{:.1}", m.distance),
+            m.rounds.to_string(),
+        ]
+    };
+    table.add_row(row("SR (this paper)", sr.fully_covered, &sr.metrics));
+    table.add_row(row("AR (WSNS'07)", ar.fully_covered, &ar.metrics));
+    table.add_row(row("SMART scan", sm.fully_covered, &sm.metrics));
+    table.add_row(row("virtual force", vfr.fully_covered, &vfr.metrics));
+    println!("{table}");
+
+    println!("observations (cf. the paper's Section 5):");
+    println!(
+        "  - SR initiated {} processes for {} holes: one each, all successful.",
+        sr.metrics.processes_initiated, sr.initial_stats.vacant
+    );
+    println!(
+        "  - AR initiated {:.1}x as many processes and moved {:.1}x the distance of SR.",
+        ar.metrics.processes_initiated as f64 / sr.metrics.processes_initiated.max(1) as f64,
+        ar.metrics.distance / sr.metrics.distance.max(1e-9),
+    );
+    println!(
+        "  - the global schemes shuffled the whole grid: SMART {} moves, VF {} moves.",
+        sm.metrics.moves, vfr.metrics.moves
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! # wsn — complete-coverage hole recovery for wireless sensor networks
+//!
+//! A full reproduction of *Mobility Control for Complete Coverage in
+//! Wireless Sensor Networks* (Zhen Jiang, Jie Wu, Robert Kline, Jennifer
+//! Krantz — ICDCS 2008 Workshops), as a Rust workspace. This facade crate
+//! re-exports every subsystem; depend on it to get the whole stack, or on
+//! the individual crates for narrower builds.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`geometry`] | `wsn-geometry` | points, rectangles, disks, cell geometry |
+//! | [`simcore`] | `wsn-simcore` | deterministic RNG, round engine, faults, traces, metrics |
+//! | [`grid`] | `wsn-grid` | the GAF virtual grid: occupancy, heads, deployment, coverage checks |
+//! | [`hamilton`] | `wsn-hamilton` | directed Hamilton cycles and the odd×odd dual-path structure |
+//! | [`coverage`] | `wsn-coverage` | **SR** — the paper's synchronized snake-like replacement + Theorem 2 analysis |
+//! | [`baselines`] | `wsn-baselines` | AR (the paper's comparator), virtual force, SMART-style scans |
+//! | [`stats`] | `wsn-stats` | summaries, confidence intervals, ASCII plots, CSV |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wsn::prelude::*;
+//!
+//! // The paper's setup: R = 10 m communication range => 4.4721 m cells.
+//! let system = GridSystem::for_comm_range(8, 8, 10.0)?;
+//! let mut rng = SimRng::seed_from_u64(42);
+//!
+//! // Deploy 2 nodes per cell, then lose an entire cell to a fault.
+//! let positions = deploy::per_cell_exact(&system, 2, &mut rng);
+//! let mut network = GridNetwork::new(system, &positions);
+//! let victims: Vec<_> = network.members(GridCoord::new(3, 3))?.to_vec();
+//! for id in victims {
+//!     network.disable_node(id)?;
+//! }
+//! assert_eq!(network.vacant_cells().len(), 1);
+//!
+//! // SR recovery: exactly one replacement process, hole filled.
+//! let mut recovery = Recovery::new(network, SrConfig::default().with_seed(42))?;
+//! let report = recovery.run();
+//! assert!(report.fully_covered);
+//! assert_eq!(report.metrics.processes_initiated, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wsn_baselines as baselines;
+pub use wsn_coverage as coverage;
+pub use wsn_geometry as geometry;
+pub use wsn_grid as grid;
+pub use wsn_hamilton as hamilton;
+pub use wsn_simcore as simcore;
+pub use wsn_stats as stats;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use wsn_coverage::{
+        analysis, Recovery, RecoveryReport, ShortcutRecovery, SpareSelection, SrConfig, SrError,
+    };
+    pub use wsn_geometry::{Disk, Point2, Rect, Vec2};
+    pub use wsn_grid::{
+        coverage_verdict, deploy, render, GridCoord, GridNetwork, GridSystem, HeadElection,
+    };
+    pub use wsn_hamilton::{CycleTopology, DualPathCycle, HamiltonCycle};
+    pub use wsn_simcore::{
+        fault::{FaultEvent, FaultPlan, Jammer},
+        Battery, Metrics, NodeId, SimRng, TraceEvent,
+    };
+}
