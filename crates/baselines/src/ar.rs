@@ -225,17 +225,13 @@ impl ArProtocol {
             .system()
             .cell_rect(target)
             .expect("targets are cells");
-        let dest = sample::point_in_central_area(&rect, self.rng.uniform_f64(), self.rng.uniform_f64());
+        let dest =
+            sample::point_in_central_area(&rect, self.rng.uniform_f64(), self.rng.uniform_f64());
         let out = self
             .net
             .move_node(node, dest)
             .expect("AR moves stay inside the area");
-        if self
-            .net
-            .head_of(target)
-            .expect("in bounds")
-            .is_none()
-        {
+        if self.net.head_of(target).expect("in bounds").is_none() {
             self.net.set_head(target, node).expect("node just arrived");
         }
         self.metrics.record_move(out.distance);
@@ -280,12 +276,7 @@ impl ArProtocol {
         candidates
             .iter()
             .copied()
-            .find(|&c| {
-                self.net
-                    .spares(c)
-                    .map(|s| !s.is_empty())
-                    .unwrap_or(false)
-            })
+            .find(|&c| self.net.spares(c).map(|s| !s.is_empty()).unwrap_or(false))
             .or_else(|| candidates.iter().copied().find(|&c| self.is_occupied(c)))
     }
 
@@ -442,7 +433,11 @@ impl fmt::Display for ArReport {
         write!(
             f,
             "ar {}: {} -> {} holes, {}",
-            if self.fully_covered { "complete" } else { "incomplete" },
+            if self.fully_covered {
+                "complete"
+            } else {
+                "incomplete"
+            },
             self.initial_stats.vacant,
             self.final_stats.vacant,
             self.metrics

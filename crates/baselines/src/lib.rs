@@ -2,7 +2,7 @@
 //! the alternatives SR displaces).
 //!
 //! * [`ar`] — **AR**, the primary comparator (Jiang et al., WSNS'07 — the
-//!   paper's reference [3] and its §5 baseline): the same snake-like
+//!   paper's reference \[3\] and its §5 baseline): the same snake-like
 //!   cascading replacement as SR but **without** the Hamilton-cycle
 //!   synchronization. Every head adjacent to a hole initiates its own
 //!   process, so a single hole spawns several concurrent cascades —
@@ -10,11 +10,11 @@
 //!   when cascades collide. The WSNS'07 paper is not publicly available;
 //!   the model here follows this paper's characterization of AR, with the
 //!   concrete choices documented in DESIGN.md §5.
-//! * [`vf`] — a virtual-force scheme (after Wang et al. [5] and Zou &
-//!   Chakrabarty [10]): density gradients push nodes from crowded regions
+//! * [`vf`] — a virtual-force scheme (after Wang et al. \[5\] and Zou &
+//!   Chakrabarty \[10\]): density gradients push nodes from crowded regions
 //!   toward sparse ones. Converges slowly with many small movements —
 //!   exactly the cost profile the paper's introduction criticizes.
-//! * [`smart`] — a SMART-style scan balancer (after Wu & Yang [6]): rows
+//! * [`smart`] — a SMART-style scan balancer (after Wu & Yang \[6\]): rows
 //!   then columns are balanced globally, which recovers coverage quickly
 //!   but moves nodes all over the grid "just for providing the coverage
 //!   for a single hole".

@@ -1,5 +1,5 @@
 //! A SMART-style scan-based balancing baseline (after Wu & Yang,
-//! INFOCOM'05 — the paper's reference [6]).
+//! INFOCOM'05 — the paper's reference \[6\]).
 //!
 //! SMART treats the virtual grid as a 2-D mesh and balances load with two
 //! global scans: first every **row** equalizes its cells' node counts,
@@ -46,7 +46,11 @@ impl fmt::Display for SmartReport {
         write!(
             f,
             "smart {}: {} -> {} holes, {}",
-            if self.fully_covered { "complete" } else { "incomplete" },
+            if self.fully_covered {
+                "complete"
+            } else {
+                "incomplete"
+            },
             self.initial_stats.vacant,
             self.final_stats.vacant,
             self.metrics
@@ -234,7 +238,10 @@ mod tests {
             let pos = deploy::uniform(&sys, 60, &mut rng);
             GridNetwork::new(sys, &pos)
         };
-        assert_eq!(run(mk(), &SmartConfig { seed: 1 }), run(mk(), &SmartConfig { seed: 1 }));
+        assert_eq!(
+            run(mk(), &SmartConfig { seed: 1 }),
+            run(mk(), &SmartConfig { seed: 1 })
+        );
     }
 
     #[test]

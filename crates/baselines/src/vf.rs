@@ -1,5 +1,5 @@
-//! A virtual-force deployment baseline (after Wang, Cao & La Porta [5]
-//! and Zou & Chakrabarty [10], as characterized by the paper's §1).
+//! A virtual-force deployment baseline (after Wang, Cao & La Porta \[5\]
+//! and Zou & Chakrabarty \[10\], as characterized by the paper's §1).
 //!
 //! Nodes exert pairwise virtual forces: repulsion when closer than a
 //! threshold, attraction when farther (up to a communication-range
@@ -67,7 +67,11 @@ impl fmt::Display for VfReport {
         write!(
             f,
             "vf {} after {} rounds: {} -> {} holes, {}",
-            if self.fully_covered { "complete" } else { "incomplete" },
+            if self.fully_covered {
+                "complete"
+            } else {
+                "incomplete"
+            },
             self.rounds,
             self.initial_stats.vacant,
             self.final_stats.vacant,
@@ -208,7 +212,11 @@ mod tests {
             .collect();
         let net = GridNetwork::new(sys, &pos);
         let report = run(net, &VfConfig::default());
-        assert!(report.rounds < 50, "should settle fast, took {}", report.rounds);
+        assert!(
+            report.rounds < 50,
+            "should settle fast, took {}",
+            report.rounds
+        );
     }
 
     #[test]

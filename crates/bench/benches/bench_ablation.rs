@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wsn_coverage::{Recovery, SpareSelection, SrConfig};
+use wsn_geometry::{Disk, Point2};
 use wsn_grid::{deploy, GridNetwork, GridSystem, HeadElection};
 use wsn_simcore::{FaultEvent, SimRng};
-use wsn_geometry::{Disk, Point2};
 
 fn deployment(seed: u64) -> GridNetwork {
     let sys = GridSystem::for_comm_range(16, 16, 10.0).unwrap();

@@ -33,10 +33,20 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| topo.monitors(black_box(GridCoord::new(7, 9))))
     });
     g.bench_function("backward_from_16x16", |b| {
-        b.iter(|| topo.backward_from(black_box(GridCoord::new(7, 9)), black_box(GridCoord::new(3, 3))))
+        b.iter(|| {
+            topo.backward_from(
+                black_box(GridCoord::new(7, 9)),
+                black_box(GridCoord::new(3, 3)),
+            )
+        })
     });
     g.bench_function("backward_from_dual_15x15", |b| {
-        b.iter(|| dual.backward_from(black_box(GridCoord::new(7, 9)), black_box(GridCoord::new(3, 3))))
+        b.iter(|| {
+            dual.backward_from(
+                black_box(GridCoord::new(7, 9)),
+                black_box(GridCoord::new(3, 3)),
+            )
+        })
     });
     g.finish();
 }

@@ -50,13 +50,37 @@ fn main() -> ExitCode {
     if want("fig3") || want("fig5") {
         let (a3, b3) = figures::fig3();
         if want("fig3") {
-            emit("fig3a", "Figure 3(a): # of moves, 4x5 grid (L=19), analytical", "# of spare nodes left in networks (N)", "# of moves", &a3);
-            emit("fig3b", "Figure 3(b): # of moves, 16x16 grid (L=255), analytical", "# of spare nodes left in networks (N)", "# of moves", &b3);
+            emit(
+                "fig3a",
+                "Figure 3(a): # of moves, 4x5 grid (L=19), analytical",
+                "# of spare nodes left in networks (N)",
+                "# of moves",
+                &a3,
+            );
+            emit(
+                "fig3b",
+                "Figure 3(b): # of moves, 16x16 grid (L=255), analytical",
+                "# of spare nodes left in networks (N)",
+                "# of moves",
+                &b3,
+            );
         }
         if want("fig5") {
             let (a5, b5) = figures::fig5();
-            emit("fig5a", "Figure 5(a): total moving distance, 4x5 grid, r=10, estimate", "# of spare nodes left in networks (N)", "total moving distance", &a5);
-            emit("fig5b", "Figure 5(b): total moving distance, 16x16 grid, r=10, estimate", "# of spare nodes left in networks (N)", "total moving distance", &b5);
+            emit(
+                "fig5a",
+                "Figure 5(a): total moving distance, 4x5 grid, r=10, estimate",
+                "# of spare nodes left in networks (N)",
+                "total moving distance",
+                &a5,
+            );
+            emit(
+                "fig5b",
+                "Figure 5(b): total moving distance, 16x16 grid, r=10, estimate",
+                "# of spare nodes left in networks (N)",
+                "total moving distance",
+                &b5,
+            );
         }
     }
 
@@ -83,9 +107,8 @@ fn main() -> ExitCode {
         for &t in &cfg.targets {
             let rows: Vec<_> = results.iter().filter(|r| r.n_target == t).collect();
             let n = rows.len() as f64;
-            let mean = |f: &dyn Fn(&&wsn_bench::TrialResult) -> f64| {
-                rows.iter().map(f).sum::<f64>() / n
-            };
+            let mean =
+                |f: &dyn Fn(&&wsn_bench::TrialResult) -> f64| rows.iter().map(f).sum::<f64>() / n;
             table.add_numeric_row(
                 t.to_string(),
                 &[
@@ -110,14 +133,38 @@ fn main() -> ExitCode {
         }
 
         if want("fig6") {
-            emit("fig6a", "Figure 6(a): # of replacement processes initiated (16x16)", "# of spare nodes left in networks (N)", "# of processes", &figures::fig6a(&results));
-            emit("fig6b", "Figure 6(b): success rate (%) (16x16)", "# of spare nodes left in networks (N)", "percentage", &figures::fig6b(&results));
+            emit(
+                "fig6a",
+                "Figure 6(a): # of replacement processes initiated (16x16)",
+                "# of spare nodes left in networks (N)",
+                "# of processes",
+                &figures::fig6a(&results),
+            );
+            emit(
+                "fig6b",
+                "Figure 6(b): success rate (%) (16x16)",
+                "# of spare nodes left in networks (N)",
+                "percentage",
+                &figures::fig6b(&results),
+            );
         }
         if want("fig7") {
-            emit("fig7", "Figure 7: # of node movements (16x16, experimental + analytical)", "# of spare nodes left in networks (N)", "# of node moves", &figures::fig7(&results));
+            emit(
+                "fig7",
+                "Figure 7: # of node movements (16x16, experimental + analytical)",
+                "# of spare nodes left in networks (N)",
+                "# of node moves",
+                &figures::fig7(&results),
+            );
         }
         if want("fig8") {
-            emit("fig8", "Figure 8: total moving distance in meters (16x16, experimental + analytical)", "# of spare nodes left in networks (N)", "total moving distance", &figures::fig8(&results));
+            emit(
+                "fig8",
+                "Figure 8: total moving distance in meters (16x16, experimental + analytical)",
+                "# of spare nodes left in networks (N)",
+                "total moving distance",
+                &figures::fig8(&results),
+            );
         }
     }
 

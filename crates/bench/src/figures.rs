@@ -154,7 +154,7 @@ pub fn fig_pmf(trials: u64, base_seed: u64) -> Vec<Series> {
 
 /// Extension figure `figsc`: the paper's future-work short-cut. SR vs
 /// SR-SC total node movements (and messages) across the sweep targets —
-/// the prediction being that SR-SC "reduce[s] the cost of SR greatly in
+/// the prediction being that SR-SC "reduce\[s\] the cost of SR greatly in
 /// the cases when N < 55".
 pub fn fig_shortcut(cfg: &crate::sweep::SweepConfig) -> (Vec<Series>, Vec<Series>) {
     let mut sr_moves = Series::new("SR moves");

@@ -19,7 +19,7 @@
 //! nodes dropped uniformly, the network holds `N + holes` spares and
 //! `holes` vacant cells; each replacement consumes exactly one spare, so
 //! `N` spares remain after full recovery. [`sweep::run_sweep`] executes
-//! the Monte-Carlo trials (in parallel across seeds via crossbeam) and
+//! the Monte-Carlo trials (in parallel across seeds via scoped threads) and
 //! both schemes see byte-identical deployments.
 
 #![forbid(unsafe_code)]

@@ -31,7 +31,9 @@ impl Default for SweepConfig {
             cols: 16,
             rows: 16,
             comm_range: 10.0,
-            targets: vec![10, 25, 55, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000],
+            targets: vec![
+                10, 25, 55, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+            ],
             trials: 10,
             base_seed: 20_080_617, // ICDCS 2008 began June 17.
         }
@@ -91,14 +93,13 @@ pub fn simulate_single_replacement(cols: u16, rows: u16, n: usize, seed: u64) ->
         ));
     }
     let net = GridNetwork::new(sys, &pos);
-    let mut rec = Recovery::new(net, SrConfig::default().with_seed(seed))
-        .expect("valid topology");
+    let mut rec = Recovery::new(net, SrConfig::default().with_seed(seed)).expect("valid topology");
     let report = rec.run();
     assert!(report.fully_covered, "a spare exists, so SR converges");
     report.processes[0].hops
 }
 
-/// Like [`run_trial`] but additionally runs the SR-SC shortcut variant
+/// Like a plain sweep trial but additionally runs the SR-SC shortcut variant
 /// on the same deployment (used by the `figsc` extension figure).
 /// Returns `(trial, shortcut_metrics)`.
 pub fn run_trial_with_shortcut(
@@ -164,17 +165,16 @@ pub fn run_sweep(cfg: &SweepConfig) -> Vec<TrialResult> {
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results = std::sync::Mutex::new(Vec::with_capacity(jobs.len()));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(t, seed)) = jobs.get(k) else { break };
                 let r = run_trial(cfg, t, seed);
                 results.lock().expect("no poisoned trials").push(r);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     let mut out = results.into_inner().expect("scope joined");
     out.sort_by_key(|r| (r.n_target, r.seed));
     out
@@ -235,7 +235,9 @@ mod tests {
         let a = run_sweep(&cfg);
         let b = run_sweep(&cfg);
         assert_eq!(a, b);
-        assert!(a.windows(2).all(|w| (w[0].n_target, w[0].seed) < (w[1].n_target, w[1].seed)));
+        assert!(a
+            .windows(2)
+            .all(|w| (w[0].n_target, w[0].seed) < (w[1].n_target, w[1].seed)));
     }
 
     #[test]

@@ -112,7 +112,10 @@ pub fn expected_moves_dual(cols: u16, rows: u16, n: usize) -> f64 {
 ///
 /// Panics when `l < 2`, `n == 0`, or `r` is not positive and finite.
 pub fn expected_distance(l: usize, n: usize, r: f64) -> f64 {
-    assert!(r.is_finite() && r > 0.0, "cell side must be positive, got {r}");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "cell side must be positive, got {r}"
+    );
     CellGeometry::AVG_MOVE_FACTOR * r * expected_moves(l, n)
 }
 
@@ -127,9 +130,7 @@ pub fn expected_distance(l: usize, n: usize, r: f64) -> f64 {
 pub fn moves_variance(l: usize, n: usize) -> f64 {
     validate(l, n);
     let m = expected_moves(l, n);
-    let second_moment: f64 = (1..=l)
-        .map(|i| (i * i) as f64 * p_moves(l, n, i))
-        .sum();
+    let second_moment: f64 = (1..=l).map(|i| (i * i) as f64 * p_moves(l, n, i)).sum();
     (second_moment - m * m).max(0.0)
 }
 
@@ -229,7 +230,13 @@ mod tests {
 
     #[test]
     fn product_and_closed_forms_agree() {
-        for &(l, n) in &[(19usize, 1usize), (19, 12), (19, 140), (255, 10), (255, 300)] {
+        for &(l, n) in &[
+            (19usize, 1usize),
+            (19, 12),
+            (19, 140),
+            (255, 10),
+            (255, 300),
+        ] {
             for i in 1..=l {
                 let a = p_moves_paper_form(l, n, i);
                 let b = p_moves(l, n, i);
@@ -245,7 +252,10 @@ mod tests {
     fn p_is_a_distribution() {
         for &(l, n) in &[(19usize, 5usize), (255, 55), (23, 1)] {
             let total: f64 = (1..=l).map(|i| p_moves(l, n, i)).sum();
-            assert!((total - 1.0).abs() < 1e-9, "sum P = {total} at L={l}, N={n}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "sum P = {total} at L={l}, N={n}"
+            );
             assert!((1..=l).all(|i| p_moves(l, n, i) >= -1e-15));
         }
     }

@@ -74,7 +74,7 @@ pub struct SrConfig {
     /// Charge each movement and message against the acting node's
     /// battery; a node whose battery empties is disabled, which can
     /// itself open new holes mid-recovery (the battery-depletion attack
-    /// surface of the paper's reference [8]).
+    /// surface of the paper's reference \[8\]).
     pub battery_dynamics: bool,
     /// Re-elect every occupied cell's head each time this many rounds
     /// pass (the paper's §2: "the role of each head can be rotated

@@ -468,12 +468,7 @@ impl RoundProtocol for SrProtocol {
         let mut progress = false;
 
         // 1. Scheduled faults fire at the start of the round.
-        let fault_events: Vec<_> = self
-            .config
-            .fault_plan
-            .events_at(round)
-            .cloned()
-            .collect();
+        let fault_events: Vec<_> = self.config.fault_plan.events_at(round).cloned().collect();
         for ev in fault_events {
             let killed = self.net.apply_fault(&ev, &mut self.rng);
             if !killed.is_empty() {
@@ -506,7 +501,8 @@ impl RoundProtocol for SrProtocol {
         //    network from ever reaching quiescence.
         if let Some(period) = self.config.head_rotation_period {
             if round > 0 && round.is_multiple_of(period) {
-                self.net.elect_all_heads(self.config.election, &mut self.rng);
+                self.net
+                    .elect_all_heads(self.config.election, &mut self.rng);
             }
         }
         self.net.repair_heads(self.config.election, &mut self.rng);
@@ -542,7 +538,11 @@ impl RoundProtocol for SrProtocol {
                 .collect();
             for head in heads {
                 self.metrics.energy += idle;
-                if self.net.draw_battery(head, idle).expect("heads are deployed") {
+                if self
+                    .net
+                    .draw_battery(head, idle)
+                    .expect("heads are deployed")
+                {
                     self.net.disable_node(head).expect("heads are deployed");
                     self.failed_holes.clear();
                     progress = true;
@@ -593,7 +593,11 @@ mod tests {
         let pos = deploy::with_holes(&sys, holes, per_cell, &mut rng);
         let net = GridNetwork::new(sys, &pos);
         let topo = CycleTopology::build(cols, rows).unwrap();
-        SrProtocol::new(net, topo, SrConfig::default().with_seed(seed).with_trace(true))
+        SrProtocol::new(
+            net,
+            topo,
+            SrConfig::default().with_seed(seed).with_trace(true),
+        )
     }
 
     #[test]
@@ -716,7 +720,9 @@ mod tests {
         // 5x5 dual-path: test holes at the special cells A, B, C, D and a
         // chain cell.
         let topo = CycleTopology::build(5, 5).unwrap();
-        let CycleTopology::Dual(ref d) = topo else { panic!() };
+        let CycleTopology::Dual(ref d) = topo else {
+            panic!()
+        };
         for (i, hole) in [d.a(), d.b(), d.c(), d.d(), d.chain()[10]]
             .into_iter()
             .enumerate()
@@ -739,7 +745,9 @@ mod tests {
         // case-two probe at C must find it.
         let sys = GridSystem::new(5, 5, 4.4721).unwrap();
         let topo = CycleTopology::build(5, 5).unwrap();
-        let CycleTopology::Dual(ref dd) = topo else { panic!() };
+        let CycleTopology::Dual(ref dd) = topo else {
+            panic!()
+        };
         let (a, d) = (dd.a(), dd.d());
         let mut rng = SimRng::seed_from_u64(23);
         let mut pos = deploy::with_holes(&sys, &[d], 1, &mut rng);
@@ -966,7 +974,9 @@ mod tests {
             net.draw_battery(*id, f64::MAX).unwrap();
             let _ = Battery::new(0.01);
         }
-        let cfg = SrConfig::default().with_seed(43).with_battery_dynamics(true);
+        let cfg = SrConfig::default()
+            .with_seed(43)
+            .with_battery_dynamics(true);
         let p = SrProtocol::new(net, topo, cfg);
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
@@ -986,7 +996,9 @@ mod tests {
         let pos = deploy::with_holes(&sys, &holes, 2, &mut rng);
         let net = GridNetwork::new(sys, &pos);
         let topo = CycleTopology::build(4, 4).unwrap();
-        let cfg = SrConfig::default().with_seed(47).with_battery_dynamics(true);
+        let cfg = SrConfig::default()
+            .with_seed(47)
+            .with_battery_dynamics(true);
         let p = SrProtocol::new(net, topo, cfg);
         let (p, _) = run_protocol(p);
         assert!(p.network().vacant_cells().is_empty());

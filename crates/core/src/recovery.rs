@@ -82,7 +82,11 @@ impl fmt::Display for RecoveryReport {
         write!(
             f,
             "recovery {}: {} -> {} holes, {}",
-            if self.fully_covered { "complete" } else { "incomplete" },
+            if self.fully_covered {
+                "complete"
+            } else {
+                "incomplete"
+            },
             self.initial_stats.vacant,
             self.final_stats.vacant,
             self.metrics

@@ -270,9 +270,7 @@ impl ShortcutProtocol {
         let vacant = self.net.vacant_cells();
         let mut initiated = 0;
         for g in vacant {
-            if self.failed_holes.contains(&g)
-                || self.active.iter().any(|p| p.hole == g)
-            {
+            if self.failed_holes.contains(&g) || self.active.iter().any(|p| p.hole == g) {
                 continue;
             }
             let monitor = self.cycle.predecessor(g);
@@ -315,12 +313,7 @@ impl ShortcutProtocol {
 impl RoundProtocol for ShortcutProtocol {
     fn execute_round(&mut self, round: u64) -> RoundOutcome {
         let mut progress = false;
-        let fault_events: Vec<_> = self
-            .config
-            .fault_plan
-            .events_at(round)
-            .cloned()
-            .collect();
+        let fault_events: Vec<_> = self.config.fault_plan.events_at(round).cloned().collect();
         for ev in fault_events {
             let killed = self.net.apply_fault(&ev, &mut self.rng);
             if !killed.is_empty() {

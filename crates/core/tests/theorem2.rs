@@ -126,8 +126,5 @@ fn distance_tracks_moves_times_hop_factor() {
         total_distance += report.metrics.distance;
     }
     let per_hop = total_distance / total_moves as f64 / 10.0; // factor of r
-    assert!(
-        (0.95..=1.15).contains(&per_hop),
-        "per-hop factor {per_hop}"
-    );
+    assert!((0.95..=1.15).contains(&per_hop), "per-hop factor {per_hop}");
 }

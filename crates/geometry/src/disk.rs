@@ -35,7 +35,9 @@ impl Disk {
     /// and [`GeometryError::NonFinite`] on non-finite input.
     pub fn new(center: Point2, radius: f64) -> Result<Disk> {
         if !center.is_finite() || !radius.is_finite() {
-            return Err(GeometryError::NonFinite { context: "Disk::new" });
+            return Err(GeometryError::NonFinite {
+                context: "Disk::new",
+            });
         }
         if radius <= 0.0 {
             return Err(GeometryError::NonPositiveExtent {

@@ -42,7 +42,9 @@ impl Rect {
     /// allowed (they are useful as degenerate query boxes).
     pub fn new(min: Point2, max: Point2) -> Result<Rect> {
         if !min.is_finite() || !max.is_finite() {
-            return Err(GeometryError::NonFinite { context: "Rect::new" });
+            return Err(GeometryError::NonFinite {
+                context: "Rect::new",
+            });
         }
         if min.x > max.x || min.y > max.y {
             return Err(GeometryError::InvertedRect {

@@ -2,7 +2,7 @@
 //!
 //! The paper builds directly on the virtual-grid model of Xu & Heidemann
 //! (*Geography-informed energy conservation for ad hoc routing*,
-//! MobiCom'01 — the paper's reference [9]): the surveillance area is
+//! MobiCom'01 — the paper's reference \[9\]): the surveillance area is
 //! partitioned into an `n × m` grid of `r × r` cells; with communication
 //! range `R = √5·r` every enabled node can talk to nodes in the four
 //! 4-adjacent cells, so keeping one **head** awake per cell guarantees

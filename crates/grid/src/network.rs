@@ -505,8 +505,8 @@ mod tests {
         let net = GridNetwork::new(
             sys,
             &[
-                Point2::new(2.0, 2.0),   // exact top-right corner
-                Point2::new(5.0, -3.0),  // far outside
+                Point2::new(2.0, 2.0),  // exact top-right corner
+                Point2::new(5.0, -3.0), // far outside
             ],
         );
         net.debug_invariants();
@@ -518,14 +518,23 @@ mod tests {
     fn election_and_repair() {
         let (mut net, mut rng) = two_by_two();
         net.elect_all_heads(HeadElection::FirstId, &mut rng);
-        assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), Some(NodeId::new(0)));
+        assert_eq!(
+            net.head_of(GridCoord::new(0, 0)).unwrap(),
+            Some(NodeId::new(0))
+        );
         assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), None);
-        assert_eq!(net.spares(GridCoord::new(0, 0)).unwrap(), vec![NodeId::new(1)]);
+        assert_eq!(
+            net.spares(GridCoord::new(0, 0)).unwrap(),
+            vec![NodeId::new(1)]
+        );
         // Disable the head; repair elects the spare.
         net.disable_node(NodeId::new(0)).unwrap();
         assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), None);
         assert_eq!(net.repair_heads(HeadElection::FirstId, &mut rng), 1);
-        assert_eq!(net.head_of(GridCoord::new(0, 0)).unwrap(), Some(NodeId::new(1)));
+        assert_eq!(
+            net.head_of(GridCoord::new(0, 0)).unwrap(),
+            Some(NodeId::new(1))
+        );
         net.debug_invariants();
     }
 
@@ -548,15 +557,23 @@ mod tests {
         let (mut net, mut rng) = two_by_two();
         net.elect_all_heads(HeadElection::FirstId, &mut rng);
         // Move spare node 1 into vacant cell (0,1).
-        let out = net.move_node(NodeId::new(1), Point2::new(0.5, 1.5)).unwrap();
+        let out = net
+            .move_node(NodeId::new(1), Point2::new(0.5, 1.5))
+            .unwrap();
         assert_eq!(out.from, GridCoord::new(0, 0));
         assert_eq!(out.to, GridCoord::new(0, 1));
         assert!(out.distance > 0.0);
-        assert_eq!(net.members(GridCoord::new(0, 1)).unwrap(), &[NodeId::new(1)]);
+        assert_eq!(
+            net.members(GridCoord::new(0, 1)).unwrap(),
+            &[NodeId::new(1)]
+        );
         // New cell has no head until set explicitly.
         assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), None);
         net.set_head(GridCoord::new(0, 1), NodeId::new(1)).unwrap();
-        assert_eq!(net.head_of(GridCoord::new(0, 1)).unwrap(), Some(NodeId::new(1)));
+        assert_eq!(
+            net.head_of(GridCoord::new(0, 1)).unwrap(),
+            Some(NodeId::new(1))
+        );
         net.debug_invariants();
     }
 
@@ -565,7 +582,8 @@ mod tests {
         let (mut net, mut rng) = two_by_two();
         net.elect_all_heads(HeadElection::FirstId, &mut rng);
         // Node 2 is head of (1,0); move it north.
-        net.move_node(NodeId::new(2), Point2::new(1.5, 1.5)).unwrap();
+        net.move_node(NodeId::new(2), Point2::new(1.5, 1.5))
+            .unwrap();
         assert_eq!(net.head_of(GridCoord::new(1, 0)).unwrap(), None);
         assert!(net.is_vacant(GridCoord::new(1, 0)).unwrap());
         net.debug_invariants();

@@ -288,7 +288,10 @@ mod tests {
         }
         assert_eq!(sys.cell_of(Point2::new(-0.1, 0.0)), None);
         assert_eq!(sys.cell_of(Point2::new(8.0, 0.0)), None); // right edge open
-        assert_eq!(sys.cell_of(Point2::new(7.999, 9.999)), Some(GridCoord::new(3, 4)));
+        assert_eq!(
+            sys.cell_of(Point2::new(7.999, 9.999)),
+            Some(GridCoord::new(3, 4))
+        );
     }
 
     #[test]
@@ -310,10 +313,7 @@ mod tests {
         assert_eq!(sys.neighbors(GridCoord::new(0, 0)).len(), 2);
         assert_eq!(sys.neighbors(GridCoord::new(1, 0)).len(), 3);
         assert_eq!(sys.neighbors(GridCoord::new(1, 1)).len(), 4);
-        assert_eq!(
-            sys.neighbor(GridCoord::new(3, 3), Direction::East),
-            None
-        );
+        assert_eq!(sys.neighbor(GridCoord::new(3, 3), Direction::East), None);
     }
 
     #[test]

@@ -109,12 +109,7 @@ pub fn validate_dual(dual: &DualPathCycle) -> Result<(), String> {
         return Err("stored chain differs from path interiors".into());
     }
     // A, B, C, D mutual adjacency as required by the construction.
-    for (x, y, name) in [
-        (a, d, "A-D"),
-        (b, d, "B-D"),
-        (a, c, "A-C"),
-        (b, c, "B-C"),
-    ] {
+    for (x, y, name) in [(a, d, "A-D"), (b, d, "B-D"), (a, c, "A-C"), (b, c, "B-C")] {
         if !x.is_adjacent(y) {
             return Err(format!("{name} not adjacent ({x} !~ {y})"));
         }
@@ -137,19 +132,31 @@ mod tests {
         .collect();
         // Good path.
         assert!(validate_path(
-            &[GridCoord::new(0, 0), GridCoord::new(1, 0), GridCoord::new(1, 1)],
+            &[
+                GridCoord::new(0, 0),
+                GridCoord::new(1, 0),
+                GridCoord::new(1, 1)
+            ],
             &cells
         )
         .is_ok());
         // Non-adjacent jump.
         assert!(validate_path(
-            &[GridCoord::new(0, 0), GridCoord::new(1, 1), GridCoord::new(1, 0)],
+            &[
+                GridCoord::new(0, 0),
+                GridCoord::new(1, 1),
+                GridCoord::new(1, 0)
+            ],
             &cells
         )
         .is_err());
         // Repeat.
         assert!(validate_path(
-            &[GridCoord::new(0, 0), GridCoord::new(1, 0), GridCoord::new(0, 0)],
+            &[
+                GridCoord::new(0, 0),
+                GridCoord::new(1, 0),
+                GridCoord::new(0, 0)
+            ],
             &cells
         )
         .is_err());
@@ -157,7 +164,11 @@ mod tests {
         assert!(validate_path(&[GridCoord::new(0, 0)], &cells).is_err());
         // Foreign cell.
         assert!(validate_path(
-            &[GridCoord::new(0, 0), GridCoord::new(0, 1), GridCoord::new(1, 1)],
+            &[
+                GridCoord::new(0, 0),
+                GridCoord::new(0, 1),
+                GridCoord::new(1, 1)
+            ],
             &cells
         )
         .is_err());

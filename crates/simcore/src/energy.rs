@@ -10,7 +10,7 @@
 //!
 //! Default constants follow the common first-order model used by the
 //! movement-assisted deployment literature the paper compares against
-//! (Wang et al. [5]): movement ≈ 1 J/m (orders of magnitude above
+//! (Wang et al. \[5\]): movement ≈ 1 J/m (orders of magnitude above
 //! communication), transmission/reception in the mJ range per message.
 
 use serde::{Deserialize, Serialize};

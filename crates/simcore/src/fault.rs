@@ -2,7 +2,7 @@
 //!
 //! The paper's premise is that sensors "can very easily fail or
 //! misbehave" and that attackers can disable whole regions (its §1 cites
-//! jamming attacks [8] that reduce node density in certain areas). This
+//! jamming attacks \[8\] that reduce node density in certain areas). This
 //! module describes *when* and *which* nodes get disabled; the network
 //! layer applies the events to its occupancy state.
 //!
@@ -113,7 +113,7 @@ impl FaultPlan {
 
 /// A jammer moving in a straight line, disabling everything in its disk.
 ///
-/// Models the attack of Xu et al. (the paper's reference [8]): the
+/// Models the attack of Xu et al. (the paper's reference \[8\]): the
 /// jammer's footprint at round `t` is a disk of fixed radius centered at
 /// `start + t·velocity`. [`Jammer::plan`] expands the trajectory into a
 /// [`FaultPlan`] with one [`FaultEvent::KillRegion`] per round.
@@ -231,7 +231,9 @@ mod tests {
 
     #[test]
     fn displays_nonempty() {
-        assert!(!FaultEvent::KillRandomEnabled { count: 3 }.to_string().is_empty());
+        assert!(!FaultEvent::KillRandomEnabled { count: 3 }
+            .to_string()
+            .is_empty());
         assert!(!FaultEvent::KillNodes(vec![]).to_string().is_empty());
         let j = Jammer {
             start: Point2::ORIGIN,
@@ -239,6 +241,8 @@ mod tests {
             radius: 1.0,
         };
         assert!(!j.to_string().is_empty());
-        assert!(!FaultEvent::KillRegion(j.disk_at(0).unwrap()).to_string().is_empty());
+        assert!(!FaultEvent::KillRegion(j.disk_at(0).unwrap())
+            .to_string()
+            .is_empty());
     }
 }

@@ -17,7 +17,7 @@
 //! * [`engine`] — the synchronous round loop with quiescence detection.
 //! * [`fault`] — fault injection: random kills, targeted kills and a
 //!   moving-jammer region model (after Xu et al., *Jamming sensor
-//!   networks*, cited as [8] by the paper).
+//!   networks*, cited as \[8\] by the paper).
 //! * [`energy`] — the movement/communication energy model used by the
 //!   cost accounting.
 //! * [`metrics`] — counters for movements, distance, messages and

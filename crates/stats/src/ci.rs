@@ -73,7 +73,9 @@ mod tests {
 
     fn summary_of(n: usize) -> Summary {
         // Deterministic pseudo-data with known mean 0.5-ish.
-        (0..n).map(|i| ((i * 37 + 11) % 100) as f64 / 100.0).collect()
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 100) as f64 / 100.0)
+            .collect()
     }
 
     #[test]

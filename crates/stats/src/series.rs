@@ -130,9 +130,7 @@ impl Series {
             if diff <= 0.0 {
                 return Some(match prev {
                     // Interpolate between the sign change's endpoints.
-                    Some((px, pdiff)) if pdiff > 0.0 => {
-                        px + (x - px) * pdiff / (pdiff - diff)
-                    }
+                    Some((px, pdiff)) if pdiff > 0.0 => px + (x - px) * pdiff / (pdiff - diff),
                     _ => x,
                 });
             }
@@ -192,7 +190,13 @@ mod tests {
     #[test]
     fn aggregate_mean_groups_and_sorts() {
         let mut s = Series::new("t");
-        s.extend([(20.0, 4.0), (10.0, 1.0), (10.0, 3.0), (20.0, 6.0), (5.0, 9.0)]);
+        s.extend([
+            (20.0, 4.0),
+            (10.0, 1.0),
+            (10.0, 3.0),
+            (20.0, 6.0),
+            (5.0, 9.0),
+        ]);
         let m = s.aggregate_mean();
         assert_eq!(m.points(), &[(5.0, 9.0), (10.0, 2.0), (20.0, 5.0)]);
         assert_eq!(m.label(), "t");

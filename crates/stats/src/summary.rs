@@ -184,7 +184,9 @@ mod tests {
 
     #[test]
     fn known_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);

@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sr = Recovery::new(network.clone(), SrConfig::default().with_seed(seed))?.run();
     let ar = ArRecovery::new(network.clone(), ArConfig::default().with_seed(seed))?.run();
     let sm = smart::run(network.clone(), &SmartConfig { seed });
-    let vfr = vf::run(network, &VfConfig { seed, ..VfConfig::default() });
+    let vfr = vf::run(
+        network,
+        &VfConfig {
+            seed,
+            ..VfConfig::default()
+        },
+    );
 
     let mut table = TextTable::new(vec![
         "scheme",

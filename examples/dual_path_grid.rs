@@ -83,9 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!("5x5 dual-path structure (chain positions; D = start, C = end):");
     print!("{}", render_structure(dual));
-    println!(
-        "paths: one = A -> D -> ... -> C -> B;  two = B -> D -> ... -> C -> A\n"
-    );
+    println!("paths: one = A -> D -> ... -> C -> B;  two = B -> D -> ... -> C -> A\n");
 
     // Case one: a special endpoint cell becomes vacant; C initiates.
     recover_one(dual.a(), None, 1);

@@ -39,10 +39,7 @@ fn run_scheme(name: &str, shortcut: bool, battery_joules: f64) {
             .draw_battery(id, full - battery_joules)
             .expect("deployed");
     }
-    let center = Point2::new(
-        system.area().width() / 2.0,
-        system.area().height() / 2.0,
-    );
+    let center = Point2::new(system.area().width() / 2.0, system.area().height() / 2.0);
     let plan = strike_plan(center, 1.3 * system.cell_side(), 20, 200);
     let cfg = SrConfig::default()
         .with_seed(99)

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SR recovery: thread the cells on the directed Hamilton cycle, let
     // the monitoring heads detect the vacancies, and run the snake-like
     // cascading replacement to quiescence.
-    let mut recovery = Recovery::new(network, SrConfig::default().with_seed(2008).with_trace(true))?;
+    let mut recovery = Recovery::new(
+        network,
+        SrConfig::default().with_seed(2008).with_trace(true),
+    )?;
     let report = recovery.run();
 
     println!("\n--- protocol trace ---");

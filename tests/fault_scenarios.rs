@@ -61,7 +61,10 @@ fn strike_on_the_same_region_twice_drains_and_recovers() {
     let plan = FaultPlan::new()
         .at(0, FaultEvent::KillRegion(strike))
         .at(25, FaultEvent::KillRegion(strike));
-    let cfg = SrConfig::default().with_seed(3).with_fault_plan(plan).with_trace(true);
+    let cfg = SrConfig::default()
+        .with_seed(3)
+        .with_fault_plan(plan)
+        .with_trace(true);
     let mut rec = Recovery::new(net, cfg).unwrap();
     let report = rec.run();
     assert!(report.fully_covered, "{report}");

@@ -1,0 +1,27 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::{Rejection, TestRng};
+use std::ops::Range;
+
+/// Strategy for `Vec`s with lengths drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejection> {
+        let len = self.size.clone().generate(rng)?;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], [`test_runner::Config`] (`ProptestConfig`), the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter`, range /
+//! tuple / array-slice / [`strategy::Just`] strategies, and
+//! [`collection::vec`].
+//!
+//! Semantics: each `#[test]` runs `cases` iterations (default 256) with a
+//! deterministic per-test seed derived from the test's name, so failures
+//! reproduce exactly across runs. There is **no shrinking** — a failing
+//! case reports its case index and seed instead of a minimized input.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The names the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Wraps `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the two shapes the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, (a, b) in (0u16..4, 0u16..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut case: u32 = 0;
+                let mut rejects: u32 = 0;
+                while case < config.cases {
+                    // Rebuild the strategies each case: they are cheap
+                    // combinator values and may not be `Clone`.
+                    let sampled: ::core::result::Result<_, $crate::test_runner::Rejection> =
+                    (|rng: &mut $crate::test_runner::TestRng| {
+                        ::core::result::Result::Ok((
+                            $($crate::strategy::Strategy::generate(&($strategy), rng)?,)+
+                        ))
+                    })(&mut rng);
+                    let values = match sampled {
+                        ::core::result::Result::Ok(v) => v,
+                        ::core::result::Result::Err(_) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < config.cases.saturating_mul(256).max(4096),
+                                "proptest stand-in: too many rejected samples in {} \
+                                 ({} rejects for {} target cases)",
+                                stringify!($name), rejects, config.cases,
+                            );
+                            continue;
+                        }
+                    };
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        let ($($pat,)+) = values;
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| { $body ::core::result::Result::Ok(()) })()
+                    };
+                    match outcome {
+                        ::core::result::Result::Ok(()) => { case += 1; }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < config.cases.saturating_mul(256).max(4096),
+                                "proptest stand-in: too many prop_assume! rejections in {}",
+                                stringify!($name),
+                            );
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest stand-in: property {} failed at case {}: {}\n\
+                                 (deterministic seed — rerun reproduces this case)",
+                                stringify!($name), case, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case (returns `TestCaseError::Fail`) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current test case (it is resampled, not failed) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

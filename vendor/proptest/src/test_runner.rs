@@ -1,0 +1,77 @@
+//! Deterministic RNG and per-test configuration for the proptest
+//! stand-in.
+
+/// Per-test configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` successful cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (`prop_assume!` / `prop_filter`): resample.
+    Reject(&'static str),
+    /// The property failed: the whole test fails.
+    Fail(String),
+}
+
+/// A sample was rejected inside strategy generation (e.g. `prop_filter`
+/// never passed).
+#[derive(Debug, Clone, Copy)]
+pub struct Rejection;
+
+/// SplitMix64: tiny, deterministic, and plenty for sampling test inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from the test's name, so every run of a given test
+    /// draws the identical case sequence.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is irrelevant at test-input quality.
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde` (derive feature).
+//!
+//! Provides the two marker traits plus the no-op derive macros so that
+//! `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No data format
+//! is implemented. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
