@@ -22,7 +22,7 @@
 //!   counted) and the processes still count as converged — Figure 6(b)
 //!   measures spare-finding, not usefulness.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -112,6 +112,13 @@ pub struct ArProtocol {
     /// ("requires at least 4×m×n deployed nodes").
     failed_holes: HashSet<GridCoord>,
     ttl: usize,
+    /// Current holes (dense row-major indices), maintained from the
+    /// network's occupancy change journal — detection walks this in
+    /// O(holes) instead of scanning every cell. AR keeps its redundant
+    /// multi-initiation *per hole*; only hole discovery is indexed.
+    pending_holes: BTreeSet<usize>,
+    /// Scratch buffer reused by detection sweeps.
+    detect_buf: Vec<usize>,
 }
 
 impl ArProtocol {
@@ -129,6 +136,8 @@ impl ArProtocol {
         } else {
             config.ttl
         };
+        let pending_holes: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+        net.clear_changed_cells();
         ArProtocol {
             net,
             config,
@@ -141,6 +150,8 @@ impl ArProtocol {
             initiated: HashSet::new(),
             failed_holes: HashSet::new(),
             ttl,
+            pending_holes,
+            detect_buf: Vec::new(),
         }
     }
 
@@ -179,18 +190,18 @@ impl ArProtocol {
     }
 
     fn select_spare(&self, cell: GridCoord, target: GridCoord) -> Option<NodeId> {
-        let spares = self.net.spares(cell).ok()?;
-        if spares.is_empty() {
+        if self.net.spare_count(cell).ok()? == 0 {
             return None;
         }
+        let spares = self.net.spare_iter(cell).ok()?;
         let center = self
             .net
             .system()
             .cell_center(target)
             .expect("targets are cells");
         match self.config.spare_selection {
-            SpareSelection::FirstId => spares.iter().copied().min(),
-            SpareSelection::ClosestToTarget => spares.iter().copied().min_by(|&a, &b| {
+            SpareSelection::FirstId => spares.min(),
+            SpareSelection::ClosestToTarget => spares.min_by(|&a, &b| {
                 let da = self
                     .net
                     .node(a)
@@ -207,7 +218,7 @@ impl ArProtocol {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             }),
-            SpareSelection::MaxEnergy => spares.iter().copied().max_by(|&a, &b| {
+            SpareSelection::MaxEnergy => spares.max_by(|&a, &b| {
                 let ea = self.net.node(a).expect("deployed").battery().charge();
                 let eb = self.net.node(b).expect("deployed").battery().charge();
                 ea.partial_cmp(&eb)
@@ -276,7 +287,7 @@ impl ArProtocol {
         candidates
             .iter()
             .copied()
-            .find(|&c| self.net.spares(c).map(|s| !s.is_empty()).unwrap_or(false))
+            .find(|&c| self.net.spare_count(c).map(|n| n > 0).unwrap_or(false))
             .or_else(|| candidates.iter().copied().find(|&c| self.is_occupied(c)))
     }
 
@@ -361,8 +372,13 @@ impl RoundProtocol for ArProtocol {
         let mut initiated = std::mem::take(&mut self.initiated);
         initiated.retain(|(_, hole)| !self.is_occupied(*hole));
         self.initiated = initiated;
-        let vacant = self.net.vacant_cells();
-        for g in vacant {
+        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        let mut buf = std::mem::take(&mut self.detect_buf);
+        buf.clear();
+        buf.extend(self.pending_holes.iter().copied());
+        self.metrics.cells_scanned += buf.len() as u64;
+        for &hole_idx in &buf {
+            let g = self.net.system().coord_of(hole_idx);
             // A vacancy created by a cascade relaying through is owned by
             // that cascade (its own tail refills it); without this, every
             // relay would spawn up to three fresh processes and the
@@ -402,6 +418,7 @@ impl RoundProtocol for ArProtocol {
                 progress = true;
             }
         }
+        self.detect_buf = buf;
 
         self.metrics.rounds = round + 1;
         if progress {

@@ -76,6 +76,10 @@ fn balance_line(
     metrics: &mut Metrics,
     rng: &mut SimRng,
 ) {
+    // Each line scan reads every cell of the line — SMART's global
+    // adjustment cost ("node adjustments in the entire grid network");
+    // billed so the scan-work comparison against SR is quantified.
+    metrics.cells_scanned += cells.len() as u64;
     let loads: Vec<usize> = cells
         .iter()
         .map(|&c| net.members(c).expect("line cells in bounds").len())

@@ -104,6 +104,10 @@ pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
             .filter(|n| n.status().is_enabled())
             .map(|n| (n.id(), n.position()))
             .collect();
+        // VF recomputes the whole force field every round — the global
+        // per-round scan the paper criticizes; bill it so the comparison
+        // against SR's O(changed) detection is quantified.
+        metrics.cells_scanned += enabled.len() as u64;
         let mut moved_any = false;
         for (i, &(id, pos)) in enabled.iter().enumerate() {
             let mut force = Vec2::ZERO;

@@ -1,0 +1,82 @@
+//! The tentpole bench of the incremental occupancy engine: the same
+//! monitor-and-repair loop on the 64×64 mass-failure scenario, with hole
+//! discovery driven by the change-journal index versus the pre-index
+//! full-grid scan. Both modes make byte-identical repairs (pinned by
+//! `scenarios::tests`), so the gap is purely the discovery cost — the
+//! acceptance bar is indexed ≥ 5× faster wall-clock.
+//!
+//! A second group runs full SR recovery (change-driven quiescence) on
+//! grids the pre-index code paid O(cells) per round to even watch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wsn_bench::scenarios::{run_greedy_repair, OccupancyMode, Scenario};
+use wsn_coverage::{Recovery, SrConfig};
+use wsn_grid::{deploy, GridNetwork, GridSystem};
+use wsn_simcore::SimRng;
+
+fn bench_indexed_vs_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("occupancy_discovery_64x64");
+    for scenario in [
+        Scenario::mass_failure(64, 64),
+        Scenario::fault_storm(64, 64),
+        Scenario::jammer_walk(64, 64),
+    ] {
+        let base = scenario.build_network();
+        g.bench_with_input(
+            BenchmarkId::new("indexed", &scenario.name),
+            &scenario,
+            |b, s| b.iter(|| run_greedy_repair(black_box(s), base.clone(), OccupancyMode::Indexed)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_scan", &scenario.name),
+            &scenario,
+            |b, s| {
+                b.iter(|| run_greedy_repair(black_box(s), base.clone(), OccupancyMode::FullScan))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_large_grid_sr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sr_recovery_large_grids");
+    for &(cols, rows, holes) in &[(64u16, 64u16, 200usize), (128, 128, 500)] {
+        let sys = GridSystem::for_comm_range(cols, rows, 10.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(2_008);
+        let hole_cells: Vec<_> = {
+            let mut cells: Vec<_> = sys.iter_coords().collect();
+            // Deterministic spread: take every k-th cell.
+            let stride = cells.len() / holes;
+            cells = cells
+                .into_iter()
+                .step_by(stride.max(1))
+                .take(holes)
+                .collect();
+            cells
+        };
+        let pos = deploy::with_holes(&sys, &hole_cells, 2, &mut rng);
+        let net = GridNetwork::new(sys, &pos);
+        g.bench_with_input(
+            BenchmarkId::new("sr_adaptive", format!("{cols}x{rows}")),
+            &net,
+            |b, n| {
+                b.iter(|| {
+                    let mut rec =
+                        Recovery::new(black_box(n.clone()), SrConfig::default().with_seed(9))
+                            .unwrap();
+                    rec.run_adaptive()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_indexed_vs_scan, bench_large_grid_sr
+}
+criterion_main!(benches);

@@ -3,17 +3,21 @@
 //! ```text
 //! cargo run -p wsn-bench --bin figures --release            # all figures
 //! cargo run -p wsn-bench --bin figures --release -- fig6    # one figure
-//! cargo run -p wsn-bench --bin figures --release -- --quick # smoke sweep
+//! cargo run -p wsn-bench --bin figures --release -- --quick # reduced sweep
+//! cargo run -p wsn-bench --bin figures --release -- --smoke # CI smoke: tiny grid, seconds
 //! ```
 //!
 //! ASCII plots go to stdout; `<fig>.txt` and `<fig>.csv` land in
-//! `results/` at the workspace root (or `$WSN_RESULTS_DIR`).
+//! `results/` at the workspace root (or `$WSN_RESULTS_DIR`), and every
+//! Monte-Carlo sweep additionally writes machine-readable
+//! `sweep_<cols>x<rows>.json` so perf/behavior trajectories can be
+//! diffed across revisions.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wsn_bench::figures;
-use wsn_bench::sweep::{run_sweep, SweepConfig};
+use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
 use wsn_stats::table::TextTable;
 
 fn out_dir() -> PathBuf {
@@ -22,8 +26,21 @@ fn out_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
+/// The CI smoke configuration: an 8×8 grid, two targets, one trial —
+/// every sweep code path exercised in well under a minute.
+fn smoke_config() -> SweepConfig {
+    SweepConfig {
+        cols: 8,
+        rows: 8,
+        targets: vec![10, 100],
+        trials: 1,
+        ..SweepConfig::default()
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick");
     let wanted: Vec<&str> = args
         .iter()
@@ -85,7 +102,9 @@ fn main() -> ExitCode {
     }
 
     if want("fig6") || want("fig7") || want("fig8") {
-        let cfg = if quick {
+        let cfg = if smoke {
+            smoke_config()
+        } else if quick {
             SweepConfig::quick()
         } else {
             SweepConfig::default()
@@ -98,6 +117,15 @@ fn main() -> ExitCode {
             cfg.rows
         );
         let results = run_sweep(&cfg);
+        let json_name = format!("sweep_{}x{}.json", cfg.cols, cfg.rows);
+        if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| {
+            std::fs::write(
+                dir.join(&json_name),
+                sweep_to_json(&cfg, &results).to_file_string(),
+            )
+        }) {
+            eprintln!("failed to write {json_name}: {e}");
+        }
 
         // A summary table in the spirit of the paper's observations.
         let mut table = TextTable::new(vec![
@@ -170,7 +198,13 @@ fn main() -> ExitCode {
 
     // Extension figures (not in the paper; see EXPERIMENTS.md).
     if wanted.iter().any(|w| w.starts_with("figpmf")) {
-        let trials = if quick { 300 } else { 2000 };
+        let trials = if smoke {
+            100
+        } else if quick {
+            300
+        } else {
+            2000
+        };
         eprintln!("simulating {trials} single replacements for the P(i) distribution ...");
         emit(
             "figpmf",
@@ -181,7 +215,9 @@ fn main() -> ExitCode {
         );
     }
     if wanted.iter().any(|w| w.starts_with("figsc")) {
-        let cfg = if quick {
+        let cfg = if smoke {
+            smoke_config()
+        } else if quick {
             SweepConfig::quick()
         } else {
             SweepConfig::default()

@@ -26,6 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod scenarios;
 pub mod sweep;
 
+pub use scenarios::{run_greedy_repair, OccupancyMode, RepairOutcome, Scenario};
 pub use sweep::{run_sweep, SweepConfig, TrialResult};

@@ -6,6 +6,7 @@ use wsn_baselines::{ArConfig, ArRecovery};
 use wsn_coverage::{Recovery, SrConfig};
 use wsn_grid::{deploy, GridNetwork, GridSystem};
 use wsn_simcore::{Metrics, SimRng};
+use wsn_stats::JsonValue;
 
 /// Sweep parameters. The defaults are the paper's §5 setup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -180,6 +181,68 @@ pub fn run_sweep(cfg: &SweepConfig) -> Vec<TrialResult> {
     out
 }
 
+fn metrics_json(m: &Metrics) -> JsonValue {
+    JsonValue::obj([
+        ("moves", JsonValue::from(m.moves)),
+        ("distance", JsonValue::from(m.distance)),
+        (
+            "processes_initiated",
+            JsonValue::from(m.processes_initiated),
+        ),
+        (
+            "processes_converged",
+            JsonValue::from(m.processes_converged),
+        ),
+        ("processes_failed", JsonValue::from(m.processes_failed)),
+        (
+            "success_rate_percent",
+            JsonValue::from(m.success_rate_percent()),
+        ),
+        ("messages", JsonValue::from(m.messages)),
+        ("energy", JsonValue::from(m.energy)),
+        ("rounds", JsonValue::from(m.rounds)),
+        ("cells_scanned", JsonValue::from(m.cells_scanned)),
+    ])
+}
+
+/// Serializes a completed sweep as machine-readable JSON — the artifact
+/// `results/sweep_<cols>x<rows>.json` that lets perf trajectories be
+/// diffed across revisions instead of eyeballing ASCII figures. Trial
+/// order is the deterministic `(n_target, seed)` order of
+/// [`run_sweep`], so identical code produces identical files.
+pub fn sweep_to_json(cfg: &SweepConfig, results: &[TrialResult]) -> JsonValue {
+    let targets: Vec<JsonValue> = cfg.targets.iter().map(|&t| JsonValue::from(t)).collect();
+    let trials: Vec<JsonValue> = results
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("n_target", JsonValue::from(r.n_target)),
+                ("seed", JsonValue::from(r.seed)),
+                ("holes", JsonValue::from(r.holes)),
+                ("spares", JsonValue::from(r.spares)),
+                ("sr", metrics_json(&r.sr)),
+                ("sr_covered", JsonValue::from(r.sr_covered)),
+                ("ar", metrics_json(&r.ar)),
+                ("ar_covered", JsonValue::from(r.ar_covered)),
+            ])
+        })
+        .collect();
+    JsonValue::obj([
+        (
+            "config",
+            JsonValue::obj([
+                ("cols", JsonValue::from(usize::from(cfg.cols))),
+                ("rows", JsonValue::from(usize::from(cfg.rows))),
+                ("comm_range", JsonValue::from(cfg.comm_range)),
+                ("targets", JsonValue::Arr(targets)),
+                ("trials", JsonValue::from(cfg.trials)),
+                ("base_seed", JsonValue::from(cfg.base_seed)),
+            ]),
+        ),
+        ("trials", JsonValue::Arr(trials)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +301,26 @@ mod tests {
         assert!(a
             .windows(2)
             .all(|w| (w[0].n_target, w[0].seed) < (w[1].n_target, w[1].seed)));
+    }
+
+    #[test]
+    fn sweep_json_is_deterministic_and_well_formed() {
+        let cfg = SweepConfig {
+            targets: vec![10],
+            trials: 2,
+            ..SweepConfig::default()
+        };
+        let results = run_sweep(&cfg);
+        let a = sweep_to_json(&cfg, &results).to_string();
+        let b = sweep_to_json(&cfg, &results).to_string();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"config\""));
+        assert!(a.contains("\"cols\":16"));
+        assert!(a.contains("\"n_target\":10"));
+        assert!(a.contains("\"cells_scanned\""));
+        // One trial object per (target, seed) pair.
+        assert_eq!(a.matches("\"seed\":").count(), 2);
     }
 
     #[test]

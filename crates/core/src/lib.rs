@@ -55,6 +55,6 @@ pub mod shortcut;
 
 pub use config::{SpareSelection, SrConfig};
 pub use process::{ProcessId, ProcessStatus, ProcessSummary};
-pub use protocol::SrProtocol;
+pub use protocol::{DetectionOutcome, SrProtocol};
 pub use recovery::{Recovery, RecoveryReport, SrError};
 pub use shortcut::{ShortcutProtocol, ShortcutRecovery, ShortcutReport};

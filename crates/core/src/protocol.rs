@@ -30,12 +30,13 @@
 //! is deterministic and only matters in the rare dual-path corner where
 //! two processes share an asked cell (`C` watches both `A` and `B`).
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 use wsn_grid::{GridCoord, GridError, GridNetwork};
 use wsn_hamilton::{BackwardStep, CycleTopology};
 use wsn_simcore::{
-    EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, SimRng, TraceEvent, TraceLog,
+    ChangeDrivenProtocol, EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, SimRng,
+    TraceEvent, TraceLog,
 };
 
 use crate::movement::movement_target;
@@ -51,6 +52,31 @@ enum BackwardResolution {
     Wait,
     /// The walk covered the whole structure: no spare exists.
     Exhausted,
+}
+
+/// What one detection sweep did: how many replacement processes it
+/// actually started (`initiated`) versus how many known holes stayed
+/// unserviced this round because the monitoring head was not scheduled
+/// in asynchronous mode (`pending`). Earlier revisions folded the two
+/// together, over-reporting initiations in async runs; keeping them
+/// split makes progress accounting honest while the round still counts
+/// as active in both cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionOutcome {
+    /// Processes started this round (matches
+    /// [`Metrics::processes_initiated`] increments).
+    pub initiated: usize,
+    /// Holes whose initiation was deferred by asynchronous-mode
+    /// scheduling; still outstanding work.
+    pub pending: usize,
+}
+
+impl DetectionOutcome {
+    /// `true` when the sweep either started a process or deferred one —
+    /// either way the round made or scheduled progress.
+    pub fn any_activity(&self) -> bool {
+        self.initiated > 0 || self.pending > 0
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -87,6 +113,14 @@ pub struct SrProtocol {
     /// zero-spare regime); the set is cleared when faults change the
     /// network, the only event that can make a retry meaningful.
     failed_holes: HashSet<GridCoord>,
+    /// Current holes as dense row-major cell indices, maintained from the
+    /// network's occupancy change journal — detection iterates this in
+    /// O(holes) per round instead of scanning every cell. `BTreeSet`
+    /// keeps row-major order, so sweeps visit holes exactly as the old
+    /// full scan did.
+    pending_holes: BTreeSet<usize>,
+    /// Scratch buffer reused by detection sweeps (no per-round allocs).
+    detect_buf: Vec<usize>,
 }
 
 impl SrProtocol {
@@ -110,6 +144,10 @@ impl SrProtocol {
         } else {
             TraceLog::disabled()
         };
+        // Seed the pending-hole set from the index once; every later
+        // round folds in the change journal instead of rescanning.
+        let pending_holes: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+        net.clear_changed_cells();
         SrProtocol {
             net,
             topo,
@@ -121,6 +159,8 @@ impl SrProtocol {
             active: Vec::new(),
             summaries: Vec::new(),
             failed_holes: HashSet::new(),
+            pending_holes,
+            detect_buf: Vec::new(),
         }
     }
 
@@ -174,7 +214,7 @@ impl SrProtocol {
     }
 
     fn spare_count(&self, cell: GridCoord) -> usize {
-        self.net.spares(cell).map(|s| s.len()).unwrap_or(0)
+        self.net.spare_count(cell).unwrap_or(0)
     }
 
     fn is_occupied(&self, cell: GridCoord) -> bool {
@@ -182,18 +222,18 @@ impl SrProtocol {
     }
 
     fn select_spare(&mut self, cell: GridCoord, target: GridCoord) -> Option<NodeId> {
-        let spares = self.net.spares(cell).ok()?;
-        if spares.is_empty() {
+        if self.net.spare_count(cell).ok()? == 0 {
             return None;
         }
+        let spares = self.net.spare_iter(cell).ok()?;
         let target_center = self
             .net
             .system()
             .cell_center(target)
             .expect("targets are in-bounds cells");
         match self.config.spare_selection {
-            SpareSelection::FirstId => spares.iter().copied().min(),
-            SpareSelection::ClosestToTarget => spares.iter().copied().min_by(|&a, &b| {
+            SpareSelection::FirstId => spares.min(),
+            SpareSelection::ClosestToTarget => spares.min_by(|&a, &b| {
                 let da = self
                     .net
                     .node(a)
@@ -210,7 +250,7 @@ impl SrProtocol {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))
             }),
-            SpareSelection::MaxEnergy => spares.iter().copied().max_by(|&a, &b| {
+            SpareSelection::MaxEnergy => spares.max_by(|&a, &b| {
                 let ea = self.net.node(a).expect("deployed").battery().charge();
                 let eb = self.net.node(b).expect("deployed").battery().charge();
                 ea.partial_cmp(&eb)
@@ -398,11 +438,17 @@ impl SrProtocol {
 
     /// Detection + initiation (Algorithm 1 step 1): every vacant cell not
     /// already owned by an active process is detected by its unique
-    /// monitoring head. Returns the number of processes initiated.
-    fn detect_and_initiate(&mut self, round: u64) -> usize {
-        let vacant = self.net.vacant_cells();
-        let mut initiated = 0;
-        for g in vacant {
+    /// monitoring head. Sweeps the journal-maintained pending-hole set
+    /// (row-major, like the full scan it replaced) rather than the grid.
+    fn detect_and_initiate(&mut self, round: u64) -> DetectionOutcome {
+        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        let mut buf = std::mem::take(&mut self.detect_buf);
+        buf.clear();
+        buf.extend(self.pending_holes.iter().copied());
+        self.metrics.cells_scanned += buf.len() as u64;
+        let mut outcome = DetectionOutcome::default();
+        for &idx in &buf {
+            let g = self.net.system().coord_of(idx);
             if self.failed_holes.contains(&g) {
                 continue; // unfillable until the network changes
             }
@@ -419,8 +465,8 @@ impl SrProtocol {
                 && !self.rng.bernoulli(self.config.activation_probability)
             {
                 // Asynchronous mode: this monitor was not scheduled this
-                // round; the vacancy is still pending work.
-                initiated += 1;
+                // round; the vacancy is deferred, not initiated.
+                outcome.pending += 1;
                 continue;
             }
             self.trace.record(
@@ -457,9 +503,46 @@ impl SrProtocol {
                     initiator: monitor.into(),
                 },
             );
-            initiated += 1;
+            outcome.initiated += 1;
         }
-        initiated
+        self.detect_buf = buf;
+        outcome
+    }
+
+    /// Whether hole `idx` could be acted on if a round ran now: not
+    /// blacklisted as unfillable, and monitored by an occupied cell.
+    fn hole_is_actionable(&self, idx: usize) -> bool {
+        let g = self.net.system().coord_of(idx);
+        if self.failed_holes.contains(&g) {
+            return false;
+        }
+        self.is_occupied(self.topo.monitors(g))
+    }
+}
+
+impl ChangeDrivenProtocol for SrProtocol {
+    fn has_pending_work(&self, round: u64) -> bool {
+        if !self.active.is_empty() {
+            return true;
+        }
+        if self
+            .config
+            .fault_plan
+            .last_round()
+            .is_some_and(|r| r >= round)
+        {
+            return true;
+        }
+        // Journal entries not yet folded into the pending set (e.g. holes
+        // opened by idle-drain deaths after the last detection sweep).
+        if self.net.changed_cells().iter().any(|&c| {
+            self.net.occupancy().is_vacant(c as usize) && self.hole_is_actionable(c as usize)
+        }) {
+            return true;
+        }
+        self.pending_holes
+            .iter()
+            .any(|&idx| self.net.occupancy().is_vacant(idx) && self.hole_is_actionable(idx))
     }
 }
 
@@ -520,8 +603,10 @@ impl RoundProtocol for SrProtocol {
             // On removal the next process shifted into position i.
         }
 
-        // 4. Detection and initiation for unowned holes.
-        progress |= self.detect_and_initiate(round) > 0;
+        // 4. Detection and initiation for unowned holes. A deferred
+        //    (async-mode) initiation is still scheduled work, so both
+        //    halves of the outcome keep the round from going quiescent.
+        progress |= self.detect_and_initiate(round).any_activity();
 
         // 5. Surveillance duty: heads burn idle energy every round (the
         //    GAF rationale for rotating the role). Only modeled when

@@ -72,6 +72,11 @@ pub struct ShortcutProtocol {
     active: Vec<ScProcess>,
     summaries: Vec<ProcessSummary>,
     failed_holes: std::collections::HashSet<GridCoord>,
+    /// Current holes (dense indices, row-major), maintained from the
+    /// occupancy change journal — same O(changed) detection as SR.
+    pending_holes: std::collections::BTreeSet<usize>,
+    /// Scratch buffer reused by detection sweeps.
+    detect_buf: Vec<usize>,
 }
 
 impl ShortcutProtocol {
@@ -85,6 +90,9 @@ impl ShortcutProtocol {
             TraceLog::disabled()
         };
         let cells = net.system().cell_count();
+        let pending_holes: std::collections::BTreeSet<usize> =
+            net.occupancy().iter_vacant().collect();
+        net.clear_changed_cells();
         ShortcutProtocol {
             net,
             cycle,
@@ -97,6 +105,8 @@ impl ShortcutProtocol {
             active: Vec::new(),
             summaries: Vec::new(),
             failed_holes: std::collections::HashSet::new(),
+            pending_holes,
+            detect_buf: Vec::new(),
         }
     }
 
@@ -138,7 +148,7 @@ impl ShortcutProtocol {
     }
 
     fn spare_count(&self, cell: GridCoord) -> usize {
-        self.net.spares(cell).map(|s| s.len()).unwrap_or(0)
+        self.net.spare_count(cell).unwrap_or(0)
     }
 
     fn idx(&self, cell: GridCoord) -> usize {
@@ -154,6 +164,10 @@ impl ShortcutProtocol {
     fn gossip(&mut self) {
         let prev = self.spare_dist.clone();
         let sys = *self.net.system();
+        // The gradient refresh is SR-SC's inherent full sweep (one beacon
+        // read per cell per round); bill it so the scan-cost comparison
+        // against SR's O(changed) detection stays honest.
+        self.metrics.cells_scanned += sys.cell_count() as u64;
         for coord in sys.iter_coords() {
             let i = self.idx(coord);
             if self.net.is_vacant(coord).unwrap_or(true) {
@@ -181,9 +195,8 @@ impl ShortcutProtocol {
             // Dispatch: the spare flies straight to the hole.
             let spare = self
                 .net
-                .spares(p.courier)
+                .spare_iter(p.courier)
                 .expect("in bounds")
-                .into_iter()
                 .min()
                 .expect("non-empty by spare_count");
             let dest = movement_target(self.net.system(), p.hole, &mut self.rng);
@@ -267,9 +280,13 @@ impl ShortcutProtocol {
     }
 
     fn detect_and_initiate(&mut self, round: u64) -> usize {
-        let vacant = self.net.vacant_cells();
+        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        let mut buf = std::mem::take(&mut self.detect_buf);
+        buf.clear();
+        buf.extend(self.pending_holes.iter().copied());
         let mut initiated = 0;
-        for g in vacant {
+        for &idx in &buf {
+            let g = self.net.system().coord_of(idx);
             if self.failed_holes.contains(&g) || self.active.iter().any(|p| p.hole == g) {
                 continue;
             }
@@ -306,6 +323,7 @@ impl ShortcutProtocol {
             );
             initiated += 1;
         }
+        self.detect_buf = buf;
         initiated
     }
 }

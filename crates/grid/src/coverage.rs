@@ -69,8 +69,11 @@ impl fmt::Display for CoverageVerdict {
 /// axis); 100 gives ±1% accuracy, plenty for the repository's assertions.
 pub fn coverage_verdict(net: &GridNetwork, resolution: usize) -> CoverageVerdict {
     let sys = net.system();
-    let mut headless = Vec::new();
-    let mut disks = Vec::new();
+    // The occupancy index bounds the answer from below: every vacant
+    // cell is headless, so it sizes the vector and cross-checks the
+    // head sweep.
+    let mut headless = Vec::with_capacity(net.vacant_count());
+    let mut disks = Vec::with_capacity(net.occupied_cells());
     let sensing = SENSING_RANGE_FACTOR * sys.cell_side();
     for coord in sys.iter_coords() {
         match net.head_of(coord).expect("iter_coords in bounds") {
@@ -81,6 +84,10 @@ pub fn coverage_verdict(net: &GridNetwork, resolution: usize) -> CoverageVerdict
             None => headless.push(coord),
         }
     }
+    debug_assert!(
+        headless.len() >= net.vacant_count(),
+        "every hole in the occupancy index must be headless"
+    );
     let geometric_coverage =
         wsn_geometry::coverage_fraction(&sys.area(), &disks, resolution.max(1));
     CoverageVerdict {

@@ -46,6 +46,7 @@ pub mod deploy;
 pub mod election;
 mod error;
 mod network;
+pub mod occupancy;
 pub mod render;
 mod system;
 
@@ -54,6 +55,7 @@ pub use coverage::{connectivity_verdict, coverage_verdict, k_coverage_fraction, 
 pub use election::HeadElection;
 pub use error::GridError;
 pub use network::{GridNetwork, MoveOutcome, NetworkStats};
+pub use occupancy::VacancySet;
 pub use system::{GridSystem, COMM_RANGE_FACTOR, DIAGONAL_RANGE_FACTOR};
 
 /// Result alias for grid-layer errors.

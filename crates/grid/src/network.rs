@@ -6,7 +6,7 @@ use std::fmt;
 use wsn_geometry::Point2;
 use wsn_simcore::{FaultEvent, NodeId, SensorNode, SimRng};
 
-use crate::{GridCoord, GridError, GridSystem, HeadElection, Result};
+use crate::{GridCoord, GridError, GridSystem, HeadElection, Result, VacancySet};
 
 /// The outcome of a completed node movement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,14 +33,23 @@ pub struct NetworkStats {
 }
 
 /// The deployed network over a [`GridSystem`]: node table, per-cell
-/// membership of enabled nodes, and elected heads.
+/// membership of enabled nodes, elected heads, and the incremental
+/// occupancy index.
 ///
 /// Invariants (checked by `debug_invariants` in tests):
 ///
 /// * a node appears in exactly one cell's member list iff it is enabled,
 ///   and that cell contains its position;
 /// * a cell's head, when set, is one of its members;
-/// * a cell with no members ("vacant" — the paper's *hole*) has no head.
+/// * a cell with no members ("vacant" — the paper's *hole*) has no head;
+/// * the [`VacancySet`] bitset and the enabled counter agree with the
+///   member table (every mutation path maintains them in O(1)).
+///
+/// Occupancy queries (`stats`, `vacant_count`, `total_spares`,
+/// `spare_count`) are O(1); vacancy enumeration (`vacant_iter`) is
+/// allocation-free; and the change journal ([`GridNetwork::changed_cells`])
+/// lets round-based protocols track new/filled holes in O(changed) per
+/// round instead of rescanning the grid.
 ///
 /// ```
 /// use wsn_grid::{GridNetwork, GridSystem, HeadElection};
@@ -52,7 +61,8 @@ pub struct NetworkStats {
 /// let mut rng = SimRng::seed_from_u64(0);
 /// net.elect_all_heads(HeadElection::FirstId, &mut rng);
 /// assert_eq!(net.stats().spares, 1);
-/// assert_eq!(net.vacant_cells().len(), 3);
+/// assert_eq!(net.vacant_count(), 3); // O(1), no scan
+/// assert_eq!(net.vacant_iter().count(), 3); // row-major, no allocation
 /// # Ok::<(), wsn_grid::GridError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +73,10 @@ pub struct GridNetwork {
     members: Vec<Vec<NodeId>>,
     /// Elected head per cell.
     heads: Vec<Option<NodeId>>,
+    /// Vacancy bitset + change journal, maintained by every mutation.
+    occupancy: VacancySet,
+    /// Enabled-node counter, maintained by every mutation.
+    enabled: usize,
 }
 
 impl GridNetwork {
@@ -90,11 +104,22 @@ impl GridNetwork {
             members[system.index_of(cell).expect("cell_of returns in-bounds")].push(id);
             nodes.push(SensorNode::new(id, p));
         }
+        let mut occupancy = VacancySet::new(system.cell_count());
+        for (idx, m) in members.iter().enumerate() {
+            if !m.is_empty() {
+                occupancy.set_occupied(idx);
+            }
+        }
+        // A freshly deployed network starts with a clean journal: the
+        // initial state is the consumer's baseline, not a change.
+        occupancy.clear_changes();
         GridNetwork {
             system,
+            enabled: nodes.len(),
             nodes,
             members,
             heads: vec![None; system.cell_count()],
+            occupancy,
         }
     }
 
@@ -128,9 +153,50 @@ impl GridNetwork {
         self.nodes.len()
     }
 
-    /// Number of enabled nodes.
+    /// Number of enabled nodes — O(1), maintained incrementally.
+    #[inline]
     pub fn enabled_count(&self) -> usize {
-        self.members.iter().map(Vec::len).sum()
+        self.enabled
+    }
+
+    /// The incremental occupancy index (vacancy bitset + change
+    /// journal). Most callers use the convenience accessors
+    /// ([`GridNetwork::vacant_iter`], [`GridNetwork::changed_cells`]);
+    /// the raw index is exposed for index-level consumers.
+    #[inline]
+    pub fn occupancy(&self) -> &VacancySet {
+        &self.occupancy
+    }
+
+    /// Cells whose occupancy toggled since the last
+    /// [`GridNetwork::clear_changed_cells`], as dense row-major indices,
+    /// deduplicated. Protocols use this to maintain pending-hole sets in
+    /// O(changed) per round; read current vacancy from the index, not
+    /// from the entry ordering.
+    #[inline]
+    pub fn changed_cells(&self) -> &[u32] {
+        self.occupancy.changed_cells()
+    }
+
+    /// Empties the occupancy change journal (the consumer caught up).
+    pub fn clear_changed_cells(&mut self) {
+        self.occupancy.clear_changes();
+    }
+
+    /// Folds the change journal into a consumer's pending-hole set —
+    /// cells that became vacant are inserted, filled cells removed —
+    /// then clears the journal. O(changed). This is the canonical way a
+    /// round-based protocol keeps its hole set current; current vacancy
+    /// is read from the index, per the journal's hint semantics.
+    pub fn drain_changed_cells_into(&mut self, pending: &mut std::collections::BTreeSet<usize>) {
+        for &c in self.occupancy.changed_cells() {
+            if self.occupancy.is_vacant(c as usize) {
+                pending.insert(c as usize);
+            } else {
+                pending.remove(&(c as usize));
+            }
+        }
+        self.occupancy.clear_changes();
     }
 
     /// The cell currently containing enabled node `id`, or `None` when
@@ -171,11 +237,35 @@ impl GridNetwork {
     /// Returns [`GridError::OutOfBounds`] for coordinates outside the
     /// grid.
     pub fn is_vacant(&self, coord: GridCoord) -> Result<bool> {
-        Ok(self.members(coord)?.is_empty())
+        Ok(self.occupancy.is_vacant(self.system.index_of(coord)?))
     }
 
-    /// All vacant cells, in row-major order.
+    /// All vacant cells, in row-major order. Allocates; hot paths use
+    /// [`GridNetwork::vacant_iter`] or the change journal instead.
     pub fn vacant_cells(&self) -> Vec<GridCoord> {
+        self.vacant_iter().collect()
+    }
+
+    /// Iterates the vacant cells in row-major order without allocating,
+    /// skipping fully-occupied 64-cell blocks via the vacancy bitset.
+    pub fn vacant_iter(&self) -> impl Iterator<Item = GridCoord> + '_ {
+        self.occupancy
+            .iter_vacant()
+            .map(|i| self.system.coord_of(i))
+    }
+
+    /// Number of vacant cells — O(1), maintained incrementally.
+    #[inline]
+    pub fn vacant_count(&self) -> usize {
+        self.occupancy.vacant_count()
+    }
+
+    /// All vacant cells recomputed by a full scan of the member table,
+    /// bypassing the incremental index. This is the pre-index O(cells)
+    /// code path, kept as the correctness oracle for `debug_invariants`
+    /// and the property tests, and as the baseline the occupancy bench
+    /// measures the index against.
+    pub fn vacant_cells_scan(&self) -> Vec<GridCoord> {
         self.members
             .iter()
             .enumerate()
@@ -184,9 +274,10 @@ impl GridNetwork {
             .collect()
     }
 
-    /// Number of cells with at least one enabled node.
+    /// Number of cells with at least one enabled node — O(1).
+    #[inline]
     pub fn occupied_cells(&self) -> usize {
-        self.members.iter().filter(|m| !m.is_empty()).count()
+        self.occupancy.occupied_count()
     }
 
     /// Spares in `coord`: enabled members that are not the head. When no
@@ -204,32 +295,49 @@ impl GridNetwork {
     }
 
     /// Ids of spare nodes in `coord` (members minus the head; when no
-    /// head is set, all but the first member).
+    /// head is set, all but the first member). Allocates; hot paths use
+    /// [`GridNetwork::spare_iter`].
     ///
     /// # Errors
     ///
     /// Returns [`GridError::OutOfBounds`] for coordinates outside the
     /// grid.
     pub fn spares(&self, coord: GridCoord) -> Result<Vec<NodeId>> {
+        Ok(self.spare_iter(coord)?.collect())
+    }
+
+    /// Iterates the spare nodes of `coord` without allocating, in member
+    /// order — the same ids [`GridNetwork::spares`] collects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn spare_iter(&self, coord: GridCoord) -> Result<impl Iterator<Item = NodeId> + '_> {
         let idx = self.system.index_of(coord)?;
         let head = self.heads[idx];
-        let m = &self.members[idx];
-        Ok(match head {
-            Some(h) => m.iter().copied().filter(|&id| id != h).collect(),
-            None => m.iter().copied().skip(1).collect(),
-        })
+        Ok(self.members[idx]
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(move |&(i, id)| match head {
+                Some(h) => id != h,
+                None => i != 0,
+            })
+            .map(|(_, id)| id))
     }
 
     /// Total spares in the network — the paper's `N`
-    /// (`enabled − occupied`).
+    /// (`enabled − occupied`). O(1).
+    #[inline]
     pub fn total_spares(&self) -> usize {
-        self.enabled_count() - self.occupied_cells()
+        self.enabled - self.occupancy.occupied_count()
     }
 
-    /// Headline occupancy numbers.
+    /// Headline occupancy numbers — O(1), read from the index.
     pub fn stats(&self) -> NetworkStats {
-        let enabled = self.enabled_count();
-        let occupied = self.occupied_cells();
+        let enabled = self.enabled;
+        let occupied = self.occupancy.occupied_count();
         NetworkStats {
             enabled,
             occupied,
@@ -312,6 +420,10 @@ impl GridNetwork {
         if self.heads[idx] == Some(id) {
             self.heads[idx] = None;
         }
+        self.enabled -= 1;
+        if self.members[idx].is_empty() {
+            self.occupancy.set_vacant(idx);
+        }
         Ok(Some(cell))
     }
 
@@ -352,6 +464,10 @@ impl GridNetwork {
             if self.heads[from_idx] == Some(id) {
                 self.heads[from_idx] = None;
             }
+            if self.members[from_idx].is_empty() {
+                self.occupancy.set_vacant(from_idx);
+            }
+            self.occupancy.set_occupied(to_idx);
         }
         Ok(MoveOutcome {
             from: from_cell,
@@ -450,6 +566,18 @@ impl GridNetwork {
                 );
             }
         }
+        // The incremental index must agree with a full member-table scan.
+        self.occupancy.verify(|i| self.members[i].is_empty());
+        assert_eq!(
+            self.enabled,
+            self.members.iter().map(Vec::len).sum::<usize>(),
+            "enabled counter out of sync with member lists"
+        );
+        assert_eq!(
+            self.vacant_cells(),
+            self.vacant_cells_scan(),
+            "indexed vacancy enumeration disagrees with the full scan"
+        );
     }
 }
 
@@ -643,5 +771,72 @@ mod tests {
         let s = net.to_string();
         assert!(s.contains("3 enabled"));
         assert!(s.contains("2 vacant"));
+    }
+
+    #[test]
+    fn fresh_network_has_clean_journal_and_consistent_index() {
+        let (net, _) = two_by_two();
+        assert!(net.changed_cells().is_empty());
+        assert_eq!(net.vacant_count(), 2);
+        assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+        assert_eq!(net.vacant_iter().count(), 2);
+        assert_eq!(net.occupancy().occupied_count(), 2);
+    }
+
+    #[test]
+    fn mutations_feed_the_change_journal() {
+        let (mut net, _) = two_by_two();
+        // Disabling the lone member of (1,0) opens a hole -> journaled.
+        net.disable_node(NodeId::new(2)).unwrap();
+        let idx_10 = net.system().index_of(GridCoord::new(1, 0)).unwrap() as u32;
+        assert_eq!(net.changed_cells(), &[idx_10]);
+        // Disabling one of two members of (0,0) changes nothing.
+        net.disable_node(NodeId::new(0)).unwrap();
+        assert_eq!(net.changed_cells(), &[idx_10]);
+        net.clear_changed_cells();
+        // Moving the last member of (0,0) into (0,1) journals both ends.
+        net.move_node(NodeId::new(1), Point2::new(0.5, 1.5))
+            .unwrap();
+        let idx_00 = net.system().index_of(GridCoord::new(0, 0)).unwrap() as u32;
+        let idx_01 = net.system().index_of(GridCoord::new(0, 1)).unwrap() as u32;
+        let mut changed = net.changed_cells().to_vec();
+        changed.sort_unstable();
+        assert_eq!(changed, vec![idx_00, idx_01]);
+        assert!(net.is_vacant(GridCoord::new(0, 0)).unwrap());
+        assert!(!net.is_vacant(GridCoord::new(0, 1)).unwrap());
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn spare_iter_matches_spares_with_and_without_head() {
+        let (mut net, mut rng) = two_by_two();
+        let c = GridCoord::new(0, 0);
+        // No head yet: all but the first member.
+        assert_eq!(
+            net.spare_iter(c).unwrap().collect::<Vec<_>>(),
+            net.spares(c).unwrap()
+        );
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        assert_eq!(
+            net.spare_iter(c).unwrap().collect::<Vec<_>>(),
+            net.spares(c).unwrap()
+        );
+        assert_eq!(
+            net.spare_iter(c).unwrap().count(),
+            net.spare_count(c).unwrap()
+        );
+        assert!(net.spare_iter(GridCoord::new(9, 9)).is_err());
+    }
+
+    #[test]
+    fn o1_counters_track_mutations() {
+        let (mut net, mut rng) = two_by_two();
+        assert_eq!(net.total_spares(), 1);
+        net.apply_fault(&FaultEvent::KillRandomEnabled { count: 1 }, &mut rng);
+        assert_eq!(net.enabled_count(), 2);
+        let stats = net.stats();
+        assert_eq!(stats.enabled, 2);
+        assert_eq!(stats.occupied + stats.vacant, 4);
+        net.debug_invariants();
     }
 }

@@ -92,6 +92,88 @@ proptest! {
     }
 
     #[test]
+    fn incremental_occupancy_matches_full_scan_after_any_op_sequence(
+        (cols, rows) in dims(), count in 0usize..250,
+        seed in 0u64..1000, steps in 1usize..60,
+    ) {
+        // The tentpole invariant of the occupancy engine: after ANY
+        // random sequence of deploys, faults, moves, and elections, the
+        // incremental VacancySet / spare counters agree exactly with a
+        // from-scratch full scan of the member table.
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform(&sys, count, &mut rng);
+        let mut net = GridNetwork::new(sys, &pos);
+        prop_assert!(net.changed_cells().is_empty(), "fresh journal must be clean");
+        let area = sys.area();
+        for _ in 0..steps {
+            match rng.range_u32(5) {
+                0 => {
+                    // Disable a random node (may already be disabled).
+                    if count > 0 {
+                        let id = NodeId::new(rng.range_u32(count as u32));
+                        let _ = net.disable_node(id);
+                    }
+                }
+                1 => {
+                    // Move a random enabled node anywhere in the area.
+                    if count > 0 {
+                        let id = NodeId::new(rng.range_u32(count as u32));
+                        let target = Point2::new(
+                            rng.uniform_in(area.min().x, area.max().x * 0.9999),
+                            rng.uniform_in(area.min().y, area.max().y * 0.9999),
+                        );
+                        let _ = net.move_node(id, target);
+                    }
+                }
+                2 => {
+                    let _ = net.apply_fault(
+                        &FaultEvent::KillRandomEnabled { count: rng.range_usize(4) },
+                        &mut rng,
+                    );
+                }
+                3 => net.elect_all_heads(HeadElection::FirstId, &mut rng),
+                _ => {
+                    net.repair_heads(HeadElection::FirstId, &mut rng);
+                }
+            }
+            // Index vs oracle, every step.
+            prop_assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+            prop_assert_eq!(
+                net.vacant_iter().count(), net.vacant_count()
+            );
+            let mut enabled_scan = 0usize;
+            let mut occupied_scan = 0usize;
+            let mut spares_scan = 0usize;
+            for c in sys.iter_coords() {
+                let members = net.members(c).unwrap().len();
+                enabled_scan += members;
+                occupied_scan += usize::from(members > 0);
+                spares_scan += members.saturating_sub(1);
+                prop_assert_eq!(net.spare_count(c).unwrap(), members.saturating_sub(1));
+                prop_assert_eq!(
+                    net.spare_iter(c).unwrap().collect::<Vec<_>>(),
+                    net.spares(c).unwrap()
+                );
+            }
+            prop_assert_eq!(net.enabled_count(), enabled_scan);
+            prop_assert_eq!(net.occupied_cells(), occupied_scan);
+            prop_assert_eq!(net.total_spares(), spares_scan);
+            let stats = net.stats();
+            prop_assert_eq!(stats.enabled, enabled_scan);
+            prop_assert_eq!(stats.vacant, sys.cell_count() - occupied_scan);
+            // Journal entries stay in range and deduplicated (full
+            // index verification, including journal bits, lives in
+            // debug_invariants).
+            net.debug_invariants();
+        }
+        // A consumer that drains the journal ends up with pending state
+        // matching reality.
+        net.clear_changed_cells();
+        prop_assert!(net.changed_cells().is_empty());
+    }
+
+    #[test]
     fn target_spares_hits_target((cols, rows) in (2u16..10, 2u16..10), target in 0usize..60, seed in 0u64..500) {
         let sys = GridSystem::new(cols, rows, 2.0).unwrap();
         let mut rng = SimRng::seed_from_u64(seed);

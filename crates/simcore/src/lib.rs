@@ -47,7 +47,10 @@ pub mod rng;
 pub mod trace;
 
 pub use energy::{Battery, EnergyModel};
-pub use engine::{EngineError, Quiescence, RoundOutcome, RoundProtocol, RoundRunner, RunReport};
+pub use engine::{
+    ChangeDrivenProtocol, EngineError, Quiescence, RoundOutcome, RoundProtocol, RoundRunner,
+    RunReport,
+};
 pub use fault::{FaultEvent, FaultPlan, Jammer};
 pub use metrics::Metrics;
 pub use node::{NodeId, NodeStatus, SensorNode};

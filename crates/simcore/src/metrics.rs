@@ -30,6 +30,12 @@ pub struct Metrics {
     pub energy: f64,
     /// Rounds executed.
     pub rounds: u64,
+    /// Cells (or nodes, for node-centric schemes) examined by occupancy
+    /// scans: hole-detection sweeps, global balancing scans, force-field
+    /// snapshots. Quantifies the paper's §1 criticism of global schemes —
+    /// SR's change-journal detection keeps this O(changed) per round
+    /// while scan-based baselines accumulate full-grid counts.
+    pub cells_scanned: u64,
 }
 
 impl Metrics {
@@ -73,6 +79,7 @@ impl Add for Metrics {
             messages: self.messages + rhs.messages,
             energy: self.energy + rhs.energy,
             rounds: self.rounds.max(rhs.rounds),
+            cells_scanned: self.cells_scanned + rhs.cells_scanned,
         }
     }
 }
@@ -87,7 +94,7 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "moves={} distance={:.1}m processes={} ({} ok, {} failed, {:.1}%) messages={} energy={:.1}J rounds={}",
+            "moves={} distance={:.1}m processes={} ({} ok, {} failed, {:.1}%) messages={} energy={:.1}J rounds={} scanned={}",
             self.moves,
             self.distance,
             self.processes_initiated,
@@ -96,7 +103,8 @@ impl fmt::Display for Metrics {
             self.success_rate_percent(),
             self.messages,
             self.energy,
-            self.rounds
+            self.rounds,
+            self.cells_scanned
         )
     }
 }
@@ -137,6 +145,7 @@ mod tests {
             messages: 5,
             energy: 1.0,
             rounds: 7,
+            cells_scanned: 100,
         };
         let b = Metrics {
             moves: 1,
@@ -147,12 +156,14 @@ mod tests {
             messages: 2,
             energy: 0.5,
             rounds: 3,
+            cells_scanned: 10,
         };
         let c = a + b;
         assert_eq!(c.moves, 3);
         assert_eq!(c.distance, 4.0);
         assert_eq!(c.processes_initiated, 3);
         assert_eq!(c.rounds, 7);
+        assert_eq!(c.cells_scanned, 110);
         let mut d = a;
         d += b;
         assert_eq!(d, c);

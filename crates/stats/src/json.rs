@@ -1,0 +1,177 @@
+//! Minimal JSON emission (hand-rolled, like [`crate::csv`] — the sweep
+//! results are flat numeric records, so a serializer dependency would
+//! buy nothing, and the offline `serde` stand-in has no `serde_json`).
+//!
+//! Construction is by value tree; [`JsonValue`]'s `Display` renders
+//! RFC 8259-conformant text with escaped strings and finite numbers
+//! (non-finite floats render as `null`, the interoperable convention).
+
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; key order is preserved as inserted.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders with a trailing newline — the shape result files want.
+    pub fn to_file_string(&self) -> String {
+        format!("{self}\n")
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> JsonValue {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(n: f64) -> JsonValue {
+        JsonValue::Num(n)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> JsonValue {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> JsonValue {
+        JsonValue::Str(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> JsonValue {
+        JsonValue::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 is the shortest round-trip form; integers
+                    // print without a fraction part, as JSON expects.
+                    write!(f, "{n}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            JsonValue::Str(s) => write_escaped(f, s),
+            JsonValue::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Obj(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(3u64).to_string(), "3");
+        assert_eq!(JsonValue::from(2.5).to_string(), "2.5");
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_compose() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::from("sweep")),
+            ("targets", JsonValue::from(vec![10u64, 55])),
+            ("nested", JsonValue::obj([("ok", JsonValue::from(true))])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"sweep","targets":[10,55],"nested":{"ok":true}}"#
+        );
+        assert!(v.to_file_string().ends_with('\n'));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Arr(vec![]).to_string(), "[]");
+        assert_eq!(JsonValue::Obj(vec![]).to_string(), "{}");
+    }
+}

@@ -20,6 +20,7 @@
 pub mod ci;
 pub mod csv;
 pub mod histogram;
+pub mod json;
 pub mod plot;
 mod series;
 mod summary;
@@ -27,5 +28,6 @@ pub mod table;
 
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
+pub use json::JsonValue;
 pub use series::Series;
 pub use summary::{percentile_sorted, Summary};
