@@ -1,10 +1,11 @@
 //! Regenerates every evaluation figure of the paper.
 //!
 //! ```text
-//! cargo run -p wsn-bench --bin figures --release            # all figures
-//! cargo run -p wsn-bench --bin figures --release -- fig6    # one figure
-//! cargo run -p wsn-bench --bin figures --release -- --quick # reduced sweep
-//! cargo run -p wsn-bench --bin figures --release -- --smoke # CI smoke: tiny grid, seconds
+//! cargo run -p wsn-bench --bin figures --release               # all figures
+//! cargo run -p wsn-bench --bin figures --release -- fig6       # one figure
+//! cargo run -p wsn-bench --bin figures --release -- --quick    # reduced sweep
+//! cargo run -p wsn-bench --bin figures --release -- --smoke    # CI smoke: tiny grid, seconds
+//! cargo run -p wsn-bench --bin figures --release -- --campaign # Figures 6-8 with CI whiskers
 //! ```
 //!
 //! ASCII plots go to stdout; `<fig>.txt` and `<fig>.csv` land in
@@ -12,10 +13,17 @@
 //! Monte-Carlo sweep additionally writes machine-readable
 //! `sweep_<cols>x<rows>.json` so perf/behavior trajectories can be
 //! diffed across revisions.
+//!
+//! `--campaign` swaps the single-grid sweep behind Figures 6–8 for the
+//! campaign engine: 30 seeds per matrix cell, streaming statistics, and
+//! 95% CI whisker curves on every experimental series, exported as
+//! `campaign_<name>.json` + `.csv` (combine with `--quick`/`--smoke`
+//! for the reduced matrices).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use wsn_bench::campaign::{run_campaign, CampaignConfig};
 use wsn_bench::figures;
 use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
 use wsn_stats::table::TextTable;
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick");
+    let campaign = args.iter().any(|a| a == "--campaign");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -101,7 +110,79 @@ fn main() -> ExitCode {
         }
     }
 
-    if want("fig6") || want("fig7") || want("fig8") {
+    if campaign && (want("fig6") || want("fig7") || want("fig8")) {
+        let cfg = if smoke {
+            CampaignConfig::smoke()
+        } else if quick {
+            CampaignConfig::quick()
+        } else {
+            CampaignConfig::paper()
+        };
+        eprintln!(
+            "running campaign '{}': {} cells x {} seeds ({} trials) ...",
+            cfg.name,
+            cfg.cell_count(),
+            cfg.seeds_per_cell,
+            cfg.trial_count()
+        );
+        let result = match run_campaign(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result.save(&dir) {
+            Ok((json_path, csv_path)) => eprintln!(
+                "campaign artifacts: {} + {}",
+                json_path.display(),
+                csv_path.display()
+            ),
+            Err(e) => eprintln!("failed to write campaign artifacts: {e}"),
+        }
+        let (cols, rows) = cfg.grids[0];
+        let pct = (cfg.ci_level * 100.0).round();
+        if want("fig6") {
+            emit(
+                "fig6a_campaign",
+                &format!(
+                    "Figure 6(a): # of processes initiated ({cols}x{rows}, {pct}% CI whiskers)"
+                ),
+                "# of spare nodes left in networks (N)",
+                "# of processes",
+                &figures::fig6a_campaign(&result),
+            );
+            emit(
+                "fig6b_campaign",
+                &format!("Figure 6(b): success rate (%) ({cols}x{rows}, {pct}% CI whiskers)"),
+                "# of spare nodes left in networks (N)",
+                "percentage",
+                &figures::fig6b_campaign(&result),
+            );
+        }
+        if want("fig7") {
+            emit(
+                "fig7_campaign",
+                &format!(
+                    "Figure 7: # of node movements ({cols}x{rows}, {pct}% CI whiskers + analytical)"
+                ),
+                "# of spare nodes left in networks (N)",
+                "# of node moves",
+                &figures::fig7_campaign(&result),
+            );
+        }
+        if want("fig8") {
+            emit(
+                "fig8_campaign",
+                &format!(
+                    "Figure 8: total moving distance ({cols}x{rows}, {pct}% CI whiskers + analytical)"
+                ),
+                "# of spare nodes left in networks (N)",
+                "total moving distance",
+                &figures::fig8_campaign(&result),
+            );
+        }
+    } else if want("fig6") || want("fig7") || want("fig8") {
         let cfg = if smoke {
             smoke_config()
         } else if quick {

@@ -1,0 +1,999 @@
+//! The parallel campaign engine: experiment matrices with streaming
+//! statistics.
+//!
+//! [`sweep`](crate::sweep) reproduces the paper's §5 comparison on one
+//! grid with a hand-rolled seed loop; a **campaign** generalizes it to a
+//! full experiment matrix — scheme × grid size × spare target `N` ×
+//! seed — sized for the grids the occupancy engine was built for
+//! (256×256+) and for enough seeds per cell that every curve carries a
+//! confidence interval. Three properties are load-bearing:
+//!
+//! * **Lazy expansion.** The matrix is never materialized: a trial is
+//!   addressed by a single dense index, decoded on demand into
+//!   `(scheme, grid, N, trial)`. A million-trial campaign costs a
+//!   counter, not a job vector.
+//! * **Deterministic RNG streams.** Trial `(cols, rows, N, t)` draws its
+//!   seed from [`wsn_simcore::derive_stream_seed`] — addressed by
+//!   coordinates, not by draw order — so any worker may run any trial
+//!   and the scheme axis is deliberately excluded from the stream path:
+//!   every scheme sees byte-identical deployments, exactly like the
+//!   paper's paired comparison. Aggregates are folded **in trial
+//!   order** per cell (a small reorder window buffers out-of-order
+//!   completions), making campaign output bit-identical for any worker
+//!   count — the property `tests/determinism.rs` proves.
+//! * **Streaming aggregation.** Trial outcomes fold into per-cell
+//!   [`StreamingStat`]s (Welford moments, 95% CI, online histograms for
+//!   moves/distance) the moment they complete, so memory is O(matrix
+//!   cells), not O(trials).
+//!
+//! Execution uses a work-stealing pool of scoped threads: the trial
+//! index space is split into per-worker ranges; a worker that drains its
+//! range steals the back half of the largest remaining one. Results
+//! export through [`CampaignResult::save`] as
+//! `results/campaign_<name>.json` + `.csv`, and
+//! [`crate::figures`] regenerates Figures 6–8 with CI whiskers from a
+//! campaign via `figures --campaign`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use wsn_baselines::{ArConfig, ArRecovery};
+use wsn_coverage::{Recovery, ShortcutRecovery, SrConfig};
+use wsn_grid::{deploy, GridNetwork, GridSystem};
+use wsn_simcore::{derive_stream_seed, Metrics, SimRng};
+use wsn_stats::{Histogram, JsonValue, StreamingStat};
+
+/// A recovery scheme runnable as one matrix axis value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The paper's synchronized replacement (this repo's contribution).
+    Sr,
+    /// The unsynchronized AR baseline (Jiang et al., WSNS'07).
+    Ar,
+    /// The SR-SC shortcut variant (§6 future work; even-sided grids
+    /// only).
+    SrSc,
+}
+
+impl Scheme {
+    /// Figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Sr => "SR",
+            Scheme::Ar => "AR",
+            Scheme::SrSc => "SR-SC",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What one campaign trial measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignMode {
+    /// The paper's §5 methodology: `(N + m·n)` nodes dropped uniformly,
+    /// the scheme repairs every deployment hole (Figures 6–8).
+    FullRecovery,
+    /// Theorem 2's exact setting: one node per non-hole cell, exactly
+    /// `N` spares, one hole, one replacement (Figures 3/5; SR only).
+    SingleReplacement,
+}
+
+impl CampaignMode {
+    fn json_name(&self) -> &'static str {
+        match self {
+            CampaignMode::FullRecovery => "full_recovery",
+            CampaignMode::SingleReplacement => "single_replacement",
+        }
+    }
+}
+
+/// Campaign configuration: the experiment matrix plus execution knobs.
+///
+/// The matrix is the cartesian product `schemes × grids × targets`, with
+/// `seeds_per_cell` trials per cell. `workers` affects wall-clock only —
+/// never results — and is therefore excluded from the exported config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Artifact base name: results land in `campaign_<name>.json`/`.csv`.
+    pub name: String,
+    /// Schemes to run (figure legend order).
+    pub schemes: Vec<Scheme>,
+    /// Grid dimensions `(cols, rows)` to sweep.
+    pub grids: Vec<(u16, u16)>,
+    /// Spare targets `N` (the x-axis of Figures 6–8).
+    pub targets: Vec<usize>,
+    /// Node communication range `R` in meters (`r = R/√5`).
+    pub comm_range: f64,
+    /// Monte-Carlo trials per matrix cell (≥30 for the paper figures, so
+    /// normal-approximation intervals are defensible).
+    pub seeds_per_cell: u64,
+    /// Master seed every per-trial stream is derived from.
+    pub master_seed: u64,
+    /// What each trial measures.
+    pub mode: CampaignMode,
+    /// Confidence level for exported intervals (0.90/0.95/0.99).
+    pub ci_level: f64,
+    /// Worker-thread override (`None` = available parallelism). Not part
+    /// of the exported artifact: results are bit-identical for any value.
+    pub workers: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::paper()
+    }
+}
+
+impl CampaignConfig {
+    /// The paper's §5 matrix with CI-grade statistics: SR vs AR on the
+    /// 16×16 grid, the full Figure 6–8 target sweep, 30 seeds per cell.
+    pub fn paper() -> CampaignConfig {
+        CampaignConfig {
+            name: "paper16".into(),
+            schemes: vec![Scheme::Ar, Scheme::Sr],
+            grids: vec![(16, 16)],
+            targets: vec![
+                10, 25, 55, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+            ],
+            comm_range: 10.0,
+            seeds_per_cell: 30,
+            master_seed: 20_080_617, // ICDCS 2008 began June 17.
+            mode: CampaignMode::FullRecovery,
+            ci_level: 0.95,
+            workers: None,
+        }
+    }
+
+    /// A reduced matrix (4 targets, 10 seeds) for local iteration.
+    pub fn quick() -> CampaignConfig {
+        CampaignConfig {
+            name: "quick16".into(),
+            targets: vec![10, 55, 200, 1000],
+            seeds_per_cell: 10,
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// The seconds-long CI smoke matrix: 8×8 grid, two targets, three
+    /// seeds. Also the fixture config of the golden-file test.
+    pub fn smoke() -> CampaignConfig {
+        CampaignConfig {
+            name: "smoke8".into(),
+            grids: vec![(8, 8)],
+            targets: vec![10, 100],
+            seeds_per_cell: 3,
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// Sets the worker-thread count (testing and benchmarking knob).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> CampaignConfig {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the trials-per-cell count.
+    #[must_use]
+    pub fn with_seeds_per_cell(mut self, seeds: u64) -> CampaignConfig {
+        self.seeds_per_cell = seeds;
+        self
+    }
+
+    /// Number of matrix cells.
+    pub fn cell_count(&self) -> usize {
+        self.schemes.len() * self.grids.len() * self.targets.len()
+    }
+
+    /// Total trials the campaign will execute.
+    pub fn trial_count(&self) -> u64 {
+        self.cell_count() as u64 * self.seeds_per_cell
+    }
+
+    /// Decodes a dense cell index into `(scheme, (cols, rows), n)` —
+    /// canonical order: schemes outermost, targets innermost.
+    fn cell_params(&self, cell: usize) -> (Scheme, (u16, u16), usize) {
+        let per_scheme = self.grids.len() * self.targets.len();
+        let scheme = self.schemes[cell / per_scheme];
+        let rest = cell % per_scheme;
+        let grid = self.grids[rest / self.targets.len()];
+        let n = self.targets[rest % self.targets.len()];
+        (scheme, grid, n)
+    }
+
+    fn validate(&self) -> Result<(), CampaignError> {
+        if self.schemes.is_empty() || self.grids.is_empty() || self.targets.is_empty() {
+            return Err(CampaignError::EmptyMatrix);
+        }
+        if self.seeds_per_cell == 0 {
+            return Err(CampaignError::ZeroSeeds);
+        }
+        if self.mode == CampaignMode::SingleReplacement
+            && self.schemes.iter().any(|s| *s != Scheme::Sr)
+        {
+            return Err(CampaignError::SingleReplacementNeedsSr);
+        }
+        let supported = [0.90, 0.95, 0.99];
+        if !supported.iter().any(|l| (l - self.ci_level).abs() < 1e-9) {
+            return Err(CampaignError::UnsupportedCiLevel(self.ci_level));
+        }
+        if !(self.comm_range.is_finite() && self.comm_range > 0.0) {
+            return Err(CampaignError::BadCommRange(self.comm_range));
+        }
+        // Establish every per-trial precondition here, so trial execution
+        // cannot fail (or panic on a worker thread) for a validated
+        // matrix.
+        let invalid =
+            |(cols, rows), reason: String| CampaignError::InvalidGrid { cols, rows, reason };
+        for &grid in &self.grids {
+            let (cols, rows) = grid;
+            if let Err(e) = GridSystem::for_comm_range(cols, rows, self.comm_range) {
+                return Err(invalid(grid, e.to_string()));
+            }
+            if self
+                .schemes
+                .iter()
+                .any(|s| matches!(s, Scheme::Sr | Scheme::SrSc))
+            {
+                match wsn_hamilton::CycleTopology::build(cols, rows) {
+                    Err(e) => return Err(invalid(grid, e.to_string())),
+                    Ok(topo) => {
+                        if self.schemes.contains(&Scheme::SrSc)
+                            && !matches!(topo, wsn_hamilton::CycleTopology::Single(_))
+                        {
+                            return Err(invalid(
+                                grid,
+                                "SR-SC requires a single Hamilton cycle (one even side)".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// JSON view of the matrix definition. Deliberately excludes
+    /// `workers`: the artifact must be bit-identical however the
+    /// campaign was scheduled.
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("name", JsonValue::from(self.name.as_str())),
+            ("mode", JsonValue::from(self.mode.json_name())),
+            (
+                "schemes",
+                JsonValue::Arr(
+                    self.schemes
+                        .iter()
+                        .map(|s| JsonValue::from(s.label()))
+                        .collect(),
+                ),
+            ),
+            (
+                "grids",
+                JsonValue::Arr(
+                    self.grids
+                        .iter()
+                        .map(|&(c, r)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::from(usize::from(c)),
+                                JsonValue::from(usize::from(r)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "targets",
+                JsonValue::Arr(self.targets.iter().map(|&t| JsonValue::from(t)).collect()),
+            ),
+            ("comm_range", JsonValue::from(self.comm_range)),
+            ("seeds_per_cell", JsonValue::from(self.seeds_per_cell)),
+            ("master_seed", JsonValue::from(self.master_seed)),
+            ("ci_level", JsonValue::from(self.ci_level)),
+        ])
+    }
+}
+
+/// Campaign configuration errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// Schemes, grids or targets is empty.
+    EmptyMatrix,
+    /// `seeds_per_cell` must be at least 1.
+    ZeroSeeds,
+    /// [`CampaignMode::SingleReplacement`] measures Theorem 2's SR
+    /// setting; other schemes have no closed form to validate.
+    SingleReplacementNeedsSr,
+    /// `ci_level` must be 0.90, 0.95 or 0.99.
+    UnsupportedCiLevel(f64),
+    /// `comm_range` must be finite and positive.
+    BadCommRange(f64),
+    /// A grid in the matrix cannot run the configured schemes (invalid
+    /// dimensions, no Hamilton structure for SR, or no single cycle for
+    /// SR-SC).
+    InvalidGrid {
+        /// Offending grid columns.
+        cols: u16,
+        /// Offending grid rows.
+        rows: u16,
+        /// What the grid fails to support.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::EmptyMatrix => write!(f, "campaign matrix has an empty axis"),
+            CampaignError::ZeroSeeds => write!(f, "seeds_per_cell must be at least 1"),
+            CampaignError::SingleReplacementNeedsSr => {
+                write!(f, "single-replacement campaigns support only Scheme::Sr")
+            }
+            CampaignError::UnsupportedCiLevel(l) => {
+                write!(f, "unsupported ci_level {l}; use 0.90/0.95/0.99")
+            }
+            CampaignError::BadCommRange(r) => {
+                write!(f, "comm_range must be finite and positive, got {r}")
+            }
+            CampaignError::InvalidGrid { cols, rows, reason } => {
+                write!(f, "grid {cols}x{rows} cannot run this matrix: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// What one trial observed (the unit that folds into a cell aggregate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TrialOutcome {
+    holes: usize,
+    spares: usize,
+    covered: bool,
+    metrics: Metrics,
+}
+
+/// Streaming aggregate of one matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// The cell's scheme.
+    pub scheme: Scheme,
+    /// Grid columns.
+    pub cols: u16,
+    /// Grid rows.
+    pub rows: u16,
+    /// The cell's spare target `N`.
+    pub n_target: usize,
+    /// Trials folded so far.
+    pub trials: u64,
+    /// Trials that ended fully covered.
+    pub covered_trials: u64,
+    /// Deployment holes per trial.
+    pub holes: StreamingStat,
+    /// Deployment spares per trial.
+    pub spares: StreamingStat,
+    /// One accumulator per [`Metrics::FIELD_NAMES`] entry; `moves` and
+    /// `distance` carry online histograms (32 bins, tails clamped).
+    metrics: Vec<StreamingStat>,
+}
+
+impl CellStats {
+    fn new(
+        scheme: Scheme,
+        (cols, rows): (u16, u16),
+        n_target: usize,
+        comm_range: f64,
+    ) -> CellStats {
+        let cells = cols as usize * rows as usize;
+        let side = comm_range / 5f64.sqrt();
+        let metrics = Metrics::FIELD_NAMES
+            .iter()
+            .map(|&name| match name {
+                "moves" => StreamingStat::with_histogram(
+                    Histogram::new(0.0, (8 * cells) as f64, 32).expect("positive range"),
+                ),
+                "distance" => StreamingStat::with_histogram(
+                    Histogram::new(0.0, (8 * cells) as f64 * 2.0 * side, 32)
+                        .expect("positive range"),
+                ),
+                _ => StreamingStat::new(),
+            })
+            .collect();
+        CellStats {
+            scheme,
+            cols,
+            rows,
+            n_target,
+            trials: 0,
+            covered_trials: 0,
+            holes: StreamingStat::new(),
+            spares: StreamingStat::new(),
+            metrics,
+        }
+    }
+
+    fn push(&mut self, t: &TrialOutcome) {
+        self.trials += 1;
+        self.covered_trials += u64::from(t.covered);
+        self.holes.push(t.holes as f64);
+        self.spares.push(t.spares as f64);
+        for (stat, value) in self.metrics.iter_mut().zip(t.metrics.field_values()) {
+            stat.push(value);
+        }
+    }
+
+    /// The accumulator for one [`Metrics::FIELD_NAMES`] observable.
+    pub fn metric(&self, name: &str) -> Option<&StreamingStat> {
+        Metrics::FIELD_NAMES
+            .iter()
+            .position(|&f| f == name)
+            .map(|i| &self.metrics[i])
+    }
+
+    fn to_json(&self, ci_level: f64) -> JsonValue {
+        let metric_fields: Vec<(String, JsonValue)> = Metrics::FIELD_NAMES
+            .iter()
+            .zip(&self.metrics)
+            .map(|(&name, stat)| (name.to_owned(), stat.to_json(ci_level)))
+            .collect();
+        JsonValue::obj([
+            ("scheme", JsonValue::from(self.scheme.label())),
+            ("cols", JsonValue::from(usize::from(self.cols))),
+            ("rows", JsonValue::from(usize::from(self.rows))),
+            ("n_target", JsonValue::from(self.n_target)),
+            ("trials", JsonValue::from(self.trials)),
+            ("covered_trials", JsonValue::from(self.covered_trials)),
+            ("holes", self.holes.to_json(ci_level)),
+            ("spares", self.spares.to_json(ci_level)),
+            ("metrics", JsonValue::Obj(metric_fields)),
+        ])
+    }
+}
+
+/// A completed campaign: the config echo plus one aggregate per cell, in
+/// canonical matrix order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The matrix that was run.
+    pub config: CampaignConfig,
+    /// Per-cell aggregates (schemes outermost, targets innermost).
+    pub cells: Vec<CellStats>,
+}
+
+impl CampaignResult {
+    /// Looks up one cell's aggregate.
+    pub fn cell(
+        &self,
+        scheme: Scheme,
+        cols: u16,
+        rows: u16,
+        n_target: usize,
+    ) -> Option<&CellStats> {
+        self.cells.iter().find(|c| {
+            c.scheme == scheme && c.cols == cols && c.rows == rows && c.n_target == n_target
+        })
+    }
+
+    /// Serializes the campaign artifact. Schema `wsn-campaign/1`:
+    /// `{schema, config, cells[]}` with fixed key order and shortest
+    /// round-trip float formatting, so identical campaigns render
+    /// byte-identical text regardless of worker count.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::from("wsn-campaign/1")),
+            ("config", self.config.to_json()),
+            (
+                "cells",
+                JsonValue::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| c.to_json(self.config.ci_level))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serializes the headline per-cell statistics as wide CSV (one row
+    /// per cell; mean and CI bounds for the Figure 6–8 metrics).
+    pub fn to_csv(&self) -> String {
+        let level = self.config.ci_level;
+        let mut header: Vec<String> = [
+            "scheme",
+            "cols",
+            "rows",
+            "n_target",
+            "trials",
+            "covered_trials",
+            "holes_mean",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let headline = [
+            "moves",
+            "distance",
+            "processes_initiated",
+            "success_rate_percent",
+        ];
+        for m in headline {
+            header.push(format!("{m}_mean"));
+            header.push(format!("{m}_ci_low"));
+            header.push(format!("{m}_ci_high"));
+        }
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for c in &self.cells {
+            let mut row = vec![
+                c.scheme.label().to_owned(),
+                c.cols.to_string(),
+                c.rows.to_string(),
+                c.n_target.to_string(),
+                c.trials.to_string(),
+                c.covered_trials.to_string(),
+                c.holes.summary().mean().to_string(),
+            ];
+            for m in headline {
+                let ci = c.metric(m).expect("headline metrics exist").ci(level);
+                row.push(ci.mean.to_string());
+                row.push(ci.low().to_string());
+                row.push(ci.high().to_string());
+            }
+            rows.push(row);
+        }
+        let mut buf = Vec::new();
+        wsn_stats::csv::write_rows(&mut buf, &rows).expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("CSV is UTF-8")
+    }
+
+    /// Writes `campaign_<name>.json` and `campaign_<name>.csv` under
+    /// `dir`, returning both paths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("campaign_{}.json", self.config.name));
+        let csv_path = dir.join(format!("campaign_{}.csv", self.config.name));
+        std::fs::write(&json_path, self.to_json().to_file_string())?;
+        std::fs::write(&csv_path, self.to_csv())?;
+        Ok((json_path, csv_path))
+    }
+}
+
+/// Runs one trial, addressed purely by matrix coordinates (any worker,
+/// any order — same outcome).
+fn run_matrix_trial(
+    cfg: &CampaignConfig,
+    scheme: Scheme,
+    (cols, rows): (u16, u16),
+    n_target: usize,
+    trial: u64,
+) -> TrialOutcome {
+    // The scheme is deliberately not part of the stream path: every
+    // scheme replays the identical deployment (the paper's paired
+    // methodology).
+    let seed = derive_stream_seed(
+        cfg.master_seed,
+        &[u64::from(cols), u64::from(rows), n_target as u64, trial],
+    );
+    let sys = GridSystem::for_comm_range(cols, rows, cfg.comm_range)
+        .expect("campaign grid dimensions are valid");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let net = match cfg.mode {
+        CampaignMode::FullRecovery => {
+            // §5: "(N + m x n) enabled nodes", uniform.
+            let positions = deploy::uniform(&sys, n_target + sys.cell_count(), &mut rng);
+            GridNetwork::new(sys, &positions)
+        }
+        CampaignMode::SingleReplacement => {
+            // Theorem 2's setting: one hole, one node everywhere else,
+            // exactly N spares over the occupied cells.
+            let hole = sys.coord_of(rng.range_usize(sys.cell_count()));
+            let mut pos = deploy::with_holes(&sys, &[hole], 1, &mut rng);
+            let occupied: Vec<_> = sys.iter_coords().filter(|c| *c != hole).collect();
+            for _ in 0..n_target {
+                let cell = occupied[rng.range_usize(occupied.len())];
+                let rect = sys.cell_rect(cell).expect("in bounds");
+                pos.push(wsn_geometry::sample::point_in_rect(
+                    &rect,
+                    rng.uniform_f64(),
+                    rng.uniform_f64(),
+                ));
+            }
+            GridNetwork::new(sys, &pos)
+        }
+    };
+    let stats = net.stats();
+    let (metrics, covered) = match scheme {
+        Scheme::Sr => {
+            let report = Recovery::new(net, SrConfig::default().with_seed(seed))
+                .expect("campaign grids always have a topology")
+                .run();
+            (report.metrics, report.fully_covered)
+        }
+        Scheme::Ar => {
+            let report = ArRecovery::new(net, ArConfig::default().with_seed(seed))
+                .expect("valid round cap")
+                .run();
+            (report.metrics, report.fully_covered)
+        }
+        Scheme::SrSc => {
+            let report = ShortcutRecovery::new(net, SrConfig::default().with_seed(seed))
+                .expect("SR-SC campaign grids must have an even side")
+                .run();
+            (report.metrics, report.fully_covered)
+        }
+    };
+    TrialOutcome {
+        holes: stats.vacant,
+        spares: stats.spares,
+        covered,
+        metrics,
+    }
+}
+
+/// Work-stealing deque over the dense trial index space: each worker
+/// owns a contiguous range; an empty worker steals the back half of the
+/// largest remaining range. Index *assignment* is scheduling-dependent,
+/// which is fine — aggregation reorders per cell (see [`Folder`]).
+struct WorkQueue {
+    ranges: Vec<Mutex<(u64, u64)>>,
+}
+
+impl WorkQueue {
+    fn new(total: u64, workers: usize) -> WorkQueue {
+        let workers = workers.max(1) as u64;
+        let chunk = total.div_ceil(workers);
+        let ranges = (0..workers)
+            .map(|w| {
+                let start = (w * chunk).min(total);
+                let end = ((w + 1) * chunk).min(total);
+                Mutex::new((start, end))
+            })
+            .collect();
+        WorkQueue { ranges }
+    }
+
+    fn pop(&self, me: usize) -> Option<u64> {
+        {
+            let mut own = self.ranges[me].lock().expect("queue lock");
+            if own.0 < own.1 {
+                let i = own.0;
+                own.0 += 1;
+                return Some(i);
+            }
+        }
+        // Steal: take the back half of the largest remaining range.
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (j, m) in self.ranges.iter().enumerate() {
+                if j == me {
+                    continue;
+                }
+                let r = m.lock().expect("queue lock");
+                let len = r.1 - r.0;
+                if len > 0 && best.is_none_or(|(_, l)| len > l) {
+                    best = Some((j, len));
+                }
+            }
+            let (victim, _) = best?;
+            let (start, end) = {
+                let mut v = self.ranges[victim].lock().expect("queue lock");
+                let len = v.1 - v.0;
+                if len == 0 {
+                    continue; // raced with another thief; rescan
+                }
+                let mid = v.1 - len.div_ceil(2);
+                let stolen = (mid, v.1);
+                v.1 = mid;
+                stolen
+            };
+            let mut own = self.ranges[me].lock().expect("queue lock");
+            *own = (start, end);
+            let i = own.0;
+            own.0 += 1;
+            return Some(i);
+        }
+    }
+}
+
+/// In-order folder: completed trials enter per-cell reorder buffers and
+/// are folded into the cell aggregate strictly in trial order, so the
+/// aggregate (and therefore the exported JSON) is bit-identical for any
+/// worker count. The buffer holds only out-of-order completions — in
+/// practice a handful of trials, never the campaign.
+struct Folder {
+    cells: Vec<CellStats>,
+    next_trial: Vec<u64>,
+    pending: Vec<BTreeMap<u64, TrialOutcome>>,
+}
+
+impl Folder {
+    fn new(cfg: &CampaignConfig) -> Folder {
+        let cells: Vec<CellStats> = (0..cfg.cell_count())
+            .map(|c| {
+                let (scheme, grid, n) = cfg.cell_params(c);
+                CellStats::new(scheme, grid, n, cfg.comm_range)
+            })
+            .collect();
+        let n = cells.len();
+        Folder {
+            cells,
+            next_trial: vec![0; n],
+            pending: vec![BTreeMap::new(); n],
+        }
+    }
+
+    fn fold(&mut self, trial_index: u64, seeds_per_cell: u64, outcome: TrialOutcome) {
+        let cell = (trial_index / seeds_per_cell) as usize;
+        let trial = trial_index % seeds_per_cell;
+        self.pending[cell].insert(trial, outcome);
+        while let Some(o) = self.pending[cell].remove(&self.next_trial[cell]) {
+            self.cells[cell].push(&o);
+            self.next_trial[cell] += 1;
+        }
+    }
+}
+
+/// Expands and executes the campaign matrix on a work-stealing pool of
+/// scoped threads, streaming trial outcomes into per-cell aggregates.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] for empty/invalid configurations; trial
+/// execution itself cannot fail for valid matrices.
+pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
+    cfg.validate()?;
+    let total = cfg.trial_count();
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, 256)
+        .min(total.max(1) as usize);
+    let queue = WorkQueue::new(total, workers);
+    let folder = Mutex::new(Folder::new(cfg));
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let folder = &folder;
+            scope.spawn(move || {
+                while let Some(idx) = queue.pop(w) {
+                    let cell = (idx / cfg.seeds_per_cell) as usize;
+                    let trial = idx % cfg.seeds_per_cell;
+                    let (scheme, grid, n) = cfg.cell_params(cell);
+                    let outcome = run_matrix_trial(cfg, scheme, grid, n, trial);
+                    folder.lock().expect("no poisoned folds").fold(
+                        idx,
+                        cfg.seeds_per_cell,
+                        outcome,
+                    );
+                }
+            });
+        }
+    });
+    let folder = folder.into_inner().expect("scope joined");
+    debug_assert!(folder.pending.iter().all(BTreeMap::is_empty));
+    debug_assert!(folder.next_trial.iter().all(|&t| t == cfg.seeds_per_cell));
+    Ok(CampaignResult {
+        config: cfg.clone(),
+        cells: folder.cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            name: "tiny".into(),
+            grids: vec![(6, 6)],
+            targets: vec![5, 20],
+            seeds_per_cell: 2,
+            ..CampaignConfig::paper()
+        }
+    }
+
+    #[test]
+    fn matrix_decoding_is_canonical() {
+        let cfg = CampaignConfig {
+            schemes: vec![Scheme::Ar, Scheme::Sr],
+            grids: vec![(8, 8), (16, 16)],
+            targets: vec![10, 100],
+            ..CampaignConfig::paper()
+        };
+        assert_eq!(cfg.cell_count(), 8);
+        assert_eq!(cfg.cell_params(0), (Scheme::Ar, (8, 8), 10));
+        assert_eq!(cfg.cell_params(1), (Scheme::Ar, (8, 8), 100));
+        assert_eq!(cfg.cell_params(2), (Scheme::Ar, (16, 16), 10));
+        assert_eq!(cfg.cell_params(4), (Scheme::Sr, (8, 8), 10));
+        assert_eq!(cfg.cell_params(7), (Scheme::Sr, (16, 16), 100));
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        let mut cfg = tiny();
+        cfg.schemes.clear();
+        assert_eq!(run_campaign(&cfg).unwrap_err(), CampaignError::EmptyMatrix);
+        let cfg = tiny().with_seeds_per_cell(0);
+        assert_eq!(run_campaign(&cfg).unwrap_err(), CampaignError::ZeroSeeds);
+        let mut cfg = tiny();
+        cfg.mode = CampaignMode::SingleReplacement;
+        assert_eq!(
+            run_campaign(&cfg).unwrap_err(),
+            CampaignError::SingleReplacementNeedsSr
+        );
+        let mut cfg = tiny();
+        cfg.ci_level = 0.5;
+        assert!(matches!(
+            run_campaign(&cfg).unwrap_err(),
+            CampaignError::UnsupportedCiLevel(_)
+        ));
+        assert!(!CampaignError::EmptyMatrix.to_string().is_empty());
+    }
+
+    #[test]
+    fn validation_establishes_per_trial_preconditions() {
+        // Bad communication range fails up front, not on a worker.
+        let mut cfg = tiny();
+        cfg.comm_range = 0.0;
+        assert_eq!(
+            run_campaign(&cfg).unwrap_err(),
+            CampaignError::BadCommRange(0.0)
+        );
+        // SR needs a Hamilton structure; 1xN grids have none.
+        let mut cfg = tiny();
+        cfg.grids = vec![(1, 4)];
+        assert!(matches!(
+            run_campaign(&cfg).unwrap_err(),
+            CampaignError::InvalidGrid {
+                cols: 1,
+                rows: 4,
+                ..
+            }
+        ));
+        // SR-SC needs a single cycle; odd x odd grids only have the
+        // dual-path structure.
+        let mut cfg = tiny();
+        cfg.schemes = vec![Scheme::SrSc];
+        cfg.grids = vec![(5, 5)];
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            CampaignError::InvalidGrid {
+                cols: 5,
+                rows: 5,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("single Hamilton cycle"));
+        // ...and runs fine on an even-sided grid.
+        let mut cfg = tiny();
+        cfg.schemes = vec![Scheme::SrSc];
+        cfg.seeds_per_cell = 1;
+        let result = run_campaign(&cfg).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        assert!(result.cells.iter().all(|c| c.trials == 1));
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates_every_cell() {
+        let result = run_campaign(&tiny()).unwrap();
+        assert_eq!(result.cells.len(), 4);
+        for cell in &result.cells {
+            assert_eq!(cell.trials, 2);
+            assert_eq!(cell.metric("moves").unwrap().summary().count(), 2);
+            assert!(cell.metric("unknown").is_none());
+        }
+        // SR fully covers every 6x6 full-recovery trial.
+        for &n in &[5usize, 20] {
+            let sr = result.cell(Scheme::Sr, 6, 6, n).unwrap();
+            assert_eq!(sr.covered_trials, sr.trials);
+            assert_eq!(
+                sr.metric("success_rate_percent").unwrap().summary().mean(),
+                100.0
+            );
+        }
+        // Paired deployments: SR and AR cells saw identical hole counts.
+        for &n in &[5usize, 20] {
+            let sr = result.cell(Scheme::Sr, 6, 6, n).unwrap();
+            let ar = result.cell(Scheme::Ar, 6, 6, n).unwrap();
+            assert_eq!(sr.holes, ar.holes, "N={n}");
+            assert_eq!(sr.spares, ar.spares, "N={n}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_artifact() {
+        let base = run_campaign(&tiny().with_workers(1)).unwrap();
+        let parallel = run_campaign(&tiny().with_workers(7)).unwrap();
+        assert_eq!(base.to_json().to_string(), parallel.to_json().to_string());
+        assert_eq!(base.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn single_replacement_mode_measures_one_process() {
+        let cfg = CampaignConfig {
+            name: "single6".into(),
+            schemes: vec![Scheme::Sr],
+            grids: vec![(6, 6)],
+            targets: vec![8],
+            seeds_per_cell: 5,
+            mode: CampaignMode::SingleReplacement,
+            ..CampaignConfig::paper()
+        };
+        let result = run_campaign(&cfg).unwrap();
+        let cell = &result.cells[0];
+        assert_eq!(cell.covered_trials, cell.trials);
+        assert_eq!(cell.holes.summary().mean(), 1.0);
+        assert_eq!(cell.spares.summary().mean(), 8.0);
+        assert_eq!(
+            cell.metric("processes_initiated").unwrap().summary().mean(),
+            1.0
+        );
+        assert!(cell.metric("moves").unwrap().summary().mean() >= 1.0);
+    }
+
+    #[test]
+    fn json_and_csv_are_well_formed() {
+        let result = run_campaign(&tiny()).unwrap();
+        let json = result.to_json().to_string();
+        assert!(json.starts_with("{\"schema\":\"wsn-campaign/1\""));
+        assert!(json.contains("\"config\""));
+        assert!(json.contains("\"cells\""));
+        assert!(json.contains("\"histogram\""));
+        // Worker override must not leak into the artifact.
+        assert!(!json.contains("workers"));
+        let csv = result.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("scheme,cols,rows,n_target"));
+        assert!(header.contains("moves_ci_low"));
+        assert_eq!(csv.lines().count(), 1 + result.cells.len());
+    }
+
+    #[test]
+    fn save_writes_both_artifacts() {
+        let dir = std::env::temp_dir().join("wsn_campaign_save_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let result = run_campaign(&tiny()).unwrap();
+        let (json_path, csv_path) = result.save(&dir).unwrap();
+        assert!(json_path.ends_with("campaign_tiny.json"));
+        assert!(std::fs::read_to_string(&json_path)
+            .unwrap()
+            .ends_with("}\n"));
+        assert!(std::fs::read_to_string(&csv_path)
+            .unwrap()
+            .starts_with("scheme,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn work_queue_hands_out_every_index_once() {
+        let q = WorkQueue::new(100, 3);
+        let mut seen = [false; 100];
+        // Drain from a single "worker" (forces stealing from the others).
+        while let Some(i) = q.pop(1) {
+            assert!(!seen[i as usize], "index {i} handed out twice");
+            seen[i as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(q.pop(0).is_none());
+    }
+}

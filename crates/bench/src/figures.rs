@@ -6,6 +6,7 @@ use std::path::Path;
 use wsn_coverage::analysis;
 use wsn_stats::{csv, plot::AsciiPlot, Series};
 
+use crate::campaign::CampaignResult;
 use crate::sweep::TrialResult;
 
 /// `L` for the paper's 4×5 grid (Figure 3(a)).
@@ -127,6 +128,114 @@ pub fn fig8(results: &[TrialResult]) -> Vec<Series> {
                 * analytical_total_moves(l, r.n_target, r.holes)
         }),
     ]
+}
+
+/// One metric of one grid of a completed campaign as figure series: per
+/// scheme (legend order = campaign scheme order) the mean curve over
+/// `N`, plus — when `whiskers` is set — the lower/upper bounds of the
+/// campaign's confidence interval as `"<scheme> loXX"` / `"<scheme>
+/// hiXX"` companion curves. This is how the paper's point-estimate
+/// figures gain error bars: a ≥30-seed campaign makes the
+/// normal-approximation interval defensible per cell.
+///
+/// # Panics
+///
+/// Panics when the campaign lacks a cell of the requested grid or
+/// `metric` is not a [`wsn_simcore::Metrics::FIELD_NAMES`] entry.
+pub fn campaign_series(
+    res: &CampaignResult,
+    cols: u16,
+    rows: u16,
+    metric: &str,
+    whiskers: bool,
+) -> Vec<Series> {
+    let level_pct = (res.config.ci_level * 100.0).round() as u32;
+    let mut out = Vec::new();
+    for &scheme in &res.config.schemes {
+        let mut mean = Series::new(scheme.label());
+        let mut lo = Series::new(format!("{} lo{level_pct}", scheme.label()));
+        let mut hi = Series::new(format!("{} hi{level_pct}", scheme.label()));
+        for &n in &res.config.targets {
+            let cell = res
+                .cell(scheme, cols, rows, n)
+                .expect("campaign contains the requested grid");
+            let ci = cell
+                .metric(metric)
+                .expect("metric is a Metrics field")
+                .ci(res.config.ci_level);
+            mean.push(n as f64, ci.mean);
+            lo.push(n as f64, ci.low());
+            hi.push(n as f64, ci.high());
+        }
+        out.push(mean);
+        if whiskers {
+            out.push(lo);
+            out.push(hi);
+        }
+    }
+    out
+}
+
+/// Figure 6(a) from a campaign: processes initiated, with CI whiskers.
+/// Uses the campaign's first grid (the paper's 16×16 for
+/// [`crate::campaign::CampaignConfig::paper`]).
+pub fn fig6a_campaign(res: &CampaignResult) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    campaign_series(res, cols, rows, "processes_initiated", true)
+}
+
+/// Figure 6(b) from a campaign: success rate (%), with CI whiskers.
+pub fn fig6b_campaign(res: &CampaignResult) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    campaign_series(res, cols, rows, "success_rate_percent", true)
+}
+
+/// The Theorem-2 overlay for a campaign cell: `mean_holes · M(L, N)`
+/// with `L = cols·rows − 1` (each replacement walks the single Hamilton
+/// cycle minus its own hole).
+fn campaign_analytical_moves(res: &CampaignResult, cols: u16, rows: u16) -> Series {
+    let l = cols as usize * rows as usize - 1;
+    let sr = res
+        .config
+        .schemes
+        .iter()
+        .copied()
+        .find(|s| *s == crate::campaign::Scheme::Sr)
+        .expect("campaign figures need an SR cell for the overlay");
+    let mut overlay = Series::new("SR analytical");
+    for &n in &res.config.targets {
+        let cell = res.cell(sr, cols, rows, n).expect("grid in campaign");
+        let holes = cell.holes.summary().mean();
+        overlay.push(n as f64, holes * analysis::expected_moves(l, n.max(1)));
+    }
+    overlay
+}
+
+/// Figure 7 from a campaign: total node movements with CI whiskers plus
+/// the analytical SR overlay.
+pub fn fig7_campaign(res: &CampaignResult) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    let mut series = campaign_series(res, cols, rows, "moves", true);
+    series.push(campaign_analytical_moves(res, cols, rows));
+    series
+}
+
+/// Figure 8 from a campaign: total moving distance with CI whiskers plus
+/// the analytical SR overlay (`1.08 · r · Σ M`).
+pub fn fig8_campaign(res: &CampaignResult) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    let mut series = campaign_series(res, cols, rows, "distance", true);
+    let moves = campaign_analytical_moves(res, cols, rows);
+    let r = res.config.comm_range / 5f64.sqrt();
+    series.push(Series::from_points(
+        "SR analytical",
+        moves
+            .points()
+            .iter()
+            .map(|&(x, y)| (x, wsn_geometry::CellGeometry::AVG_MOVE_FACTOR * r * y))
+            .collect(),
+    ));
+    series
 }
 
 /// Extension figure `figpmf`: the *distribution* of movement counts, not
@@ -322,6 +431,57 @@ mod tests {
         let gain_high = moves[0].points()[1].1 / moves[1].points()[1].1.max(1.0);
         assert!(gain_low > gain_high, "gain {gain_low} vs {gain_high}");
         assert_eq!(dist[0].label(), "SR distance");
+    }
+
+    #[test]
+    fn campaign_figures_carry_ci_whiskers() {
+        use crate::campaign::{run_campaign, CampaignConfig};
+        let cfg = CampaignConfig {
+            name: "figtest".into(),
+            grids: vec![(6, 6)],
+            targets: vec![5, 20],
+            seeds_per_cell: 4,
+            ..CampaignConfig::paper()
+        };
+        let res = run_campaign(&cfg).unwrap();
+        let f6a = fig6a_campaign(&res);
+        // 2 schemes × (mean, lo, hi).
+        assert_eq!(f6a.len(), 6);
+        assert_eq!(f6a[0].label(), "AR");
+        assert_eq!(f6a[1].label(), "AR lo95");
+        assert_eq!(f6a[2].label(), "AR hi95");
+        assert_eq!(f6a[3].label(), "SR");
+        // Whiskers bracket the mean at every N.
+        for s in [0, 3] {
+            for ((m, lo), hi) in f6a[s]
+                .points()
+                .iter()
+                .zip(f6a[s + 1].points())
+                .zip(f6a[s + 2].points())
+            {
+                assert!(lo.1 <= m.1 && m.1 <= hi.1);
+            }
+        }
+        // Figures 7/8 add the analytical overlay as the final series.
+        let f7 = fig7_campaign(&res);
+        assert_eq!(f7.len(), 7);
+        assert_eq!(f7.last().unwrap().label(), "SR analytical");
+        let f8 = fig8_campaign(&res);
+        let r = cfg.comm_range / 5f64.sqrt();
+        for (m, d) in f7
+            .last()
+            .unwrap()
+            .points()
+            .iter()
+            .zip(f8.last().unwrap().points())
+        {
+            assert!((d.1 - 1.08 * r * m.1).abs() < 1e-9);
+        }
+        // Success rate: SR pinned at 100 with zero-width whiskers.
+        let f6b = fig6b_campaign(&res);
+        for p in f6b[3].points() {
+            assert_eq!(p.1, 100.0);
+        }
     }
 
     #[test]

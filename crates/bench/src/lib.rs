@@ -21,13 +21,22 @@
 //! `N` spares remain after full recovery. [`sweep::run_sweep`] executes
 //! the Monte-Carlo trials (in parallel across seeds via scoped threads) and
 //! both schemes see byte-identical deployments.
+//!
+//! [`campaign`] scales the same methodology to full experiment matrices
+//! (scheme × grid × `N` × seed) with streaming per-cell statistics and
+//! confidence intervals — `figures --campaign` regenerates Figures 6–8
+//! from a ≥30-seed campaign with 95% CI whiskers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod figures;
 pub mod scenarios;
 pub mod sweep;
 
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignMode, CampaignResult, CellStats, Scheme,
+};
 pub use scenarios::{run_greedy_repair, OccupancyMode, RepairOutcome, Scenario};
 pub use sweep::{run_sweep, SweepConfig, TrialResult};

@@ -136,6 +136,20 @@ impl Scenario {
         ]
     }
 
+    /// The extra-large tier: every scenario shape at 256×256 (65 536
+    /// cells, ~131k deployed nodes for the mass failure) — the scale the
+    /// ROADMAP's "fast as the hardware allows" goal is measured at.
+    /// Kept out of [`Scenario::presets`] so the default bench matrix
+    /// stays minutes-scale; campaign harnesses and the XL smoke test
+    /// opt in explicitly.
+    pub fn presets_xl() -> Vec<Scenario> {
+        vec![
+            Scenario::mass_failure(256, 256),
+            Scenario::fault_storm(256, 256),
+            Scenario::jammer_walk(256, 256),
+        ]
+    }
+
     /// Deploys the scenario's network (per-cell-exact, fully covered
     /// before the first fault).
     pub fn build_network(&self) -> GridNetwork {
@@ -311,6 +325,40 @@ mod tests {
         // Steady-state monitoring is nearly free: far fewer cells
         // examined than one full scan per round would cost.
         assert!(out.cells_scanned < s.rounds * 64 * 64 / 5);
+    }
+
+    #[test]
+    fn xl_presets_cover_256x256() {
+        let names: Vec<String> = Scenario::presets_xl().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "mass_failure_256x256".to_string(),
+                "fault_storm_256x256".to_string(),
+                "jammer_walk_256x256".to_string(),
+            ]
+        );
+        for s in Scenario::presets_xl() {
+            assert_eq!((s.cols, s.rows), (256, 256));
+        }
+    }
+
+    #[test]
+    fn mass_failure_256x256_recovers_with_indexed_discovery() {
+        // The XL tier at test scale: shorten the quiet monitoring tail
+        // (the bench runs the full horizon) but keep the full 256×256
+        // deployment and fault wave.
+        let mut s = Scenario::mass_failure(256, 256);
+        s.rounds = 64;
+        let out = run_greedy_repair(&s, s.build_network(), OccupancyMode::Indexed);
+        assert!(out.moves > 1000, "the wave must open thousands of holes");
+        assert!(
+            out.unfilled < out.moves as usize / 5,
+            "most holes must close: {out:?}"
+        );
+        // Indexed discovery stays far below one full scan per round even
+        // at 65 536 cells.
+        assert!(out.cells_scanned < s.rounds * 256 * 256 / 5);
     }
 
     #[test]

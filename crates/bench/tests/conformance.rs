@@ -1,0 +1,180 @@
+//! Differential conformance: for every scheme that implements both
+//! drivers, the classic idle-confirmation loop ([`RoundRunner::run`])
+//! and the change-driven fast path ([`RoundRunner::run_change_driven`])
+//! must do identical work.
+//!
+//! `run` observes quiescence by executing no-op rounds until an idle
+//! window elapses; `run_change_driven` reads the protocol's own
+//! pending-work index ([`wsn_simcore::ChangeDrivenProtocol`]) and stops
+//! the moment it is empty. Because both drivers execute the identical
+//! round prefix (same round indices, same RNG draws), every cost counter
+//! must agree — the *only* legitimate divergence is `Metrics::rounds`,
+//! which by design excludes the trailing no-op rounds on the fast path.
+//! This suite pins that equivalence for SR ([`Recovery`]) and AR
+//! ([`ArRecovery`]) across a seeded grid of recoverable scenarios:
+//! single-cycle and dual-path grids, scattered holes, and mid-run fault
+//! injection.
+//!
+//! [`RoundRunner::run`]: wsn_simcore::RoundRunner::run
+//! [`RoundRunner::run_change_driven`]: wsn_simcore::RoundRunner::run_change_driven
+
+use wsn_baselines::{ArConfig, ArRecovery};
+use wsn_coverage::{Recovery, SrConfig};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem};
+use wsn_simcore::{FaultEvent, FaultPlan, Metrics, SimRng};
+
+/// The scenario grid: `(cols, rows, holes, per_cell)` per entry, each
+/// run under several seeds. Deployments are dense enough that both
+/// schemes reach full coverage, so the pending-hole index empties and
+/// the comparison covers every counter (including `cells_scanned`).
+fn scenario_grid() -> Vec<(u16, u16, usize, usize)> {
+    vec![
+        (4, 4, 1, 2),
+        (6, 6, 2, 2),
+        (6, 6, 4, 3),
+        (8, 8, 3, 2),
+        (5, 5, 2, 2), // dual-path structure (odd x odd)
+        (7, 5, 3, 3), // dual-path, non-square
+    ]
+}
+
+/// Deterministically punches `holes` distinct cells out of a
+/// `per_cell`-dense deployment.
+fn seeded_network(cols: u16, rows: u16, holes: usize, per_cell: usize, seed: u64) -> GridNetwork {
+    let sys = GridSystem::for_comm_range(cols, rows, 10.0).expect("valid dims");
+    let mut rng = SimRng::seed_from_u64(seed);
+    let hole_coords: Vec<GridCoord> = rng
+        .sample_indices(sys.cell_count(), holes)
+        .into_iter()
+        .map(|i| sys.coord_of(i))
+        .collect();
+    let pos = deploy::with_holes(&sys, &hole_coords, per_cell, &mut rng);
+    GridNetwork::new(sys, &pos)
+}
+
+/// Strips the one field the two drivers legitimately disagree on.
+fn costs(m: Metrics) -> Metrics {
+    m.ignoring_rounds()
+}
+
+#[test]
+fn sr_change_driven_run_is_conformant_across_the_scenario_grid() {
+    for (cols, rows, holes, per_cell) in scenario_grid() {
+        for seed in [11u64, 47, 1009] {
+            let mk = || seeded_network(cols, rows, holes, per_cell, seed);
+            let classic = Recovery::new(mk(), SrConfig::default().with_seed(seed))
+                .expect("topology exists")
+                .run();
+            let adaptive = Recovery::new(mk(), SrConfig::default().with_seed(seed))
+                .expect("topology exists")
+                .run_adaptive();
+            let tag = format!("SR {cols}x{rows} holes={holes} seed={seed}");
+            assert!(classic.fully_covered, "{tag}: classic must recover");
+            assert!(adaptive.fully_covered, "{tag}: adaptive must recover");
+            assert_eq!(
+                costs(classic.metrics),
+                costs(adaptive.metrics),
+                "{tag}: cost counters must be identical"
+            );
+            assert_eq!(
+                classic.processes, adaptive.processes,
+                "{tag}: per-process summaries must be identical"
+            );
+            assert!(
+                adaptive.run.rounds <= classic.run.rounds,
+                "{tag}: the fast path never runs longer"
+            );
+        }
+    }
+}
+
+#[test]
+fn ar_change_driven_run_is_conformant_across_the_scenario_grid() {
+    for (cols, rows, holes, per_cell) in scenario_grid() {
+        for seed in [11u64, 47, 1009] {
+            let mk = || seeded_network(cols, rows, holes, per_cell, seed);
+            let classic = ArRecovery::new(mk(), ArConfig::default().with_seed(seed))
+                .expect("valid round cap")
+                .run();
+            let adaptive = ArRecovery::new(mk(), ArConfig::default().with_seed(seed))
+                .expect("valid round cap")
+                .run_adaptive();
+            let tag = format!("AR {cols}x{rows} holes={holes} seed={seed}");
+            assert!(classic.fully_covered, "{tag}: classic must recover");
+            assert!(adaptive.fully_covered, "{tag}: adaptive must recover");
+            assert_eq!(
+                costs(classic.metrics),
+                costs(adaptive.metrics),
+                "{tag}: cost counters must be identical"
+            );
+            assert_eq!(
+                classic.final_stats.vacant, adaptive.final_stats.vacant,
+                "{tag}: final occupancy must agree"
+            );
+            assert!(
+                adaptive.run.rounds <= classic.run.rounds,
+                "{tag}: the fast path never runs longer"
+            );
+        }
+    }
+}
+
+#[test]
+fn sr_conformance_holds_under_mid_run_faults() {
+    // The pending-work check must keep the change-driven run alive
+    // through scheduled faults: killing a whole cell at round 3 (after
+    // the initial holes are already repaired) re-opens recovery, and
+    // both drivers must bill the identical work.
+    for seed in [5u64, 21] {
+        let mk = || {
+            let net = seeded_network(6, 6, 1, 2, seed);
+            let victims = net
+                .members(GridCoord::new(3, 3))
+                .expect("in bounds")
+                .to_vec();
+            (net, victims)
+        };
+        let (net_c, victims_c) = mk();
+        let cfg_c = SrConfig::default()
+            .with_seed(seed)
+            .with_fault_plan(FaultPlan::new().at(3, FaultEvent::KillNodes(victims_c)));
+        let classic = Recovery::new(net_c, cfg_c).expect("topology").run();
+        let (net_a, victims_a) = mk();
+        let cfg_a = SrConfig::default()
+            .with_seed(seed)
+            .with_fault_plan(FaultPlan::new().at(3, FaultEvent::KillNodes(victims_a)));
+        let adaptive = Recovery::new(net_a, cfg_a)
+            .expect("topology")
+            .run_adaptive();
+        assert!(
+            classic.fully_covered && adaptive.fully_covered,
+            "seed {seed}"
+        );
+        assert_eq!(
+            costs(classic.metrics),
+            costs(adaptive.metrics),
+            "seed {seed}"
+        );
+        // The fault round itself must have been executed by both.
+        assert!(adaptive.metrics.rounds > 3, "seed {seed}");
+    }
+}
+
+#[test]
+fn rounds_is_the_only_divergent_field() {
+    // Document the exact shape of the divergence: put the classic
+    // driver's round count into the adaptive metrics and the two become
+    // fully equal — nothing else drifted.
+    let seed = 47;
+    let mk = || seeded_network(8, 8, 3, 2, seed);
+    let classic = Recovery::new(mk(), SrConfig::default().with_seed(seed))
+        .expect("topology")
+        .run();
+    let adaptive = Recovery::new(mk(), SrConfig::default().with_seed(seed))
+        .expect("topology")
+        .run_adaptive();
+    assert_ne!(classic.metrics, adaptive.metrics, "rounds must differ");
+    let mut patched = adaptive.metrics;
+    patched.rounds = classic.metrics.rounds;
+    assert_eq!(classic.metrics, patched);
+}

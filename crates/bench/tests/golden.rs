@@ -1,0 +1,72 @@
+//! Golden-file regression for the machine-readable result artifacts.
+//!
+//! Two fixtures are checked in under `tests/golden/`:
+//!
+//! * `sweep_16x16.json` — the quick-config sweep artifact (the same
+//!   bytes as the repository's `results/sweep_16x16.json`), pinning the
+//!   sweep schema *and* the simulation outcomes behind it: any change
+//!   to the RNG stream, deployment, SR/AR behavior or JSON rendering
+//!   shows up as a diff here before it silently rewrites history in
+//!   `results/`.
+//! * `campaign_smoke8.json` — the smoke campaign artifact, pinning the
+//!   `wsn-campaign/1` schema: config echo (without the worker count,
+//!   which must never leak into results), per-cell streaming summaries,
+//!   confidence intervals and histograms, all with normalized
+//!   (shortest-round-trip) float formatting.
+//!
+//! When a change is *intentional* (new metric field, schema bump),
+//! regenerate the fixture and say so in the commit: the diff is the
+//! review artifact.
+
+use wsn_bench::campaign::{run_campaign, CampaignConfig};
+use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
+
+const SWEEP_GOLDEN: &str = include_str!("golden/sweep_16x16.json");
+const CAMPAIGN_GOLDEN: &str = include_str!("golden/campaign_smoke8.json");
+
+#[test]
+fn quick_sweep_reproduces_the_checked_in_artifact() {
+    let cfg = SweepConfig::quick();
+    let results = run_sweep(&cfg);
+    let rendered = sweep_to_json(&cfg, &results).to_file_string();
+    assert_eq!(
+        rendered, SWEEP_GOLDEN,
+        "sweep_16x16.json drifted; regenerate the fixture if intentional"
+    );
+}
+
+#[test]
+fn smoke_campaign_reproduces_the_checked_in_artifact() {
+    let result = run_campaign(&CampaignConfig::smoke()).expect("smoke matrix is valid");
+    let rendered = result.to_json().to_file_string();
+    assert_eq!(
+        rendered, CAMPAIGN_GOLDEN,
+        "campaign_smoke8.json drifted; regenerate the fixture if intentional"
+    );
+}
+
+#[test]
+fn campaign_schema_has_the_advertised_shape() {
+    // Cheap structural assertions on the fixture itself, so schema
+    // violations fail with a readable message even when the byte diff
+    // is large.
+    assert!(CAMPAIGN_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/1\""));
+    for key in [
+        "\"config\":",
+        "\"cells\":",
+        "\"scheme\":\"AR\"",
+        "\"scheme\":\"SR\"",
+        "\"metrics\":",
+        "\"moves\":",
+        "\"ci\":{\"level\":0.95",
+        "\"histogram\":",
+        "\"covered_trials\":",
+    ] {
+        assert!(CAMPAIGN_GOLDEN.contains(key), "missing {key}");
+    }
+    // Floats are normalized: no NaN/Infinity tokens, newline-terminated.
+    assert!(!CAMPAIGN_GOLDEN.contains("NaN"));
+    assert!(!CAMPAIGN_GOLDEN.contains("inf"));
+    assert!(CAMPAIGN_GOLDEN.ends_with("}\n"));
+    assert!(SWEEP_GOLDEN.ends_with("}\n"));
+}

@@ -1,0 +1,105 @@
+//! Statistical validation of Theorem 2 with campaign machinery: the
+//! campaign-estimated expected moves and moving distance of a single SR
+//! replacement must bracket the paper's closed forms.
+//!
+//! A [`CampaignMode::SingleReplacement`] campaign reproduces Theorem 2's
+//! exact setting — one hole, one node per remaining cell, exactly `N`
+//! spares uniform over the occupied cells — so per-trial `moves` is a
+//! direct sample of the theorem's distribution and its expectation is
+//! `M(L, N) = Σ (j/L)^N` with `L = m·n − 1`. The campaign's streaming
+//! aggregates give a 95% confidence interval per cell; the closed-form
+//! prediction must fall inside it on both the 8×8 and 16×16 grids.
+//!
+//! The distance check exercises the paper's §4 estimate
+//! `1.08 · r · M(L, N)`. The exact mean hop factor is ≈1.05·r (the
+//! repo's `CellGeometry` docs quantify the paper's ~3% overshoot), so
+//! the prediction sits slightly high inside the interval — which is the
+//! point: with hundreds of seeds the CI is tight enough to be
+//! meaningful and still brackets the paper's constant. Campaigns are
+//! bit-deterministic per master seed (see `tests/determinism.rs`), so
+//! these are fixed-fixture statistical checks, not flaky ones.
+
+use wsn_bench::campaign::{run_campaign, CampaignConfig, CampaignMode, CampaignResult, Scheme};
+use wsn_coverage::analysis;
+
+fn single_replacement_campaign(
+    cols: u16,
+    rows: u16,
+    targets: Vec<usize>,
+    seeds: u64,
+    master_seed: u64,
+) -> CampaignResult {
+    let cfg = CampaignConfig {
+        name: format!("theorem2_{cols}x{rows}"),
+        schemes: vec![Scheme::Sr],
+        grids: vec![(cols, rows)],
+        targets,
+        seeds_per_cell: seeds,
+        master_seed,
+        mode: CampaignMode::SingleReplacement,
+        ..CampaignConfig::paper()
+    };
+    run_campaign(&cfg).expect("valid single-replacement matrix")
+}
+
+fn assert_theorem2_within_ci(res: &CampaignResult) {
+    for cell in &res.cells {
+        let (cols, rows, n) = (cell.cols, cell.rows, cell.n_target);
+        assert_eq!(
+            cell.covered_trials, cell.trials,
+            "every replacement converges"
+        );
+
+        let l = cols as usize * rows as usize - 1;
+        let r = res.config.comm_range / 5f64.sqrt();
+
+        let moves_ci = cell.metric("moves").expect("moves stat").ci(0.95);
+        let predicted_moves = analysis::expected_moves(l, n);
+        assert!(
+            moves_ci.contains(predicted_moves),
+            "{cols}x{rows} N={n}: M({l}, {n}) = {predicted_moves:.4} outside {moves_ci}"
+        );
+
+        let dist_ci = cell.metric("distance").expect("distance stat").ci(0.95);
+        let predicted_dist = analysis::expected_distance(l, n, r);
+        assert!(
+            dist_ci.contains(predicted_dist),
+            "{cols}x{rows} N={n}: 1.08·r·M = {predicted_dist:.4} outside {dist_ci}"
+        );
+
+        // Sanity: the interval is actually informative (narrower than
+        // ±25% of the prediction), not vacuously wide.
+        assert!(
+            moves_ci.half_width < predicted_moves * 0.25,
+            "{cols}x{rows} N={n}: CI too wide to mean anything: {moves_ci}"
+        );
+    }
+}
+
+#[test]
+fn theorem_2_within_95ci_on_8x8() {
+    // L = 63; N = 20 and 40 keep expected walks at ~3.5 and ~2.1 hops.
+    let res = single_replacement_campaign(8, 8, vec![20, 40], 250, 7);
+    assert_theorem2_within_ci(&res);
+}
+
+#[test]
+fn theorem_2_within_95ci_on_16x16() {
+    // L = 255 (Figure 3(b)'s grid); N = 55 is the paper's crossover N.
+    let res = single_replacement_campaign(16, 16, vec![55, 200], 250, 20_080_617);
+    assert_theorem2_within_ci(&res);
+}
+
+#[test]
+fn theorem_2_ci_narrows_with_more_seeds() {
+    // The statistical machinery itself: nine times the seeds shrinks
+    // the interval by about a factor of three.
+    let small = single_replacement_campaign(8, 8, vec![20], 50, 7);
+    let large = single_replacement_campaign(8, 8, vec![20], 450, 7);
+    let hw_small = small.cells[0].metric("moves").unwrap().ci(0.95).half_width;
+    let hw_large = large.cells[0].metric("moves").unwrap().ci(0.95).half_width;
+    assert!(
+        hw_large < hw_small * 0.7,
+        "CI must narrow: {hw_small} -> {hw_large}"
+    );
+}

@@ -54,7 +54,7 @@ pub use engine::{
 pub use fault::{FaultEvent, FaultPlan, Jammer};
 pub use metrics::Metrics;
 pub use node::{NodeId, NodeStatus, SensorNode};
-pub use rng::SimRng;
+pub use rng::{derive_stream_seed, SimRng};
 pub use trace::{TraceEvent, TraceLog};
 
 /// A simulation round index (the paper's synchronous time step).

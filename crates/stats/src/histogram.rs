@@ -71,6 +71,32 @@ impl Histogram {
             .collect()
     }
 
+    /// Merges another histogram's counts into this one (the parallel
+    /// counterpart of [`Histogram::record`], like
+    /// [`crate::Summary::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms have different ranges or bin
+    /// counts — merging them would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.max == other.max
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different binning: [{}, {})x{} vs [{}, {})x{}",
+            self.min,
+            self.max,
+            self.counts.len(),
+            other.min,
+            other.max,
+            other.counts.len()
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+
     /// Center of bin `i`.
     ///
     /// # Panics
@@ -160,6 +186,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bin_center_out_of_range_panics() {
         Histogram::new(0.0, 1.0, 2).unwrap().bin_center(2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        a.record(1.0);
+        a.record(9.0);
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        b.record(1.5);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 0, 0, 0, 1]);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let b = Histogram::new(0.0, 10.0, 4).unwrap();
+        a.merge(&b);
     }
 
     #[test]

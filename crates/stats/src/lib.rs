@@ -11,8 +11,10 @@
 //! * [`table::TextTable`] — aligned tables for EXPERIMENTS.md.
 //!
 //! Plus the numeric machinery: [`Summary`] (Welford online moments),
-//! [`ci`] (normal-approximation confidence intervals), and [`Series`]
-//! (labelled x/y data with per-x aggregation over Monte-Carlo trials).
+//! [`ci`] (normal-approximation confidence intervals), [`Series`]
+//! (labelled x/y data with per-x aggregation over Monte-Carlo trials),
+//! and [`stream::StreamingStat`] (Welford + online histogram, the
+//! per-cell accumulator behind `wsn-bench`'s campaign engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod histogram;
 pub mod json;
 pub mod plot;
 mod series;
+pub mod stream;
 mod summary;
 pub mod table;
 
@@ -30,4 +33,5 @@ pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
 pub use json::JsonValue;
 pub use series::Series;
+pub use stream::StreamingStat;
 pub use summary::{percentile_sorted, Summary};

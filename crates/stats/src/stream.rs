@@ -1,0 +1,234 @@
+//! Streaming per-metric aggregation for campaign-scale Monte-Carlo runs.
+//!
+//! A campaign executes thousands of trials but must keep memory
+//! proportional to the experiment *matrix* (scheme × grid × spare
+//! target), not to the trial count. [`StreamingStat`] is the per-cell,
+//! per-metric accumulator that makes this possible: a Welford
+//! [`Summary`] for the moments (mean, variance, confidence interval) and
+//! an optional online [`Histogram`] for the shape, folded one
+//! observation at a time. [`StreamingStat::merge`] is the
+//! parallel-reduction counterpart of [`Summary::merge`] for consumers
+//! that shard their observations; note the campaign engine itself does
+//! *not* merge — it folds each cell strictly in trial order, because
+//! Welford merges at worker-dependent split points would cost the
+//! bit-identical-across-worker-counts guarantee.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{ConfidenceInterval, Histogram, JsonValue, Summary};
+
+/// A streaming accumulator over one observable: Welford moments plus an
+/// optional fixed-range histogram.
+///
+/// ```
+/// use wsn_stats::stream::StreamingStat;
+///
+/// let mut s = StreamingStat::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.summary().mean(), 5.0);
+/// let ci = s.ci(0.95);
+/// assert!(ci.contains(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingStat {
+    summary: Summary,
+    histogram: Option<Histogram>,
+}
+
+impl StreamingStat {
+    /// An empty accumulator with no histogram.
+    pub fn new() -> StreamingStat {
+        StreamingStat {
+            summary: Summary::new(),
+            histogram: None,
+        }
+    }
+
+    /// An empty accumulator that also bins observations into `histogram`.
+    pub fn with_histogram(histogram: Histogram) -> StreamingStat {
+        StreamingStat {
+            summary: Summary::new(),
+            histogram: Some(histogram),
+        }
+    }
+
+    /// Folds one observation in (non-finite values are ignored, matching
+    /// [`Summary::push`] / [`Histogram::record`]).
+    pub fn push(&mut self, x: f64) {
+        self.summary.push(x);
+        if let Some(h) = &mut self.histogram {
+            h.record(x);
+        }
+    }
+
+    /// Merges another accumulator (parallel Welford merge + histogram
+    /// count addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics when exactly one side carries a histogram, or the two
+    /// histograms are binned differently.
+    pub fn merge(&mut self, other: &StreamingStat) {
+        self.summary.merge(&other.summary);
+        match (&mut self.histogram, &other.histogram) {
+            (None, None) => {}
+            (Some(a), Some(b)) => a.merge(b),
+            _ => panic!("cannot merge a histogram-carrying stat with a bare one"),
+        }
+    }
+
+    /// The Welford moments accumulated so far.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// The histogram, when one was attached.
+    pub fn histogram(&self) -> Option<&Histogram> {
+        self.histogram.as_ref()
+    }
+
+    /// Normal-approximation confidence interval for the mean at `level`
+    /// (0.90 / 0.95 / 0.99, per [`ConfidenceInterval::normal`]).
+    pub fn ci(&self, level: f64) -> ConfidenceInterval {
+        ConfidenceInterval::normal(&self.summary, level)
+    }
+
+    /// Serializes the accumulator for campaign artifacts: count, moments,
+    /// extrema, the interval at `ci_level`, and the histogram counts when
+    /// present. Field order is fixed, so identical aggregates render
+    /// byte-identical JSON.
+    pub fn to_json(&self, ci_level: f64) -> JsonValue {
+        let ci = self.ci(ci_level);
+        let mut fields = vec![
+            ("count", JsonValue::from(self.summary.count())),
+            ("mean", JsonValue::from(self.summary.mean())),
+            ("std_dev", JsonValue::from(self.summary.std_dev())),
+            ("std_error", JsonValue::from(self.summary.std_error())),
+            (
+                "min",
+                self.summary.min().map_or(JsonValue::Null, JsonValue::from),
+            ),
+            (
+                "max",
+                self.summary.max().map_or(JsonValue::Null, JsonValue::from),
+            ),
+            (
+                "ci",
+                JsonValue::obj([
+                    ("level", JsonValue::from(ci.level)),
+                    ("half_width", JsonValue::from(ci.half_width)),
+                    ("low", JsonValue::from(ci.low())),
+                    ("high", JsonValue::from(ci.high())),
+                ]),
+            ),
+        ];
+        if let Some(h) = &self.histogram {
+            let counts: Vec<JsonValue> = h.counts().iter().map(|&c| JsonValue::from(c)).collect();
+            fields.push((
+                "histogram",
+                JsonValue::obj([
+                    (
+                        "bin_centers",
+                        JsonValue::Arr(
+                            (0..h.counts().len())
+                                .map(|i| JsonValue::from(h.bin_center(i)))
+                                .collect(),
+                        ),
+                    ),
+                    ("counts", JsonValue::Arr(counts)),
+                ]),
+            ));
+        }
+        JsonValue::obj(fields)
+    }
+}
+
+impl Default for StreamingStat {
+    fn default() -> StreamingStat {
+        StreamingStat::new()
+    }
+}
+
+impl fmt::Display for StreamingStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_feeds_both_summary_and_histogram() {
+        let mut s = StreamingStat::with_histogram(Histogram::new(0.0, 10.0, 5).unwrap());
+        for x in [1.0, 3.0, 9.0, f64::NAN] {
+            s.push(x);
+        }
+        assert_eq!(s.summary().count(), 3);
+        assert_eq!(s.histogram().unwrap().total(), 3);
+        assert_eq!(s.histogram().unwrap().counts(), &[1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let all: Vec<f64> = (0..200).map(|i| (i as f64) * 0.13).collect();
+        let mut seq = StreamingStat::with_histogram(Histogram::new(0.0, 30.0, 6).unwrap());
+        for &x in &all {
+            seq.push(x);
+        }
+        let mut a = StreamingStat::with_histogram(Histogram::new(0.0, 30.0, 6).unwrap());
+        let mut b = StreamingStat::with_histogram(Histogram::new(0.0, 30.0, 6).unwrap());
+        for &x in &all[..70] {
+            a.push(x);
+        }
+        for &x in &all[70..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary().count(), seq.summary().count());
+        assert!((a.summary().mean() - seq.summary().mean()).abs() < 1e-10);
+        assert_eq!(
+            a.histogram().unwrap().counts(),
+            seq.histogram().unwrap().counts()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram-carrying")]
+    fn merge_rejects_histogram_mismatch() {
+        let mut a = StreamingStat::new();
+        let b = StreamingStat::with_histogram(Histogram::new(0.0, 1.0, 2).unwrap());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn json_shape_and_determinism() {
+        let mut s = StreamingStat::with_histogram(Histogram::new(0.0, 4.0, 2).unwrap());
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        let a = s.to_json(0.95).to_string();
+        let b = s.to_json(0.95).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains("\"count\":3"));
+        assert!(a.contains("\"mean\":2"));
+        assert!(a.contains("\"ci\":{\"level\":0.95"));
+        assert!(a.contains("\"histogram\""));
+        assert!(a.contains("\"counts\":[1,2]"));
+        // Empty accumulators render null extrema, not NaN.
+        let empty = StreamingStat::new().to_json(0.95).to_string();
+        assert!(empty.contains("\"min\":null"));
+        assert!(!empty.contains("NaN"));
+    }
+
+    #[test]
+    fn display_delegates_to_summary() {
+        let mut s = StreamingStat::new();
+        s.push(1.0);
+        assert!(s.to_string().contains("n=1"));
+    }
+}
