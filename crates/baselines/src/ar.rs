@@ -189,6 +189,15 @@ impl ArProtocol {
         !self.net.is_vacant(cell).unwrap_or(true)
     }
 
+    /// Whether `cell` can host a head — in bounds and not disabled by
+    /// the network's region mask. Disabled cells read as occupied in the
+    /// vacancy index (they are never holes), so cascades must filter
+    /// them out explicitly before relaying through or initiating from
+    /// them.
+    fn is_usable(&self, cell: GridCoord) -> bool {
+        self.net.is_cell_enabled(cell).unwrap_or(false)
+    }
+
     fn select_spare(&self, cell: GridCoord, target: GridCoord) -> Option<NodeId> {
         if self.net.spare_count(cell).ok()? == 0 {
             return None;
@@ -283,7 +292,8 @@ impl ArProtocol {
                 }
             }
         }
-        candidates.retain(|c| !p.visited.contains(c) && *c != p.current_target);
+        candidates
+            .retain(|c| self.is_usable(*c) && !p.visited.contains(c) && *c != p.current_target);
         candidates
             .iter()
             .copied()
@@ -321,7 +331,7 @@ impl ArProtocol {
             .system()
             .neighbors(g)
             .into_iter()
-            .any(|w| self.is_occupied(w) && !self.initiated.contains(&(w, g)))
+            .any(|w| self.is_usable(w) && self.is_occupied(w) && !self.initiated.contains(&(w, g)))
     }
 }
 
@@ -429,7 +439,7 @@ impl RoundProtocol for ArProtocol {
                 continue; // a cascade already died here; see field docs
             }
             for w in self.net.system().neighbors(g) {
-                if !self.is_occupied(w) || self.initiated.contains(&(w, g)) {
+                if !self.is_usable(w) || !self.is_occupied(w) || self.initiated.contains(&(w, g)) {
                     continue;
                 }
                 self.initiated.insert((w, g));
@@ -709,6 +719,32 @@ mod tests {
             classic.metrics.ignoring_rounds()
         );
         assert!(adaptive.run.rounds < classic.run.rounds);
+    }
+
+    #[test]
+    fn masked_region_recovers_without_entering_disabled_cells() {
+        use wsn_grid::RegionShape;
+        for (i, shape) in RegionShape::IRREGULAR.into_iter().enumerate() {
+            let sys = GridSystem::new(10, 10, 4.4721).unwrap();
+            let mask = shape.build_mask(10, 10);
+            let mut rng = SimRng::seed_from_u64(40 + i as u64);
+            let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
+            let holes: Vec<GridCoord> = enabled.iter().copied().step_by(13).collect();
+            let pos = deploy::with_holes_masked(&sys, &mask, &holes, 2, &mut rng);
+            let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+            let mut rec =
+                ArRecovery::new(net, ArConfig::default().with_seed(40 + i as u64)).unwrap();
+            let report = rec.run();
+            assert!(report.run.is_quiescent(), "{shape}");
+            assert!(report.fully_covered, "{shape}: {report}");
+            rec.network().debug_invariants();
+            for node in rec.network().nodes() {
+                if node.status().is_enabled() {
+                    let cell = sys.cell_of(node.position()).unwrap();
+                    assert!(mask.is_enabled(cell), "{shape}: node in disabled {cell}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cargo run -p wsn-bench --bin figures --release -- --quick    # reduced sweep
 //! cargo run -p wsn-bench --bin figures --release -- --smoke    # CI smoke: tiny grid, seconds
 //! cargo run -p wsn-bench --bin figures --release -- --campaign # Figures 6-8 with CI whiskers
+//! cargo run -p wsn-bench --bin figures --release -- --campaign --masked # irregular-region axis
 //! ```
 //!
 //! ASCII plots go to stdout; `<fig>.txt` and `<fig>.csv` land in
@@ -50,14 +51,25 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick");
-    let campaign = args.iter().any(|a| a == "--campaign");
+    // --masked is a campaign axis; passing it alone implies --campaign.
+    let masked = args.iter().any(|a| a == "--masked");
+    let campaign = masked || args.iter().any(|a| a == "--campaign");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     let want = |id: &str| wanted.is_empty() || wanted.iter().any(|w| id.starts_with(w));
-    let known = ["fig3", "fig5", "fig6", "fig7", "fig8", "figpmf", "figsc"];
+    let known = [
+        "fig3",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "figpmf",
+        "figsc",
+        "figmasked",
+    ];
     for w in &wanted {
         if !known.iter().any(|k| w.starts_with(k)) {
             eprintln!("unknown figure id '{w}'; known: {}", known.join(", "));
@@ -110,7 +122,67 @@ fn main() -> ExitCode {
         }
     }
 
-    if campaign && (want("fig6") || want("fig7") || want("fig8")) {
+    if campaign && masked && want("figmasked") {
+        // The irregular-region axis: SR vs AR (and SR-SC in the smoke
+        // matrix) across region shapes, mean curves per (scheme, region).
+        let cfg = if smoke {
+            CampaignConfig::masked_smoke()
+        } else if quick {
+            CampaignConfig::masked().with_seeds_per_cell(10)
+        } else {
+            CampaignConfig::masked()
+        };
+        eprintln!(
+            "running masked campaign '{}': {} cells x {} seeds ({} trials) ...",
+            cfg.name,
+            cfg.cell_count(),
+            cfg.seeds_per_cell,
+            cfg.trial_count()
+        );
+        let result = match run_campaign(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("masked campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result.save(&dir) {
+            Ok((json_path, csv_path)) => eprintln!(
+                "campaign artifacts: {} + {}",
+                json_path.display(),
+                csv_path.display()
+            ),
+            Err(e) => eprintln!("failed to write campaign artifacts: {e}"),
+        }
+        let (cols, rows) = cfg.grids[0];
+        if want("figmasked_moves") {
+            emit(
+                "figmasked_moves",
+                &format!("Irregular regions: # of node movements by shape ({cols}x{rows})"),
+                "# of spare nodes left in networks (N)",
+                "# of node moves",
+                &figures::campaign_region_series(&result, "moves"),
+            );
+        }
+        if want("figmasked_success") {
+            emit(
+                "figmasked_success",
+                &format!("Irregular regions: success rate (%) by shape ({cols}x{rows})"),
+                "# of spare nodes left in networks (N)",
+                "percentage",
+                &figures::campaign_region_series(&result, "success_rate_percent"),
+            );
+        }
+        if want("figmasked_procs") {
+            emit(
+                "figmasked_procs",
+                &format!("Irregular regions: # of processes initiated by shape ({cols}x{rows})"),
+                "# of spare nodes left in networks (N)",
+                "# of processes",
+                &figures::campaign_region_series(&result, "processes_initiated"),
+            );
+        }
+    } else if campaign && !masked && (want("fig6") || want("fig7") || want("fig8")) {
         let cfg = if smoke {
             CampaignConfig::smoke()
         } else if quick {

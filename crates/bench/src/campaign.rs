@@ -26,6 +26,13 @@
 //!   moves/distance) the moment they complete, so memory is O(matrix
 //!   cells), not O(trials).
 //!
+//! A fourth axis, **region shape** ([`RegionShape`]), sweeps the same
+//! matrix over irregular surveillance regions (L-shape, annulus,
+//! corridor, random obstacles): each non-full region masks the grid,
+//! deployment confines itself to enabled cells, and SR/AR/SR-SC run on
+//! the masked replacement structures — `figures --campaign --masked`
+//! emits the SR-vs-AR comparison across shapes.
+//!
 //! Execution uses a work-stealing pool of scoped threads: the trial
 //! index space is split into per-worker ranges; a worker that drains its
 //! range steals the back half of the largest remaining one. Results
@@ -33,6 +40,54 @@
 //! `results/campaign_<name>.json` + `.csv`, and
 //! [`crate::figures`] regenerates Figures 6–8 with CI whiskers from a
 //! campaign via `figures --campaign`.
+//!
+//! # Example
+//!
+//! A campaign is a plain config run through [`run_campaign`]; the
+//! paper's full matrix is [`CampaignConfig::paper`], and any field can
+//! be overridden for custom experiments:
+//!
+//! ```
+//! use wsn_bench::campaign::{run_campaign, CampaignConfig, Scheme};
+//!
+//! // The paper's §5 matrix, shrunk to a doctest-sized grid.
+//! let cfg = CampaignConfig {
+//!     name: "doc".into(),
+//!     grids: vec![(6, 6)],
+//!     targets: vec![5, 20],
+//!     seeds_per_cell: 2,
+//!     ..CampaignConfig::paper()
+//! };
+//! let result = run_campaign(&cfg)?;
+//! assert_eq!(result.cells.len(), cfg.cell_count());
+//! // Paired deployments: SR and AR saw identical hole counts per cell.
+//! let sr = result.cell(Scheme::Sr, 6, 6, 5).unwrap();
+//! let ar = result.cell(Scheme::Ar, 6, 6, 5).unwrap();
+//! assert_eq!(sr.holes, ar.holes);
+//! # Ok::<(), wsn_bench::campaign::CampaignError>(())
+//! ```
+//!
+//! ## RNG stream addressing
+//!
+//! Per-trial seeds come from [`wsn_simcore::derive_stream_seed`], keyed
+//! by matrix *coordinates* rather than draw order, so any worker may run
+//! any trial and the result is identical. The scheme axis is excluded
+//! from the path — every scheme replays the same deployment — while
+//! grid, target, and trial (plus the region, when not
+//! [`RegionShape::Full`]) each shift the stream:
+//!
+//! ```
+//! use wsn_simcore::derive_stream_seed;
+//!
+//! let master = 20_080_617;
+//! // Trial 7 of the 16x16 / N=200 cell:
+//! let seed = derive_stream_seed(master, &[16, 16, 200, 7]);
+//! // Same coordinates, same seed — wherever and whenever it runs.
+//! assert_eq!(seed, derive_stream_seed(master, &[16, 16, 200, 7]));
+//! // Any coordinate change moves the stream.
+//! assert_ne!(seed, derive_stream_seed(master, &[16, 16, 200, 8]));
+//! assert_ne!(seed, derive_stream_seed(master, &[16, 16, 100, 7]));
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -44,7 +99,7 @@ use serde::{Deserialize, Serialize};
 
 use wsn_baselines::{ArConfig, ArRecovery};
 use wsn_coverage::{Recovery, ShortcutRecovery, SrConfig};
-use wsn_grid::{deploy, GridNetwork, GridSystem};
+use wsn_grid::{deploy, GridNetwork, GridSystem, RegionShape};
 use wsn_simcore::{derive_stream_seed, Metrics, SimRng};
 use wsn_stats::{Histogram, JsonValue, StreamingStat};
 
@@ -99,15 +154,19 @@ impl CampaignMode {
 
 /// Campaign configuration: the experiment matrix plus execution knobs.
 ///
-/// The matrix is the cartesian product `schemes × grids × targets`, with
-/// `seeds_per_cell` trials per cell. `workers` affects wall-clock only —
-/// never results — and is therefore excluded from the exported config.
+/// The matrix is the cartesian product
+/// `schemes × regions × grids × targets`, with `seeds_per_cell` trials
+/// per cell. `workers` affects wall-clock only — never results — and is
+/// therefore excluded from the exported config.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignConfig {
     /// Artifact base name: results land in `campaign_<name>.json`/`.csv`.
     pub name: String,
     /// Schemes to run (figure legend order).
     pub schemes: Vec<Scheme>,
+    /// Region shapes to sweep ([`RegionShape::Full`] alone reproduces
+    /// the paper's rectangular setting; irregular shapes mask the grid).
+    pub regions: Vec<RegionShape>,
     /// Grid dimensions `(cols, rows)` to sweep.
     pub grids: Vec<(u16, u16)>,
     /// Spare targets `N` (the x-axis of Figures 6–8).
@@ -141,6 +200,7 @@ impl CampaignConfig {
         CampaignConfig {
             name: "paper16".into(),
             schemes: vec![Scheme::Ar, Scheme::Sr],
+            regions: vec![RegionShape::Full],
             grids: vec![(16, 16)],
             targets: vec![
                 10, 25, 55, 100, 150, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
@@ -176,6 +236,34 @@ impl CampaignConfig {
         }
     }
 
+    /// The irregular-region comparison matrix behind
+    /// `figures --campaign --masked`: SR vs AR on a 16×16 grid over all
+    /// four irregular shapes, with the full region as the rectangular
+    /// reference.
+    pub fn masked() -> CampaignConfig {
+        CampaignConfig {
+            name: "masked16".into(),
+            regions: RegionShape::ALL.to_vec(),
+            targets: vec![10, 25, 55, 100, 200, 400],
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// The seconds-long masked smoke matrix: all three schemes on an
+    /// 8×8 L-shape and annulus. Also the fixture config of the masked
+    /// golden-file test.
+    pub fn masked_smoke() -> CampaignConfig {
+        CampaignConfig {
+            name: "masked8".into(),
+            schemes: vec![Scheme::Ar, Scheme::Sr, Scheme::SrSc],
+            regions: vec![RegionShape::LShape, RegionShape::Annulus],
+            grids: vec![(8, 8)],
+            targets: vec![10, 100],
+            seeds_per_cell: 3,
+            ..CampaignConfig::paper()
+        }
+    }
+
     /// Sets the worker-thread count (testing and benchmarking knob).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> CampaignConfig {
@@ -192,7 +280,7 @@ impl CampaignConfig {
 
     /// Number of matrix cells.
     pub fn cell_count(&self) -> usize {
-        self.schemes.len() * self.grids.len() * self.targets.len()
+        self.schemes.len() * self.regions.len() * self.grids.len() * self.targets.len()
     }
 
     /// Total trials the campaign will execute.
@@ -200,19 +288,27 @@ impl CampaignConfig {
         self.cell_count() as u64 * self.seeds_per_cell
     }
 
-    /// Decodes a dense cell index into `(scheme, (cols, rows), n)` —
-    /// canonical order: schemes outermost, targets innermost.
-    fn cell_params(&self, cell: usize) -> (Scheme, (u16, u16), usize) {
-        let per_scheme = self.grids.len() * self.targets.len();
+    /// Decodes a dense cell index into `(scheme, region, (cols, rows), n)`
+    /// — canonical order: schemes outermost, then regions, then grids,
+    /// targets innermost.
+    fn cell_params(&self, cell: usize) -> (Scheme, RegionShape, (u16, u16), usize) {
+        let per_region = self.grids.len() * self.targets.len();
+        let per_scheme = self.regions.len() * per_region;
         let scheme = self.schemes[cell / per_scheme];
         let rest = cell % per_scheme;
+        let region = self.regions[rest / per_region];
+        let rest = rest % per_region;
         let grid = self.grids[rest / self.targets.len()];
         let n = self.targets[rest % self.targets.len()];
-        (scheme, grid, n)
+        (scheme, region, grid, n)
     }
 
     fn validate(&self) -> Result<(), CampaignError> {
-        if self.schemes.is_empty() || self.grids.is_empty() || self.targets.is_empty() {
+        if self.schemes.is_empty()
+            || self.regions.is_empty()
+            || self.grids.is_empty()
+            || self.targets.is_empty()
+        {
             return Err(CampaignError::EmptyMatrix);
         }
         if self.seeds_per_cell == 0 {
@@ -240,21 +336,32 @@ impl CampaignConfig {
             if let Err(e) = GridSystem::for_comm_range(cols, rows, self.comm_range) {
                 return Err(invalid(grid, e.to_string()));
             }
-            if self
-                .schemes
-                .iter()
-                .any(|s| matches!(s, Scheme::Sr | Scheme::SrSc))
-            {
-                match wsn_hamilton::CycleTopology::build(cols, rows) {
-                    Err(e) => return Err(invalid(grid, e.to_string())),
-                    Ok(topo) => {
-                        if self.schemes.contains(&Scheme::SrSc)
-                            && !matches!(topo, wsn_hamilton::CycleTopology::Single(_))
-                        {
-                            return Err(invalid(
-                                grid,
-                                "SR-SC requires a single Hamilton cycle (one even side)".into(),
-                            ));
+            for &region in &self.regions {
+                let mask = region.build_mask(cols, rows);
+                if mask.enabled_count() == 0 {
+                    return Err(invalid(grid, format!("region '{region}' enables no cells")));
+                }
+                if self
+                    .schemes
+                    .iter()
+                    .any(|s| matches!(s, Scheme::Sr | Scheme::SrSc))
+                {
+                    match wsn_hamilton::CycleTopology::build_masked(&mask) {
+                        Err(e) => {
+                            return Err(invalid(grid, format!("region '{region}': {e}")));
+                        }
+                        Ok(topo) => {
+                            // SR-SC needs a unique-predecessor ring: the
+                            // single cycle or the masked virtual ring,
+                            // never the dual-path structure.
+                            if self.schemes.contains(&Scheme::SrSc)
+                                && matches!(topo, wsn_hamilton::CycleTopology::Dual(_))
+                            {
+                                return Err(invalid(
+                                    grid,
+                                    "SR-SC requires a single Hamilton cycle (one even side)".into(),
+                                ));
+                            }
                         }
                     }
                 }
@@ -276,6 +383,15 @@ impl CampaignConfig {
                     self.schemes
                         .iter()
                         .map(|s| JsonValue::from(s.label()))
+                        .collect(),
+                ),
+            ),
+            (
+                "regions",
+                JsonValue::Arr(
+                    self.regions
+                        .iter()
+                        .map(|r| JsonValue::from(r.label()))
                         .collect(),
                 ),
             ),
@@ -369,6 +485,8 @@ struct TrialOutcome {
 pub struct CellStats {
     /// The cell's scheme.
     pub scheme: Scheme,
+    /// The cell's region shape.
+    pub region: RegionShape,
     /// Grid columns.
     pub cols: u16,
     /// Grid rows.
@@ -391,11 +509,14 @@ pub struct CellStats {
 impl CellStats {
     fn new(
         scheme: Scheme,
+        region: RegionShape,
         (cols, rows): (u16, u16),
         n_target: usize,
         comm_range: f64,
     ) -> CellStats {
-        let cells = cols as usize * rows as usize;
+        // Histogram ranges scale with the population the trials can
+        // actually touch: the enabled cells of the region.
+        let cells = region.build_mask(cols, rows).enabled_count();
         let side = comm_range / 5f64.sqrt();
         let metrics = Metrics::FIELD_NAMES
             .iter()
@@ -412,6 +533,7 @@ impl CellStats {
             .collect();
         CellStats {
             scheme,
+            region,
             cols,
             rows,
             n_target,
@@ -449,6 +571,7 @@ impl CellStats {
             .collect();
         JsonValue::obj([
             ("scheme", JsonValue::from(self.scheme.label())),
+            ("region", JsonValue::from(self.region.label())),
             ("cols", JsonValue::from(usize::from(self.cols))),
             ("rows", JsonValue::from(usize::from(self.rows))),
             ("n_target", JsonValue::from(self.n_target)),
@@ -472,7 +595,10 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Looks up one cell's aggregate.
+    /// Looks up one cell's aggregate, ignoring the region axis (the
+    /// first region in matrix order wins — unambiguous for single-region
+    /// campaigns; multi-region campaigns use
+    /// [`CampaignResult::cell_in_region`]).
     pub fn cell(
         &self,
         scheme: Scheme,
@@ -485,13 +611,32 @@ impl CampaignResult {
         })
     }
 
-    /// Serializes the campaign artifact. Schema `wsn-campaign/1`:
+    /// Looks up one cell's aggregate on the full four-axis key.
+    pub fn cell_in_region(
+        &self,
+        scheme: Scheme,
+        region: RegionShape,
+        cols: u16,
+        rows: u16,
+        n_target: usize,
+    ) -> Option<&CellStats> {
+        self.cells.iter().find(|c| {
+            c.scheme == scheme
+                && c.region == region
+                && c.cols == cols
+                && c.rows == rows
+                && c.n_target == n_target
+        })
+    }
+
+    /// Serializes the campaign artifact. Schema `wsn-campaign/2`
+    /// (`/1` plus the region axis in config and cells):
     /// `{schema, config, cells[]}` with fixed key order and shortest
     /// round-trip float formatting, so identical campaigns render
     /// byte-identical text regardless of worker count.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj([
-            ("schema", JsonValue::from("wsn-campaign/1")),
+            ("schema", JsonValue::from("wsn-campaign/2")),
             ("config", self.config.to_json()),
             (
                 "cells",
@@ -511,6 +656,7 @@ impl CampaignResult {
         let level = self.config.ci_level;
         let mut header: Vec<String> = [
             "scheme",
+            "region",
             "cols",
             "rows",
             "n_target",
@@ -536,6 +682,7 @@ impl CampaignResult {
         for c in &self.cells {
             let mut row = vec![
                 c.scheme.label().to_owned(),
+                c.region.label().to_owned(),
                 c.cols.to_string(),
                 c.rows.to_string(),
                 c.n_target.to_string(),
@@ -577,32 +724,53 @@ impl CampaignResult {
 fn run_matrix_trial(
     cfg: &CampaignConfig,
     scheme: Scheme,
+    region: RegionShape,
     (cols, rows): (u16, u16),
     n_target: usize,
     trial: u64,
 ) -> TrialOutcome {
     // The scheme is deliberately not part of the stream path: every
     // scheme replays the identical deployment (the paper's paired
-    // methodology).
-    let seed = derive_stream_seed(
-        cfg.master_seed,
-        &[u64::from(cols), u64::from(rows), n_target as u64, trial],
-    );
+    // methodology). Full-region trials keep the original (pre-region)
+    // path so existing campaign artifacts replay byte-identically;
+    // irregular regions extend the path with their stable stream id.
+    let seed = if region == RegionShape::Full {
+        derive_stream_seed(
+            cfg.master_seed,
+            &[u64::from(cols), u64::from(rows), n_target as u64, trial],
+        )
+    } else {
+        derive_stream_seed(
+            cfg.master_seed,
+            &[
+                u64::from(cols),
+                u64::from(rows),
+                region.stream_id(),
+                n_target as u64,
+                trial,
+            ],
+        )
+    };
     let sys = GridSystem::for_comm_range(cols, rows, cfg.comm_range)
         .expect("campaign grid dimensions are valid");
+    let mask = region.build_mask(cols, rows);
     let mut rng = SimRng::seed_from_u64(seed);
     let net = match cfg.mode {
         CampaignMode::FullRecovery => {
-            // §5: "(N + m x n) enabled nodes", uniform.
-            let positions = deploy::uniform(&sys, n_target + sys.cell_count(), &mut rng);
-            GridNetwork::new(sys, &positions)
+            // §5: "(N + m x n) enabled nodes", uniform — with m·n read
+            // as the enabled-cell count of the region.
+            let positions =
+                deploy::uniform_masked(&sys, &mask, n_target + mask.enabled_count(), &mut rng);
+            GridNetwork::with_mask(sys, mask, &positions)
+                .expect("masked generator respects the mask")
         }
         CampaignMode::SingleReplacement => {
             // Theorem 2's setting: one hole, one node everywhere else,
-            // exactly N spares over the occupied cells.
-            let hole = sys.coord_of(rng.range_usize(sys.cell_count()));
-            let mut pos = deploy::with_holes(&sys, &[hole], 1, &mut rng);
-            let occupied: Vec<_> = sys.iter_coords().filter(|c| *c != hole).collect();
+            // exactly N spares over the occupied (enabled) cells.
+            let enabled: Vec<_> = mask.iter_enabled().collect();
+            let hole = enabled[rng.range_usize(enabled.len())];
+            let mut pos = deploy::with_holes_masked(&sys, &mask, &[hole], 1, &mut rng);
+            let occupied: Vec<_> = enabled.into_iter().filter(|c| *c != hole).collect();
             for _ in 0..n_target {
                 let cell = occupied[rng.range_usize(occupied.len())];
                 let rect = sys.cell_rect(cell).expect("in bounds");
@@ -612,7 +780,7 @@ fn run_matrix_trial(
                     rng.uniform_f64(),
                 ));
             }
-            GridNetwork::new(sys, &pos)
+            GridNetwork::with_mask(sys, mask, &pos).expect("masked generator respects the mask")
         }
     };
     let stats = net.stats();
@@ -724,8 +892,8 @@ impl Folder {
     fn new(cfg: &CampaignConfig) -> Folder {
         let cells: Vec<CellStats> = (0..cfg.cell_count())
             .map(|c| {
-                let (scheme, grid, n) = cfg.cell_params(c);
-                CellStats::new(scheme, grid, n, cfg.comm_range)
+                let (scheme, region, grid, n) = cfg.cell_params(c);
+                CellStats::new(scheme, region, grid, n, cfg.comm_range)
             })
             .collect();
         let n = cells.len();
@@ -776,8 +944,8 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignErro
                 while let Some(idx) = queue.pop(w) {
                     let cell = (idx / cfg.seeds_per_cell) as usize;
                     let trial = idx % cfg.seeds_per_cell;
-                    let (scheme, grid, n) = cfg.cell_params(cell);
-                    let outcome = run_matrix_trial(cfg, scheme, grid, n, trial);
+                    let (scheme, region, grid, n) = cfg.cell_params(cell);
+                    let outcome = run_matrix_trial(cfg, scheme, region, grid, n, trial);
                     folder.lock().expect("no poisoned folds").fold(
                         idx,
                         cfg.seeds_per_cell,
@@ -812,6 +980,7 @@ mod tests {
 
     #[test]
     fn matrix_decoding_is_canonical() {
+        let full = RegionShape::Full;
         let cfg = CampaignConfig {
             schemes: vec![Scheme::Ar, Scheme::Sr],
             grids: vec![(8, 8), (16, 16)],
@@ -819,11 +988,70 @@ mod tests {
             ..CampaignConfig::paper()
         };
         assert_eq!(cfg.cell_count(), 8);
-        assert_eq!(cfg.cell_params(0), (Scheme::Ar, (8, 8), 10));
-        assert_eq!(cfg.cell_params(1), (Scheme::Ar, (8, 8), 100));
-        assert_eq!(cfg.cell_params(2), (Scheme::Ar, (16, 16), 10));
-        assert_eq!(cfg.cell_params(4), (Scheme::Sr, (8, 8), 10));
-        assert_eq!(cfg.cell_params(7), (Scheme::Sr, (16, 16), 100));
+        assert_eq!(cfg.cell_params(0), (Scheme::Ar, full, (8, 8), 10));
+        assert_eq!(cfg.cell_params(1), (Scheme::Ar, full, (8, 8), 100));
+        assert_eq!(cfg.cell_params(2), (Scheme::Ar, full, (16, 16), 10));
+        assert_eq!(cfg.cell_params(4), (Scheme::Sr, full, (8, 8), 10));
+        assert_eq!(cfg.cell_params(7), (Scheme::Sr, full, (16, 16), 100));
+    }
+
+    #[test]
+    fn region_axis_decodes_between_schemes_and_grids() {
+        let cfg = CampaignConfig {
+            schemes: vec![Scheme::Ar, Scheme::Sr],
+            regions: vec![RegionShape::Full, RegionShape::LShape],
+            grids: vec![(8, 8)],
+            targets: vec![10, 100],
+            ..CampaignConfig::paper()
+        };
+        assert_eq!(cfg.cell_count(), 8);
+        assert_eq!(
+            cfg.cell_params(0),
+            (Scheme::Ar, RegionShape::Full, (8, 8), 10)
+        );
+        assert_eq!(
+            cfg.cell_params(2),
+            (Scheme::Ar, RegionShape::LShape, (8, 8), 10)
+        );
+        assert_eq!(
+            cfg.cell_params(5),
+            (Scheme::Sr, RegionShape::Full, (8, 8), 100)
+        );
+        assert_eq!(
+            cfg.cell_params(7),
+            (Scheme::Sr, RegionShape::LShape, (8, 8), 100)
+        );
+    }
+
+    #[test]
+    fn masked_campaign_runs_all_schemes_to_aggregates() {
+        let cfg = CampaignConfig {
+            seeds_per_cell: 2,
+            ..CampaignConfig::masked_smoke()
+        };
+        let result = run_campaign(&cfg).unwrap();
+        assert_eq!(result.cells.len(), cfg.cell_count());
+        for cell in &result.cells {
+            assert_eq!(cell.trials, 2, "{:?}/{}", cell.scheme, cell.region);
+        }
+        // SR fully covers every masked full-recovery trial; the masked
+        // ring preserves Theorem 1 on irregular regions.
+        for &region in &cfg.regions {
+            for &n in &cfg.targets {
+                let sr = result.cell_in_region(Scheme::Sr, region, 8, 8, n).unwrap();
+                assert_eq!(sr.covered_trials, sr.trials, "{region} N={n}");
+                // Paired deployments hold per region too.
+                let ar = result.cell_in_region(Scheme::Ar, region, 8, 8, n).unwrap();
+                assert_eq!(sr.holes, ar.holes, "{region} N={n}");
+            }
+        }
+        // The artifact carries the region axis.
+        let json = result.to_json().to_string();
+        assert!(json.starts_with("{\"schema\":\"wsn-campaign/2\""));
+        assert!(json.contains("\"regions\":[\"l-shape\",\"annulus\"]"));
+        assert!(json.contains("\"region\":\"l-shape\""));
+        let csv = result.to_csv();
+        assert!(csv.starts_with("scheme,region,"));
     }
 
     #[test]
@@ -954,7 +1182,7 @@ mod tests {
     fn json_and_csv_are_well_formed() {
         let result = run_campaign(&tiny()).unwrap();
         let json = result.to_json().to_string();
-        assert!(json.starts_with("{\"schema\":\"wsn-campaign/1\""));
+        assert!(json.starts_with("{\"schema\":\"wsn-campaign/2\""));
         assert!(json.contains("\"config\""));
         assert!(json.contains("\"cells\""));
         assert!(json.contains("\"histogram\""));
@@ -963,7 +1191,7 @@ mod tests {
         let csv = result.to_csv();
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
-        assert!(header.starts_with("scheme,cols,rows,n_target"));
+        assert!(header.starts_with("scheme,region,cols,rows,n_target"));
         assert!(header.contains("moves_ci_low"));
         assert_eq!(csv.lines().count(), 1 + result.cells.len());
     }

@@ -238,6 +238,40 @@ pub fn fig8_campaign(res: &CampaignResult) -> Vec<Series> {
     series
 }
 
+/// Irregular-region comparison from a multi-region campaign: one mean
+/// curve per `(scheme, region)` pair for `metric` over the spare
+/// targets, on the campaign's first grid. Labels read
+/// `"<scheme>@<region>"` (e.g. `"SR@annulus"`), so the figure shows at a
+/// glance how each scheme degrades (or does not) as the region gets
+/// harder.
+///
+/// # Panics
+///
+/// Panics when the campaign lacks a requested cell or `metric` is not a
+/// [`wsn_simcore::Metrics::FIELD_NAMES`] entry.
+pub fn campaign_region_series(res: &CampaignResult, metric: &str) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    let mut out = Vec::new();
+    for &scheme in &res.config.schemes {
+        for &region in &res.config.regions {
+            let mut series = Series::new(format!("{}@{}", scheme.label(), region.label()));
+            for &n in &res.config.targets {
+                let cell = res
+                    .cell_in_region(scheme, region, cols, rows, n)
+                    .expect("campaign contains every (scheme, region, grid, N) cell");
+                let mean = cell
+                    .metric(metric)
+                    .expect("metric is a Metrics field")
+                    .summary()
+                    .mean();
+                series.push(n as f64, mean);
+            }
+            out.push(series);
+        }
+    }
+    out
+}
+
 /// Extension figure `figpmf`: the *distribution* of movement counts, not
 /// just the mean — empirical hop frequencies over single replacements on
 /// the paper's 4×5 grid with `N = 12`, against Theorem 2's `P(i)`.
@@ -481,6 +515,28 @@ mod tests {
         let f6b = fig6b_campaign(&res);
         for p in f6b[3].points() {
             assert_eq!(p.1, 100.0);
+        }
+    }
+
+    #[test]
+    fn region_series_cover_every_scheme_shape_pair() {
+        use crate::campaign::{run_campaign, CampaignConfig};
+        let cfg = CampaignConfig {
+            seeds_per_cell: 2,
+            ..CampaignConfig::masked_smoke()
+        };
+        let res = run_campaign(&cfg).unwrap();
+        let series = campaign_region_series(&res, "moves");
+        assert_eq!(series.len(), cfg.schemes.len() * cfg.regions.len());
+        assert_eq!(series[0].label(), "AR@l-shape");
+        assert_eq!(series[1].label(), "AR@annulus");
+        assert!(series.iter().all(|s| s.points().len() == cfg.targets.len()));
+        // SR success rate is 100% on every region shape.
+        let success = campaign_region_series(&res, "success_rate_percent");
+        for s in success.iter().filter(|s| s.label().starts_with("SR@")) {
+            for p in s.points() {
+                assert_eq!(p.1, 100.0, "{}", s.label());
+            }
         }
     }
 

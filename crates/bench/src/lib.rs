@@ -23,9 +23,12 @@
 //! both schemes see byte-identical deployments.
 //!
 //! [`campaign`] scales the same methodology to full experiment matrices
-//! (scheme × grid × `N` × seed) with streaming per-cell statistics and
-//! confidence intervals — `figures --campaign` regenerates Figures 6–8
-//! from a ≥30-seed campaign with 95% CI whiskers.
+//! (scheme × region shape × grid × `N` × seed) with streaming per-cell
+//! statistics and confidence intervals — `figures --campaign`
+//! regenerates Figures 6–8 from a ≥30-seed campaign with 95% CI
+//! whiskers, and `figures --campaign --masked` adds the
+//! irregular-region comparison over [`wsn_grid::RegionShape`]
+//! ([`scenarios`] holds the matching 64×64/128×128 masked presets).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

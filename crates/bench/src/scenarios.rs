@@ -24,7 +24,7 @@
 use std::collections::BTreeSet;
 
 use wsn_geometry::{sample, Point2, Vec2};
-use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, RegionShape};
 use wsn_simcore::{FaultPlan, Jammer, NodeId, Round, SimRng};
 
 /// A reproducible large-grid fault scenario.
@@ -36,8 +36,12 @@ pub struct Scenario {
     pub cols: u16,
     /// Grid rows.
     pub rows: u16,
-    /// Nodes deployed per cell (per-cell-exact deployment, so the spare
-    /// budget is `(per_cell - 1) · cols · rows`).
+    /// Surveillance region shape ([`RegionShape::Full`] for the paper's
+    /// rectangle; irregular shapes deploy and repair only enabled
+    /// cells).
+    pub region: RegionShape,
+    /// Nodes deployed per cell (per-cell-exact deployment over the
+    /// enabled cells, so the spare budget is `(per_cell - 1) · enabled`).
     pub per_cell: usize,
     /// Deployment and repair seed.
     pub seed: u64,
@@ -67,6 +71,7 @@ impl Scenario {
             name: format!("mass_failure_{cols}x{rows}"),
             cols,
             rows,
+            region: RegionShape::Full,
             per_cell,
             seed: 64_001,
             fault_plan: FaultPlan::new().at(
@@ -94,6 +99,7 @@ impl Scenario {
             name: format!("fault_storm_{cols}x{rows}"),
             cols,
             rows,
+            region: RegionShape::Full,
             per_cell,
             seed: 64_002,
             fault_plan: plan,
@@ -116,6 +122,7 @@ impl Scenario {
             name: format!("jammer_walk_{cols}x{rows}"),
             cols,
             rows,
+            region: RegionShape::Full,
             per_cell: 3,
             seed: 64_003,
             fault_plan: jammer
@@ -150,13 +157,38 @@ impl Scenario {
         ]
     }
 
-    /// Deploys the scenario's network (per-cell-exact, fully covered
-    /// before the first fault).
+    /// Irregular-region presets: every [`RegionShape::IRREGULAR`] shape
+    /// as a mass-failure scenario at 64×64 **and** 128×128 (eight
+    /// scenarios). Each disables ≥15% of the grid's cells; deployment,
+    /// faults, and repair all confine themselves to the enabled region.
+    pub fn masked_presets() -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for (cols, rows) in [(64u16, 64u16), (128, 128)] {
+            for shape in RegionShape::IRREGULAR {
+                let mut s = Scenario::mass_failure(cols, rows);
+                // Scale the kill wave to the enabled-cell population.
+                let enabled = shape.build_mask(cols, rows).enabled_count();
+                let kill = s.per_cell * enabled * 15 / 100;
+                s.fault_plan = FaultPlan::new().at(
+                    1,
+                    wsn_simcore::FaultEvent::KillRandomEnabled { count: kill },
+                );
+                s.name = format!("mass_failure_{}_{cols}x{rows}", shape.label());
+                s.region = shape;
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Deploys the scenario's network (per-cell-exact over the enabled
+    /// region, fully covered before the first fault).
     pub fn build_network(&self) -> GridNetwork {
         let sys = Scenario::system(self.cols, self.rows);
+        let mask = self.region.build_mask(self.cols, self.rows);
         let mut rng = SimRng::seed_from_u64(self.seed);
-        let pos = deploy::per_cell_exact(&sys, self.per_cell, &mut rng);
-        GridNetwork::new(sys, &pos)
+        let pos = deploy::per_cell_exact_masked(&sys, &mask, self.per_cell, &mut rng);
+        GridNetwork::with_mask(sys, mask, &pos).expect("masked generator respects the mask")
     }
 }
 
@@ -359,6 +391,50 @@ mod tests {
         // Indexed discovery stays far below one full scan per round even
         // at 65 536 cells.
         assert!(out.cells_scanned < s.rounds * 256 * 256 / 5);
+    }
+
+    #[test]
+    fn masked_presets_cover_both_tiers_with_heavy_masks() {
+        let presets = Scenario::masked_presets();
+        assert_eq!(presets.len(), 8);
+        for s in &presets {
+            assert_ne!(s.region, RegionShape::Full);
+            let mask = s.region.build_mask(s.cols, s.rows);
+            assert!(
+                mask.disabled_count() * 100 >= mask.cell_count() * 15,
+                "{}: only {} of {} cells disabled",
+                s.name,
+                mask.disabled_count(),
+                mask.cell_count()
+            );
+        }
+        assert!(presets.iter().any(|s| (s.cols, s.rows) == (64, 64)));
+        assert!(presets.iter().any(|s| (s.cols, s.rows) == (128, 128)));
+    }
+
+    #[test]
+    fn masked_scenario_repairs_only_enabled_cells() {
+        // Shrink one masked preset to test scale and run both discovery
+        // modes: identical repairs, no placements in disabled cells.
+        let mut s = Scenario::mass_failure(24, 24);
+        s.region = RegionShape::Annulus;
+        let mask = s.region.build_mask(24, 24);
+        let kill = s.per_cell * mask.enabled_count() * 15 / 100;
+        s.fault_plan = FaultPlan::new().at(
+            1,
+            wsn_simcore::FaultEvent::KillRandomEnabled { count: kill },
+        );
+        s.rounds = 256;
+        let indexed = run_greedy_repair(&s, s.build_network(), OccupancyMode::Indexed);
+        let scanned = run_greedy_repair(&s, s.build_network(), OccupancyMode::FullScan);
+        assert_eq!(indexed.moves, scanned.moves);
+        assert_eq!(indexed.distance, scanned.distance);
+        assert_eq!(indexed.unfilled, scanned.unfilled);
+        assert!(indexed.moves > 0);
+        let net = s.build_network();
+        net.debug_invariants();
+        assert_eq!(net.stats().vacant, 0);
+        assert_eq!(net.enabled_count(), mask.enabled_count() * s.per_cell);
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //!   shows up as a diff here before it silently rewrites history in
 //!   `results/`.
 //! * `campaign_smoke8.json` — the smoke campaign artifact, pinning the
-//!   `wsn-campaign/1` schema: config echo (without the worker count,
+//!   `wsn-campaign/2` schema: config echo (without the worker count,
 //!   which must never leak into results), per-cell streaming summaries,
 //!   confidence intervals and histograms, all with normalized
 //!   (shortest-round-trip) float formatting.
+//! * `campaign_masked8.json` — the irregular-region smoke campaign
+//!   (AR/SR/SR-SC on the 8×8 L-shape and annulus), pinning the region
+//!   axis end to end: masked deployment, masked replacement rings, and
+//!   the `region` fields of the artifact.
 //!
 //! When a change is *intentional* (new metric field, schema bump),
 //! regenerate the fixture and say so in the commit: the diff is the
@@ -23,6 +27,7 @@ use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
 
 const SWEEP_GOLDEN: &str = include_str!("golden/sweep_16x16.json");
 const CAMPAIGN_GOLDEN: &str = include_str!("golden/campaign_smoke8.json");
+const MASKED_GOLDEN: &str = include_str!("golden/campaign_masked8.json");
 
 #[test]
 fn quick_sweep_reproduces_the_checked_in_artifact() {
@@ -46,16 +51,28 @@ fn smoke_campaign_reproduces_the_checked_in_artifact() {
 }
 
 #[test]
+fn masked_campaign_reproduces_the_checked_in_artifact() {
+    let result = run_campaign(&CampaignConfig::masked_smoke()).expect("masked matrix is valid");
+    let rendered = result.to_json().to_file_string();
+    assert_eq!(
+        rendered, MASKED_GOLDEN,
+        "campaign_masked8.json drifted; regenerate the fixture if intentional"
+    );
+}
+
+#[test]
 fn campaign_schema_has_the_advertised_shape() {
     // Cheap structural assertions on the fixture itself, so schema
     // violations fail with a readable message even when the byte diff
     // is large.
-    assert!(CAMPAIGN_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/1\""));
+    assert!(CAMPAIGN_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/2\""));
     for key in [
         "\"config\":",
+        "\"regions\":[\"full\"]",
         "\"cells\":",
         "\"scheme\":\"AR\"",
         "\"scheme\":\"SR\"",
+        "\"region\":\"full\"",
         "\"metrics\":",
         "\"moves\":",
         "\"ci\":{\"level\":0.95",
@@ -64,9 +81,22 @@ fn campaign_schema_has_the_advertised_shape() {
     ] {
         assert!(CAMPAIGN_GOLDEN.contains(key), "missing {key}");
     }
+    // The masked fixture carries the irregular region axis and all
+    // three schemes.
+    assert!(MASKED_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/2\""));
+    for key in [
+        "\"regions\":[\"l-shape\",\"annulus\"]",
+        "\"region\":\"l-shape\"",
+        "\"region\":\"annulus\"",
+        "\"scheme\":\"SR-SC\"",
+    ] {
+        assert!(MASKED_GOLDEN.contains(key), "missing {key}");
+    }
     // Floats are normalized: no NaN/Infinity tokens, newline-terminated.
-    assert!(!CAMPAIGN_GOLDEN.contains("NaN"));
-    assert!(!CAMPAIGN_GOLDEN.contains("inf"));
-    assert!(CAMPAIGN_GOLDEN.ends_with("}\n"));
+    for golden in [CAMPAIGN_GOLDEN, MASKED_GOLDEN] {
+        assert!(!golden.contains("NaN"));
+        assert!(!golden.contains("inf"));
+        assert!(golden.ends_with("}\n"));
+    }
     assert!(SWEEP_GOLDEN.ends_with("}\n"));
 }

@@ -54,13 +54,44 @@ enum BackwardResolution {
     Exhausted,
 }
 
-/// What one detection sweep did: how many replacement processes it
-/// actually started (`initiated`) versus how many known holes stayed
-/// unserviced this round because the monitoring head was not scheduled
-/// in asynchronous mode (`pending`). Earlier revisions folded the two
-/// together, over-reporting initiations in async runs; keeping them
-/// split makes progress accounting honest while the round still counts
-/// as active in both cases.
+/// What one detection sweep (Algorithm 1 step 1) did, split into its two
+/// distinct kinds of outcome.
+///
+/// # The `initiated` / `pending` split
+///
+/// In the paper's synchronous round model every monitoring head fires
+/// every round, so a known hole always yields a started process and
+/// `pending` stays zero. In **asynchronous mode**
+/// (`SrConfig::activation_probability < 1`) a monitoring head may not be
+/// scheduled in the round that its hole is swept; the initiation is then
+/// *deferred*, not performed:
+///
+/// * `initiated` counts processes actually started this round — each one
+///   also increments [`Metrics::processes_initiated`], so the metric
+///   remains an honest count of real initiations;
+/// * `pending` counts holes whose initiation was pushed to a later round
+///   by async scheduling. No process exists for them yet, but the work
+///   is still outstanding, so the round must **not** be treated as
+///   quiescent (the deferred head will fire in a later round with
+///   probability 1).
+///
+/// Earlier revisions folded the two together, over-reporting initiations
+/// in async runs. The split keeps progress accounting honest while
+/// [`DetectionOutcome::any_activity`] still keeps the round alive in
+/// both cases.
+///
+/// ```
+/// use wsn_coverage::DetectionOutcome;
+///
+/// // A synchronous sweep that started two processes:
+/// let sync = DetectionOutcome { initiated: 2, pending: 0 };
+/// // An async sweep whose only known hole was deferred this round:
+/// let deferred = DetectionOutcome { initiated: 0, pending: 1 };
+/// // Both keep the run going; only a fully empty sweep is inactive.
+/// assert!(sync.any_activity());
+/// assert!(deferred.any_activity());
+/// assert!(!DetectionOutcome::default().any_activity());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DetectionOutcome {
     /// Processes started this round (matches
@@ -1049,7 +1080,7 @@ mod tests {
         let topo = CycleTopology::build(4, 4).unwrap();
         let monitor = match &topo {
             CycleTopology::Single(c) => c.predecessor(hole),
-            CycleTopology::Dual(_) => unreachable!(),
+            _ => unreachable!(),
         };
         let weak: Vec<NodeId> = net.members(monitor).unwrap().to_vec();
         for id in &weak {

@@ -119,16 +119,21 @@ pub struct Recovery {
 }
 
 impl Recovery {
-    /// Builds the cycle topology for the network's dimensions and
-    /// prepares the protocol (initial head election happens here).
+    /// Builds the cycle topology for the network's region and prepares
+    /// the protocol (initial head election happens here). Networks over
+    /// a full rectangular mask get the paper's exact constructions; a
+    /// network built with [`GridNetwork::with_mask`] over an irregular
+    /// region gets the masked virtual ring
+    /// ([`wsn_hamilton::MaskedCycle`]) — SR runs unchanged on top.
     ///
     /// # Errors
     ///
-    /// [`SrError::Topology`] when the grid has no Hamilton structure
-    /// (any side < 2, or odd×odd below 3×3), and [`SrError::Engine`] for
-    /// invalid round caps in `config`.
+    /// [`SrError::Topology`] when the region has no replacement
+    /// structure (any side < 2, odd×odd below 3×3, or fewer than two
+    /// enabled cells), and [`SrError::Engine`] for invalid round caps in
+    /// `config`.
     pub fn new(net: GridNetwork, config: SrConfig) -> Result<Recovery, SrError> {
-        let topo = CycleTopology::build(net.system().cols(), net.system().rows())?;
+        let topo = CycleTopology::build_masked(net.mask())?;
         let runner = RoundRunner::with_quiescence(config.max_rounds, config.quiescent_rounds)?;
         Ok(Recovery {
             protocol: SrProtocol::new(net, topo, config),
@@ -247,6 +252,61 @@ mod tests {
         assert_eq!(adaptive.metrics.distance, classic.metrics.distance);
         assert_eq!(adaptive.processes.len(), classic.processes.len());
         assert!(adaptive.run.rounds < classic.run.rounds);
+    }
+
+    #[test]
+    fn masked_regions_recover_all_enabled_holes() {
+        use wsn_grid::RegionShape;
+        // SR on every irregular preset shape: crafted holes, spares
+        // everywhere, full recovery of the enabled region, and zero
+        // placements in disabled cells.
+        for (i, shape) in RegionShape::IRREGULAR.into_iter().enumerate() {
+            let sys = GridSystem::new(12, 12, 4.4721).unwrap();
+            let mask = shape.build_mask(12, 12);
+            let mut rng = SimRng::seed_from_u64(100 + i as u64);
+            let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
+            let holes: Vec<GridCoord> = enabled.iter().copied().step_by(17).collect();
+            let pos = deploy::with_holes_masked(&sys, &mask, &holes, 2, &mut rng);
+            let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+            assert_eq!(net.stats().vacant, holes.len(), "{shape}");
+            let mut rec =
+                Recovery::new(net, SrConfig::default().with_seed(100 + i as u64)).unwrap();
+            assert!(rec.protocol().topology().is_masked(), "{shape}");
+            let report = rec.run();
+            assert!(report.fully_covered, "{shape}: {report}");
+            assert_eq!(report.metrics.processes_failed, 0, "{shape}");
+            // Exactly one process per hole: the masked ring preserves
+            // SR's synchronization on irregular regions.
+            assert_eq!(
+                report.metrics.processes_initiated,
+                holes.len() as u64,
+                "{shape}"
+            );
+            rec.network().debug_invariants();
+            for node in rec.network().nodes() {
+                if node.status().is_enabled() {
+                    let cell = sys.cell_of(node.position()).unwrap();
+                    assert!(mask.is_enabled(cell), "{shape}: node in disabled {cell}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_region_with_no_spares_fails_cleanly() {
+        use wsn_grid::RegionMask;
+        let sys = GridSystem::new(8, 8, 4.4721).unwrap();
+        let mask = RegionMask::l_shape(8, 8);
+        let mut rng = SimRng::seed_from_u64(7);
+        let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
+        let pos = deploy::with_holes_masked(&sys, &mask, &[enabled[10]], 1, &mut rng);
+        let net = GridNetwork::with_mask(sys, mask, &pos).unwrap();
+        assert_eq!(net.total_spares(), 0);
+        let mut rec = Recovery::new(net, SrConfig::default()).unwrap();
+        let report = rec.run();
+        assert!(report.run.is_quiescent());
+        assert!(!report.fully_covered);
+        assert!(report.metrics.processes_failed >= 1);
     }
 
     #[test]

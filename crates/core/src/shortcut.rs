@@ -29,13 +29,16 @@
 //! instead of spreading it over the cascade, which is why SR proper
 //! remains the better choice for energy-balanced deployments.
 //!
-//! The construction is defined on single Hamilton cycles; odd×odd
-//! (dual-path) grids are rejected with [`SrError::ShortcutNeedsCycle`] —
-//! extending the gradient over the A/B fork is possible but the paper's
-//! future-work remark targets the plain cycle.
+//! The construction is defined on structures with a unique predecessor
+//! per cell: single Hamilton cycles and the masked virtual ring of
+//! irregular regions ([`wsn_hamilton::MaskedCycle`]) — so SR-SC runs
+//! unchanged on masked grids. Odd×odd (dual-path) grids are rejected
+//! with [`SrError::ShortcutNeedsCycle`]: extending the gradient over the
+//! A/B fork is possible but the paper's future-work remark targets the
+//! plain cycle.
 
 use wsn_grid::{GridCoord, GridNetwork, NetworkStats};
-use wsn_hamilton::{CycleTopology, HamiltonCycle};
+use wsn_hamilton::{CycleTopology, HamiltonCycle, MaskedCycle};
 use wsn_simcore::{
     EnergyModel, Metrics, RoundOutcome, RoundProtocol, RoundRunner, RunReport, SimRng, TraceEvent,
     TraceLog,
@@ -45,6 +48,42 @@ use crate::movement::movement_target;
 use crate::process::{ProcessId, ProcessStatus, ProcessSummary};
 use crate::recovery::SrError;
 use crate::SrConfig;
+
+/// The backward ring SR-SC forwards notifications along: either the
+/// paper's single Hamilton cycle or the masked virtual ring. Both give
+/// every on-ring cell a unique predecessor, which is all the gradient
+/// and the courier walk need.
+#[derive(Debug, Clone)]
+pub(crate) enum ScRing {
+    Cycle(HamiltonCycle),
+    Masked(MaskedCycle),
+}
+
+impl ScRing {
+    fn predecessor(&self, cell: GridCoord) -> GridCoord {
+        match self {
+            ScRing::Cycle(c) => c.predecessor(cell),
+            ScRing::Masked(m) => m.predecessor(cell),
+        }
+    }
+
+    /// Cells on the ring (all cells for a cycle, enabled cells for a
+    /// masked ring).
+    fn len(&self) -> usize {
+        match self {
+            ScRing::Cycle(c) => c.len(),
+            ScRing::Masked(m) => m.len(),
+        }
+    }
+
+    /// The walk bound `L` (Theorem 2's parameter on the structure).
+    fn max_hops(&self) -> usize {
+        match self {
+            ScRing::Cycle(c) => c.deduced_path_hops(),
+            ScRing::Masked(m) => m.max_walk_hops(),
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct ScProcess {
@@ -60,7 +99,7 @@ struct ScProcess {
 #[derive(Debug, Clone)]
 pub struct ShortcutProtocol {
     net: GridNetwork,
-    cycle: HamiltonCycle,
+    cycle: ScRing,
     config: SrConfig,
     rng: SimRng,
     trace: TraceLog,
@@ -80,8 +119,8 @@ pub struct ShortcutProtocol {
 }
 
 impl ShortcutProtocol {
-    /// Creates the protocol over a single-cycle topology.
-    pub(crate) fn new(mut net: GridNetwork, cycle: HamiltonCycle, config: SrConfig) -> Self {
+    /// Creates the protocol over a unique-predecessor ring.
+    pub(crate) fn new(mut net: GridNetwork, cycle: ScRing, config: SrConfig) -> Self {
         let mut rng = SimRng::seed_from_u64(config.seed);
         net.elect_all_heads(config.election, &mut rng);
         let trace = if config.trace {
@@ -165,10 +204,14 @@ impl ShortcutProtocol {
         let prev = self.spare_dist.clone();
         let sys = *self.net.system();
         // The gradient refresh is SR-SC's inherent full sweep (one beacon
-        // read per cell per round); bill it so the scan-cost comparison
-        // against SR's O(changed) detection stays honest.
-        self.metrics.cells_scanned += sys.cell_count() as u64;
+        // read per on-ring cell per round); bill it so the scan-cost
+        // comparison against SR's O(changed) detection stays honest.
+        self.metrics.cells_scanned += self.cycle.len() as u64;
         for coord in sys.iter_coords() {
+            // Disabled (off-ring) cells have no head and no gradient.
+            if !self.net.is_cell_enabled(coord).unwrap_or(false) {
+                continue;
+            }
             let i = self.idx(coord);
             if self.net.is_vacant(coord).unwrap_or(true) {
                 self.spare_dist[i] = u32::MAX;
@@ -236,7 +279,7 @@ impl ShortcutProtocol {
             self.active.remove(i);
             return true;
         }
-        if p.forwarded >= self.cycle.deduced_path_hops() {
+        if p.forwarded >= self.cycle.max_hops() {
             let s = &mut self.summaries[p.id.raw() as usize];
             s.status = ProcessStatus::Failed;
             s.ended_round = Some(round);
@@ -377,21 +420,26 @@ pub struct ShortcutRecovery {
 pub type ShortcutReport = crate::RecoveryReport;
 
 impl ShortcutRecovery {
-    /// Builds the shortcut recovery.
+    /// Builds the shortcut recovery. Full rectangular networks use the
+    /// paper's Hamilton cycle; networks over an irregular
+    /// [`wsn_grid::RegionMask`] use the masked virtual ring, so SR-SC
+    /// runs unchanged on masked grids.
     ///
     /// # Errors
     ///
-    /// [`SrError::ShortcutNeedsCycle`] on odd×odd grids (no single
-    /// Hamilton cycle), [`SrError::Topology`] for grids with no
-    /// structure at all, and [`SrError::Engine`] for invalid round caps.
+    /// [`SrError::ShortcutNeedsCycle`] on full odd×odd grids (only the
+    /// dual-path structure exists there), [`SrError::Topology`] for
+    /// regions with no structure at all, and [`SrError::Engine`] for
+    /// invalid round caps.
     pub fn new(net: GridNetwork, config: SrConfig) -> Result<ShortcutRecovery, SrError> {
-        let topo = CycleTopology::build(net.system().cols(), net.system().rows())?;
-        let CycleTopology::Single(cycle) = topo else {
-            return Err(SrError::ShortcutNeedsCycle);
+        let ring = match CycleTopology::build_masked(net.mask())? {
+            CycleTopology::Single(cycle) => ScRing::Cycle(cycle),
+            CycleTopology::Masked(ring) => ScRing::Masked(ring),
+            CycleTopology::Dual(_) => return Err(SrError::ShortcutNeedsCycle),
         };
         let runner = RoundRunner::with_quiescence(config.max_rounds, config.quiescent_rounds)?;
         Ok(ShortcutRecovery {
-            protocol: ShortcutProtocol::new(net, cycle, config),
+            protocol: ShortcutProtocol::new(net, ring, config),
             runner,
         })
     }
@@ -489,6 +537,30 @@ mod tests {
     }
 
     #[test]
+    fn masked_region_dispatches_one_move_per_hole() {
+        use wsn_grid::{deploy, RegionMask};
+        let sys = GridSystem::new(10, 10, 4.4721).unwrap();
+        let mask = RegionMask::annulus(10, 10);
+        let mut rng = SimRng::seed_from_u64(13);
+        let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
+        let holes = [enabled[5], enabled[enabled.len() / 2]];
+        let pos = deploy::with_holes_masked(&sys, &mask, &holes, 2, &mut rng);
+        let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        let mut rec = ShortcutRecovery::new(net, SrConfig::default().with_seed(13)).unwrap();
+        let report = rec.run();
+        assert!(report.fully_covered, "{report}");
+        // The SR-SC headline survives masking: one movement per hole.
+        assert_eq!(report.metrics.moves, 2);
+        assert_eq!(report.metrics.processes_failed, 0);
+        rec.network().debug_invariants();
+        for node in rec.network().nodes() {
+            if node.status().is_enabled() {
+                assert!(mask.is_enabled(sys.cell_of(node.position()).unwrap()));
+            }
+        }
+    }
+
+    #[test]
     fn dual_path_grids_are_rejected() {
         let sys = GridSystem::new(5, 5, 4.4721).unwrap();
         let net = GridNetwork::new(sys, &[]);
@@ -533,7 +605,7 @@ mod tests {
         let sys = GridSystem::new(6, 6, 4.4721).unwrap();
         let cycle = match CycleTopology::build(6, 6).unwrap() {
             CycleTopology::Single(c) => c,
-            CycleTopology::Dual(_) => unreachable!(),
+            _ => unreachable!(),
         };
         let mut rng = SimRng::seed_from_u64(11);
         let hole = cycle.order()[12];

@@ -15,7 +15,7 @@
 use wsn_geometry::{sample, Point2};
 use wsn_simcore::SimRng;
 
-use crate::{GridCoord, GridSystem};
+use crate::{GridCoord, GridSystem, RegionMask};
 
 /// `count` node positions uniformly distributed over the surveillance
 /// area.
@@ -141,6 +141,98 @@ pub fn with_holes(
     out
 }
 
+/// `count` node positions uniformly distributed over the *enabled* cells
+/// of `mask` (rejection sampling over the surveillance area, so the
+/// distribution conditioned on the enabled region stays uniform). Never
+/// places a node in a disabled cell.
+///
+/// # Panics
+///
+/// Panics when `mask` has no enabled cells (there is nowhere to deploy)
+/// or its dimensions disagree with `system`.
+pub fn uniform_masked(
+    system: &GridSystem,
+    mask: &RegionMask,
+    count: usize,
+    rng: &mut SimRng,
+) -> Vec<Point2> {
+    mask.check_dims(system.cols(), system.rows())
+        .expect("mask must match the grid dimensions");
+    assert!(
+        mask.enabled_count() > 0,
+        "cannot deploy into an all-disabled region"
+    );
+    let area = system.area();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let p = sample::point_in_rect(&area, rng.uniform_f64(), rng.uniform_f64());
+        let cell = system.cell_of(p).expect("sampled inside area");
+        if mask.is_enabled(cell) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Exactly `per_cell` nodes in every *enabled* cell of `mask` — the
+/// masked counterpart of [`per_cell_exact`]. Disabled cells receive
+/// nothing.
+pub fn per_cell_exact_masked(
+    system: &GridSystem,
+    mask: &RegionMask,
+    per_cell: usize,
+    rng: &mut SimRng,
+) -> Vec<Point2> {
+    mask.check_dims(system.cols(), system.rows())
+        .expect("mask must match the grid dimensions");
+    let mut out = Vec::with_capacity(mask.enabled_count() * per_cell);
+    for coord in mask.iter_enabled() {
+        let rect = system
+            .cell_rect(coord)
+            .expect("mask coords are in the grid");
+        for _ in 0..per_cell {
+            out.push(sample::point_in_rect(
+                &rect,
+                rng.uniform_f64(),
+                rng.uniform_f64(),
+            ));
+        }
+    }
+    out
+}
+
+/// Positions that leave exactly the enabled cells in `holes` vacant and
+/// place `per_occupied_cell` nodes in every other *enabled* cell — the
+/// masked counterpart of [`with_holes`]. Disabled cells (and disabled
+/// entries of `holes`) receive nothing.
+pub fn with_holes_masked(
+    system: &GridSystem,
+    mask: &RegionMask,
+    holes: &[GridCoord],
+    per_occupied_cell: usize,
+    rng: &mut SimRng,
+) -> Vec<Point2> {
+    mask.check_dims(system.cols(), system.rows())
+        .expect("mask must match the grid dimensions");
+    let mut out = Vec::new();
+    for coord in mask.iter_enabled() {
+        if holes.contains(&coord) {
+            continue;
+        }
+        let rect = system
+            .cell_rect(coord)
+            .expect("mask coords are in the grid");
+        for _ in 0..per_occupied_cell {
+            out.push(sample::point_in_rect(
+                &rect,
+                rng.uniform_f64(),
+                rng.uniform_f64(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +318,33 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         let pos = clustered(&s, 10, 0, 1.0, &mut rng);
         assert_eq!(pos.len(), 10);
+    }
+
+    #[test]
+    fn masked_generators_respect_the_mask() {
+        let s = sys();
+        let mask = RegionMask::l_shape(8, 8);
+        let mut rng = SimRng::seed_from_u64(20);
+
+        let uni = uniform_masked(&s, &mask, 300, &mut rng);
+        assert_eq!(uni.len(), 300);
+        for &p in &uni {
+            assert!(mask.is_enabled(s.cell_of(p).unwrap()));
+        }
+        let net = GridNetwork::with_mask(s, mask.clone(), &uni).unwrap();
+        net.debug_invariants();
+
+        let exact = per_cell_exact_masked(&s, &mask, 2, &mut rng);
+        assert_eq!(exact.len(), mask.enabled_count() * 2);
+        let net = GridNetwork::with_mask(s, mask.clone(), &exact).unwrap();
+        assert_eq!(net.stats().vacant, 0);
+        assert_eq!(net.total_spares(), mask.enabled_count());
+
+        let holes = [GridCoord::new(0, 0), GridCoord::new(7, 7)]; // (7,7) disabled
+        let pos = with_holes_masked(&s, &mask, &holes, 1, &mut rng);
+        let net = GridNetwork::with_mask(s, mask.clone(), &pos).unwrap();
+        assert_eq!(net.vacant_cells(), vec![GridCoord::new(0, 0)]);
+        net.debug_invariants();
     }
 
     #[test]

@@ -39,6 +39,24 @@ pub enum GridError {
     },
     /// A movement target lies outside the surveillance area.
     TargetOutsideArea,
+    /// A node position or movement target lies in a cell disabled by the
+    /// network's [`crate::RegionMask`].
+    CellDisabled {
+        /// The disabled cell.
+        coord: GridCoord,
+    },
+    /// A [`crate::RegionMask`] was paired with a grid of different
+    /// dimensions.
+    MaskMismatch {
+        /// Mask columns.
+        mask_cols: u16,
+        /// Mask rows.
+        mask_rows: u16,
+        /// Grid columns.
+        cols: u16,
+        /// Grid rows.
+        rows: u16,
+    },
 }
 
 impl fmt::Display for GridError {
@@ -60,6 +78,18 @@ impl fmt::Display for GridError {
             GridError::TargetOutsideArea => {
                 write!(f, "movement target outside the surveillance area")
             }
+            GridError::CellDisabled { coord } => {
+                write!(f, "cell {coord} is disabled by the region mask")
+            }
+            GridError::MaskMismatch {
+                mask_cols,
+                mask_rows,
+                cols,
+                rows,
+            } => write!(
+                f,
+                "region mask is {mask_cols}x{mask_rows} but the grid is {cols}x{rows}"
+            ),
         }
     }
 }
@@ -83,6 +113,15 @@ mod tests {
             GridError::UnknownNode { index: 3 },
             GridError::NodeDisabled { index: 3 },
             GridError::TargetOutsideArea,
+            GridError::CellDisabled {
+                coord: GridCoord::new(1, 1),
+            },
+            GridError::MaskMismatch {
+                mask_cols: 4,
+                mask_rows: 4,
+                cols: 5,
+                rows: 5,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -45,6 +45,7 @@ pub mod coverage;
 pub mod deploy;
 pub mod election;
 mod error;
+pub mod mask;
 mod network;
 pub mod occupancy;
 pub mod render;
@@ -54,6 +55,7 @@ pub use coord::{Direction, GridCoord};
 pub use coverage::{connectivity_verdict, coverage_verdict, k_coverage_fraction, CoverageVerdict};
 pub use election::HeadElection;
 pub use error::GridError;
+pub use mask::{RegionMask, RegionShape};
 pub use network::{GridNetwork, MoveOutcome, NetworkStats};
 pub use occupancy::VacancySet;
 pub use system::{GridSystem, COMM_RANGE_FACTOR, DIAGONAL_RANGE_FACTOR};

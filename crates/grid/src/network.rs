@@ -6,7 +6,7 @@ use std::fmt;
 use wsn_geometry::Point2;
 use wsn_simcore::{FaultEvent, NodeId, SensorNode, SimRng};
 
-use crate::{GridCoord, GridError, GridSystem, HeadElection, Result, VacancySet};
+use crate::{GridCoord, GridError, GridSystem, HeadElection, RegionMask, Result, VacancySet};
 
 /// The outcome of a completed node movement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,16 +74,47 @@ pub struct GridNetwork {
     /// Elected head per cell.
     heads: Vec<Option<NodeId>>,
     /// Vacancy bitset + change journal, maintained by every mutation.
+    /// Disabled (masked-out) cells are permanently marked occupied here,
+    /// so they never surface as holes through any vacancy query.
     occupancy: VacancySet,
     /// Enabled-node counter, maintained by every mutation.
     enabled: usize,
+    /// The surveillance region: disabled cells hold no nodes and are not
+    /// counted in occupancy statistics. [`RegionMask::is_full`] for the
+    /// paper's rectangular setting.
+    mask: RegionMask,
 }
 
 impl GridNetwork {
     /// Deploys nodes at `positions` (clamped into the surveillance area,
     /// so callers may pass raw generator output) with no heads elected
-    /// yet.
+    /// yet, over the full rectangular region.
     pub fn new(system: GridSystem, positions: &[Point2]) -> GridNetwork {
+        GridNetwork::with_mask(
+            system,
+            RegionMask::full(system.cols(), system.rows()),
+            positions,
+        )
+        .expect("a full mask accepts every in-area position")
+    }
+
+    /// Deploys nodes at `positions` over the irregular region `mask`:
+    /// disabled cells hold no nodes, never count as holes, and reject
+    /// movement targets. Positions are clamped into the surveillance
+    /// area like [`GridNetwork::new`]; use the `deploy::*_masked`
+    /// generators to produce mask-respecting positions.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::MaskMismatch`] when `mask` and `system` disagree on
+    /// dimensions, and [`GridError::CellDisabled`] when any (clamped)
+    /// position lands in a disabled cell.
+    pub fn with_mask(
+        system: GridSystem,
+        mask: RegionMask,
+        positions: &[Point2],
+    ) -> Result<GridNetwork> {
+        mask.check_dims(system.cols(), system.rows())?;
         let area = system.area();
         let mut nodes = Vec::with_capacity(positions.len());
         let mut members = vec![Vec::new(); system.cell_count()];
@@ -101,26 +132,50 @@ impl GridNetwork {
             let cell = system
                 .cell_of(p)
                 .expect("clamped position must be inside the area");
+            if !mask.is_enabled(cell) {
+                return Err(GridError::CellDisabled { coord: cell });
+            }
             members[system.index_of(cell).expect("cell_of returns in-bounds")].push(id);
             nodes.push(SensorNode::new(id, p));
         }
         let mut occupancy = VacancySet::new(system.cell_count());
         for (idx, m) in members.iter().enumerate() {
-            if !m.is_empty() {
+            // Disabled cells read as occupied forever: no vacancy query
+            // or change-journal consumer ever sees them as holes.
+            if !m.is_empty() || !mask.index_enabled(idx) {
                 occupancy.set_occupied(idx);
             }
         }
         // A freshly deployed network starts with a clean journal: the
         // initial state is the consumer's baseline, not a change.
         occupancy.clear_changes();
-        GridNetwork {
+        Ok(GridNetwork {
             system,
             enabled: nodes.len(),
             nodes,
             members,
             heads: vec![None; system.cell_count()],
             occupancy,
-        }
+            mask,
+        })
+    }
+
+    /// The surveillance region mask ([`RegionMask::is_full`] unless the
+    /// network was built with [`GridNetwork::with_mask`]).
+    #[inline]
+    pub fn mask(&self) -> &RegionMask {
+        &self.mask
+    }
+
+    /// Whether `coord` is an enabled (deployable) cell of the region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
+    /// grid.
+    pub fn is_cell_enabled(&self, coord: GridCoord) -> Result<bool> {
+        self.system.index_of(coord)?;
+        Ok(self.mask.is_enabled(coord))
     }
 
     /// The grid description.
@@ -229,8 +284,9 @@ impl GridNetwork {
         Ok(self.heads[self.system.index_of(coord)?])
     }
 
-    /// `true` when `coord` holds no enabled node — the paper's *vacant
-    /// grid* / *hole*.
+    /// `true` when `coord` is an enabled cell holding no enabled node —
+    /// the paper's *vacant grid* / *hole*. Disabled (masked-out) cells
+    /// are never vacant: they are not part of the surveillance region.
     ///
     /// # Errors
     ///
@@ -269,15 +325,17 @@ impl GridNetwork {
         self.members
             .iter()
             .enumerate()
-            .filter(|(_, m)| m.is_empty())
+            .filter(|&(i, m)| m.is_empty() && self.mask.index_enabled(i))
             .map(|(i, _)| self.system.coord_of(i))
             .collect()
     }
 
-    /// Number of cells with at least one enabled node — O(1).
+    /// Number of enabled cells with at least one enabled node — O(1).
+    /// Disabled cells are excluded even though the underlying bitset
+    /// marks them occupied.
     #[inline]
     pub fn occupied_cells(&self) -> usize {
-        self.occupancy.occupied_count()
+        self.occupancy.occupied_count() - self.mask.disabled_count()
     }
 
     /// Spares in `coord`: enabled members that are not the head. When no
@@ -331,17 +389,19 @@ impl GridNetwork {
     /// (`enabled − occupied`). O(1).
     #[inline]
     pub fn total_spares(&self) -> usize {
-        self.enabled - self.occupancy.occupied_count()
+        self.enabled - self.occupied_cells()
     }
 
-    /// Headline occupancy numbers — O(1), read from the index.
+    /// Headline occupancy numbers — O(1), read from the index. All
+    /// counts are over *enabled* (in-mask) cells: disabled cells appear
+    /// in none of them.
     pub fn stats(&self) -> NetworkStats {
         let enabled = self.enabled;
-        let occupied = self.occupancy.occupied_count();
+        let occupied = self.occupied_cells();
         NetworkStats {
             enabled,
             occupied,
-            vacant: self.system.cell_count() - occupied,
+            vacant: self.mask.enabled_count() - occupied,
             spares: enabled - occupied,
         }
     }
@@ -428,22 +488,40 @@ impl GridNetwork {
     }
 
     /// Moves enabled node `id` to `target` (which must be inside the
-    /// surveillance area), updating membership. If the node was its
-    /// source cell's head, the source head slot is cleared; the caller
-    /// decides the destination head (protocols set the arriving spare as
-    /// the new head explicitly).
+    /// surveillance area and in an enabled cell), updating membership.
+    /// If the node was its source cell's head, the source head slot is
+    /// cleared; the caller decides the destination head (protocols set
+    /// the arriving spare as the new head explicitly).
+    ///
+    /// **Obstacle-aware distance.** On masked networks, when the straight
+    /// segment between the old and new position crosses a disabled cell,
+    /// the reported [`MoveOutcome::distance`] is the detour the node must
+    /// physically take: the 4-connected shortest path through enabled
+    /// cells ([`RegionMask::grid_distance`]) scaled by the cell side —
+    /// never less than the Euclidean chord. On full (rectangular)
+    /// networks the distance is always the Euclidean chord, unchanged.
+    /// When the region is *disconnected* and the two cells sit in
+    /// different components, no in-region detour exists; the move is
+    /// then billed the plain chord (read it as an out-of-band
+    /// redeployment, e.g. aerial). Keep masks 4-connected — every
+    /// [`RegionShape`](crate::RegionShape) preset is — when strict
+    /// ground-travel accounting matters.
     ///
     /// # Errors
     ///
     /// [`GridError::UnknownNode`] for undeployed ids,
-    /// [`GridError::NodeDisabled`] for disabled nodes, and
+    /// [`GridError::NodeDisabled`] for disabled nodes,
     /// [`GridError::TargetOutsideArea`] when `target` falls outside the
-    /// grid.
+    /// grid, and [`GridError::CellDisabled`] when it falls in a
+    /// masked-out cell.
     pub fn move_node(&mut self, id: NodeId, target: Point2) -> Result<MoveOutcome> {
         let to_cell = self
             .system
             .cell_of(target)
             .ok_or(GridError::TargetOutsideArea)?;
+        if !self.mask.is_enabled(to_cell) {
+            return Err(GridError::CellDisabled { coord: to_cell });
+        }
         let node = self
             .nodes
             .get(id.index())
@@ -457,7 +535,20 @@ impl GridNetwork {
             .expect("enabled node positions stay in the area");
         let from_idx = self.system.index_of(from_cell)?;
         let to_idx = self.system.index_of(to_cell)?;
-        let distance = self.nodes[id.index()].move_to(target);
+        let from_pos = node.position();
+        let mut distance = self.nodes[id.index()].move_to(target);
+        if !self.mask.is_full()
+            && from_idx != to_idx
+            && !self
+                .mask
+                .segment_clear(self.system.cell_side(), from_pos, target)
+        {
+            // The chord crosses an obstacle: bill the detour through
+            // enabled cells instead (never less than the chord).
+            if let Some(hops) = self.mask.grid_distance(from_cell, to_cell) {
+                distance = distance.max(hops as f64 * self.system.cell_side());
+            }
+        }
         if from_idx != to_idx {
             self.members[from_idx].retain(|&m| m != id);
             self.members[to_idx].push(id);
@@ -540,6 +631,10 @@ impl GridNetwork {
         let mut seen = vec![false; self.nodes.len()];
         for (idx, m) in self.members.iter().enumerate() {
             let coord = self.system.coord_of(idx);
+            assert!(
+                m.is_empty() || self.mask.index_enabled(idx),
+                "disabled cell {coord} holds members"
+            );
             for &id in m {
                 assert!(
                     self.nodes[id.index()].status().is_enabled(),
@@ -566,8 +661,10 @@ impl GridNetwork {
                 );
             }
         }
-        // The incremental index must agree with a full member-table scan.
-        self.occupancy.verify(|i| self.members[i].is_empty());
+        // The incremental index must agree with a full member-table scan
+        // (disabled cells read as permanently occupied).
+        self.occupancy
+            .verify(|i| self.mask.index_enabled(i) && self.members[i].is_empty());
         assert_eq!(
             self.enabled,
             self.members.iter().map(Vec::len).sum::<usize>(),
@@ -826,6 +923,152 @@ mod tests {
             net.spare_count(c).unwrap()
         );
         assert!(net.spare_iter(GridCoord::new(9, 9)).is_err());
+    }
+
+    #[test]
+    fn masked_network_excludes_disabled_cells_everywhere() {
+        use crate::RegionMask;
+        // 4x4 with the right half disabled: 8 enabled cells.
+        let sys = GridSystem::new(4, 4, 1.0).unwrap();
+        let mask = RegionMask::full(4, 4).difference_rect(2, 0, 3, 3);
+        // One node in (0,0); the rest of the enabled region is vacant.
+        let net = GridNetwork::with_mask(sys, mask.clone(), &[Point2::new(0.5, 0.5)]).unwrap();
+        net.debug_invariants();
+        let stats = net.stats();
+        assert_eq!(stats.enabled, 1);
+        assert_eq!(stats.occupied, 1);
+        assert_eq!(stats.vacant, 7, "only enabled cells can be holes");
+        assert_eq!(stats.spares, 0);
+        assert_eq!(net.vacant_count(), 7);
+        assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+        assert!(net.vacant_iter().all(|c| net.is_cell_enabled(c).unwrap()));
+        // Disabled cells are never vacant and never enabled.
+        assert!(!net.is_vacant(GridCoord::new(3, 3)).unwrap());
+        assert!(!net.is_cell_enabled(GridCoord::new(3, 3)).unwrap());
+        assert!(net.is_cell_enabled(GridCoord::new(9, 9)).is_err());
+    }
+
+    #[test]
+    fn masked_network_rejects_disabled_placements_and_moves() {
+        use crate::RegionMask;
+        let sys = GridSystem::new(4, 4, 1.0).unwrap();
+        let mask = RegionMask::full(4, 4).difference_rect(2, 0, 3, 3);
+        // A position in the disabled half is rejected at deployment.
+        assert!(matches!(
+            GridNetwork::with_mask(sys, mask.clone(), &[Point2::new(3.5, 0.5)]),
+            Err(GridError::CellDisabled { .. })
+        ));
+        // Dimension mismatch is rejected.
+        assert!(matches!(
+            GridNetwork::with_mask(sys, RegionMask::full(5, 5), &[]),
+            Err(GridError::MaskMismatch { .. })
+        ));
+        // A move into a disabled cell is rejected.
+        let mut net = GridNetwork::with_mask(sys, mask, &[Point2::new(0.5, 0.5)]).unwrap();
+        assert!(matches!(
+            net.move_node(NodeId::new(0), Point2::new(2.5, 0.5)),
+            Err(GridError::CellDisabled { .. })
+        ));
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn masked_move_bills_the_obstacle_detour() {
+        use crate::RegionMask;
+        // 5x1-style wall: a 5x3 grid with the middle column's top two
+        // cells disabled forces a detour through the bottom row.
+        let sys = GridSystem::new(5, 3, 1.0).unwrap();
+        let mask = RegionMask::full(5, 3).difference_rect(2, 1, 2, 2);
+        let net_pos = [Point2::new(0.5, 2.5)];
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &net_pos).unwrap();
+        // Move from (0,2) to (4,2): chord is ~4 m but the straight line
+        // crosses the disabled (2,1)/(2,2) block, so the billed distance
+        // is the 8-hop detour through the bottom row.
+        let out = net
+            .move_node(NodeId::new(0), Point2::new(4.5, 2.5))
+            .unwrap();
+        assert_eq!(out.to, GridCoord::new(4, 2));
+        let hops = mask
+            .grid_distance(GridCoord::new(0, 2), GridCoord::new(4, 2))
+            .unwrap();
+        assert_eq!(hops, 8);
+        assert!((out.distance - 8.0).abs() < 1e-9, "got {}", out.distance);
+        // A clear move on the same network stays Euclidean.
+        let out = net
+            .move_node(NodeId::new(0), Point2::new(3.5, 2.5))
+            .unwrap();
+        assert!((out.distance - 1.0).abs() < 1e-9);
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn all_cells_disabled_or_vacant_degenerate_grid() {
+        use crate::RegionMask;
+        // Zero nodes on a mask with a single enabled cell: every cell of
+        // the grid is disabled-or-vacant. Vacancy queries must stay
+        // consistent and spare iteration empty.
+        let sys = GridSystem::new(4, 4, 1.0).unwrap();
+        let mask = RegionMask::full(4, 4)
+            .difference_rect(0, 0, 3, 3)
+            .union_rect(1, 2, 1, 2);
+        assert_eq!(mask.enabled_count(), 1);
+        let net = GridNetwork::with_mask(sys, mask, &[]).unwrap();
+        net.debug_invariants();
+        assert_eq!(net.vacant_count(), 1);
+        assert_eq!(
+            net.vacant_iter().collect::<Vec<_>>(),
+            vec![GridCoord::new(1, 2)]
+        );
+        assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+        assert_eq!(net.occupied_cells(), 0);
+        assert_eq!(net.total_spares(), 0);
+        let stats = net.stats();
+        assert_eq!((stats.enabled, stats.occupied, stats.vacant), (0, 0, 1));
+        // Spare iteration over vacant and disabled cells yields nothing.
+        assert_eq!(net.spare_iter(GridCoord::new(1, 2)).unwrap().count(), 0);
+        assert_eq!(net.spare_iter(GridCoord::new(0, 0)).unwrap().count(), 0);
+        assert_eq!(net.spare_count(GridCoord::new(0, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn one_by_n_strip_vacancy_and_spares() {
+        // The 1xN degenerate strip: row-major order is the strip order;
+        // vacant_iter and spare_iter behave exactly as on square grids.
+        let sys = GridSystem::new(1, 6, 1.0).unwrap();
+        let net = GridNetwork::new(
+            sys,
+            &[
+                Point2::new(0.5, 0.5), // cell (0,0)
+                Point2::new(0.2, 0.3), // cell (0,0) - spare
+                Point2::new(0.5, 3.5), // cell (0,3)
+            ],
+        );
+        net.debug_invariants();
+        assert_eq!(net.vacant_count(), 4);
+        assert_eq!(
+            net.vacant_iter().collect::<Vec<_>>(),
+            vec![
+                GridCoord::new(0, 1),
+                GridCoord::new(0, 2),
+                GridCoord::new(0, 4),
+                GridCoord::new(0, 5),
+            ]
+        );
+        assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+        assert_eq!(
+            net.spare_iter(GridCoord::new(0, 0))
+                .unwrap()
+                .collect::<Vec<_>>(),
+            vec![NodeId::new(1)]
+        );
+        assert_eq!(net.spare_iter(GridCoord::new(0, 3)).unwrap().count(), 0);
+        assert_eq!(net.total_spares(), 1);
+        // The 1xN transpose behaves identically.
+        let sys = GridSystem::new(6, 1, 1.0).unwrap();
+        let net = GridNetwork::new(sys, &[Point2::new(2.5, 0.5)]);
+        assert_eq!(net.vacant_count(), 5);
+        assert_eq!(net.vacant_iter().count(), 5);
+        net.debug_invariants();
     }
 
     #[test]

@@ -2,11 +2,31 @@
 
 use proptest::prelude::*;
 use wsn_geometry::Point2;
-use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, HeadElection};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, HeadElection, RegionMask, RegionShape};
 use wsn_simcore::{FaultEvent, NodeId, SimRng};
 
 fn dims() -> impl Strategy<Value = (u16, u16)> {
     (1u16..12, 1u16..12)
+}
+
+/// A random mask built from rectangle differences and unions, with at
+/// least one enabled cell restored at a random coordinate.
+fn random_mask(cols: u16, rows: u16, seed: u64) -> RegionMask {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xfeed_f00d);
+    let mut mask = RegionMask::full(cols, rows);
+    for _ in 0..1 + rng.range_usize(3) {
+        let x0 = rng.range_usize(cols as usize) as u16;
+        let y0 = rng.range_usize(rows as usize) as u16;
+        let x1 = x0 + rng.range_usize((cols - x0) as usize) as u16;
+        let y1 = y0 + rng.range_usize((rows - y0) as usize) as u16;
+        mask = mask.difference_rect(x0, y0, x1, y1);
+    }
+    if mask.enabled_count() == 0 {
+        let x = rng.range_usize(cols as usize) as u16;
+        let y = rng.range_usize(rows as usize) as u16;
+        mask = mask.union_rect(x, y, x, y);
+    }
+    mask
 }
 
 proptest! {
@@ -24,6 +44,64 @@ proptest! {
         let stats = net.stats();
         prop_assert_eq!(stats.occupied + stats.vacant, sys.cell_count());
         prop_assert_eq!(stats.spares, stats.enabled - stats.occupied);
+    }
+
+    #[test]
+    fn masked_deployment_never_places_in_disabled_cells(
+        (cols, rows) in (2u16..12, 2u16..12), count in 0usize..300, seed in 0u64..1000,
+    ) {
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mask = random_mask(cols, rows, seed);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform_masked(&sys, &mask, count, &mut rng);
+        for &p in &pos {
+            prop_assert!(mask.is_enabled(sys.cell_of(p).unwrap()));
+        }
+        let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        net.debug_invariants();
+        // Stats are over enabled cells only.
+        let stats = net.stats();
+        prop_assert_eq!(stats.occupied + stats.vacant, mask.enabled_count());
+        prop_assert_eq!(stats.spares, stats.enabled - stats.occupied);
+        // Every vacancy the index reports is an enabled cell.
+        for c in net.vacant_iter() {
+            prop_assert!(mask.is_enabled(c));
+        }
+        prop_assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+    }
+
+    #[test]
+    fn masked_mutations_keep_nodes_out_of_disabled_cells(
+        seed in 0u64..500, steps in 1usize..30, shape_idx in 0usize..4,
+    ) {
+        let shape = RegionShape::IRREGULAR[shape_idx];
+        let (cols, rows) = (8u16, 8u16);
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mask = shape.build_mask(cols, rows);
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::per_cell_exact_masked(&sys, &mask, 2, &mut rng);
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        let enabled_cells: Vec<GridCoord> = mask.iter_enabled().collect();
+        for _ in 0..steps {
+            // Random in-mask move; disabled targets must be rejected.
+            let id = NodeId::new(rng.range_usize(net.node_count()) as u32);
+            let target_cell = enabled_cells[rng.range_usize(enabled_cells.len())];
+            let rect = sys.cell_rect(target_cell).unwrap();
+            let dest = wsn_geometry::sample::point_in_rect(
+                &rect, rng.uniform_f64(), rng.uniform_f64());
+            if net.node(id).unwrap().status().is_enabled() {
+                let out = net.move_node(id, dest).unwrap();
+                prop_assert!(mask.is_enabled(out.to));
+            }
+            net.apply_fault(&FaultEvent::KillRandomEnabled { count: 1 }, &mut rng);
+        }
+        net.debug_invariants();
+        for node in net.nodes() {
+            if node.status().is_enabled() {
+                prop_assert!(mask.is_enabled(sys.cell_of(node.position()).unwrap()));
+            }
+        }
     }
 
     #[test]

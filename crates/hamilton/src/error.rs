@@ -28,6 +28,12 @@ pub enum HamiltonError {
         /// Requested rows.
         rows: u16,
     },
+    /// A masked ring needs at least two enabled cells (a walk must have
+    /// somewhere to go).
+    MaskTooSmall {
+        /// Enabled cells in the offending mask.
+        enabled: usize,
+    },
 }
 
 impl fmt::Display for HamiltonError {
@@ -43,6 +49,10 @@ impl fmt::Display for HamiltonError {
             HamiltonError::NotBothOdd { cols, rows } => write!(
                 f,
                 "dual-path construction requires both sides odd, got {cols}x{rows}"
+            ),
+            HamiltonError::MaskTooSmall { enabled } => write!(
+                f,
+                "masked ring needs at least 2 enabled cells, got {enabled}"
             ),
         }
     }
@@ -60,6 +70,7 @@ mod tests {
             HamiltonError::TooSmall { cols: 1, rows: 1 },
             HamiltonError::BothSidesOdd { cols: 3, rows: 3 },
             HamiltonError::NotBothOdd { cols: 4, rows: 3 },
+            HamiltonError::MaskTooSmall { enabled: 1 },
         ] {
             assert!(!e.to_string().is_empty());
         }

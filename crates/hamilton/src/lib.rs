@@ -15,9 +15,14 @@
 //!   C → B`; path two runs `B → D → … → C → A`, where `C` is the common
 //!   predecessor and `D` the common successor of the special cells `A`
 //!   and `B` (Figure 4 shows the 5×5 case).
+//! * [`MaskedCycle`] — the irregular-region extension: a boustrophedon
+//!   path cover of a [`wsn_grid::RegionMask`]'s enabled cells, closed
+//!   into one virtual directed ring so SR's one-monitor-per-cell
+//!   synchronization survives obstacles (L-shapes, annuli, corridors).
 //! * [`CycleTopology`] — picks the right construction for given
-//!   dimensions and presents the uniform *backward-walk* interface the
-//!   replacement protocol consumes ([`BackwardStep`]).
+//!   dimensions (or a mask, via [`CycleTopology::build_masked`]) and
+//!   presents the uniform *backward-walk* interface the replacement
+//!   protocol consumes ([`BackwardStep`]).
 //!
 //! # Example
 //!
@@ -42,12 +47,14 @@
 mod cycle;
 mod dual;
 mod error;
+mod masked;
 mod topology;
 pub mod validate;
 
 pub use cycle::HamiltonCycle;
 pub use dual::DualPathCycle;
 pub use error::HamiltonError;
+pub use masked::MaskedCycle;
 pub use topology::{BackwardStep, CycleTopology};
 
 /// Result alias for topology-construction errors.

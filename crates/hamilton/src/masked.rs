@@ -1,0 +1,356 @@
+//! The masked replacement structure for irregular (non-rectangular)
+//! regions.
+//!
+//! The paper's Hamilton cycle exists only on full rectangles. For a
+//! region with disabled cells ([`wsn_grid::RegionMask`]) no Hamilton
+//! cycle need exist at all, so SR's synchronization is rebuilt in two
+//! steps:
+//!
+//! 1. **Boustrophedon path cover.** Every row of the region is split
+//!    into maximal horizontal intervals of enabled cells. Intervals are
+//!    stitched bottom-up into serpentine paths: an interval whose end
+//!    column sits directly above the endpoint of a path in the previous
+//!    row extends that path through the connector column; an interval
+//!    with no such connector starts a new path. The result is a
+//!    **replacement forest** — a set of directed, 4-adjacent paths that
+//!    together visit every enabled cell exactly once
+//!    ([`crate::validate::validate_masked`] proves this).
+//! 2. **Virtual ring closure.** The paths are concatenated (in
+//!    construction order) into one global directed ring; the link from
+//!    one path's tail to the next path's head is a *virtual connector* —
+//!    the two cells need not be adjacent, so a replacement relaying
+//!    across it makes a longer (obstacle-aware) movement, billed by
+//!    [`wsn_grid::GridNetwork::move_node`]'s detour accounting.
+//!
+//! The ring restores the paper's invariants on any region: every enabled
+//! cell has exactly one predecessor and one successor, so each hole is
+//! detected by exactly one head and at most one replacement process runs
+//! per hole; a backward walk visits every other enabled cell before
+//! exhausting (`L = enabled − 1`).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use wsn_grid::{GridCoord, RegionMask};
+
+use crate::{HamiltonError, Result};
+
+/// The directed replacement ring over an irregular region: a
+/// boustrophedon path cover of the enabled cells, closed into one
+/// virtual cycle.
+///
+/// ```
+/// use wsn_grid::RegionMask;
+/// use wsn_hamilton::MaskedCycle;
+///
+/// let mask = RegionMask::l_shape(6, 6);
+/// let ring = MaskedCycle::build(&mask)?;
+/// assert_eq!(ring.len(), mask.enabled_count());
+/// // Every enabled cell has a unique predecessor and successor.
+/// for &cell in ring.order() {
+///     assert_eq!(ring.successor(ring.predecessor(cell)), cell);
+/// }
+/// # Ok::<(), wsn_hamilton::HamiltonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaskedCycle {
+    cols: u16,
+    rows: u16,
+    /// Enabled cells in ring order; `order[k+1]` is the successor of
+    /// `order[k]` and `order[0]` the successor of `order.last()`.
+    order: Vec<GridCoord>,
+    /// Ring position per dense row-major cell index; `u32::MAX` for
+    /// disabled cells.
+    position: Vec<u32>,
+    /// Half-open `[start, end)` ranges into `order`, one per directed
+    /// path of the cover. Within a segment consecutive cells are
+    /// 4-adjacent; between segments (and around the wrap) the link is a
+    /// virtual connector.
+    segments: Vec<(u32, u32)>,
+}
+
+impl MaskedCycle {
+    /// Builds the ring for `mask`'s enabled region.
+    ///
+    /// # Errors
+    ///
+    /// [`HamiltonError::MaskTooSmall`] when fewer than two cells are
+    /// enabled (a ring needs somewhere for a walk to go).
+    pub fn build(mask: &RegionMask) -> Result<MaskedCycle> {
+        if mask.enabled_count() < 2 {
+            return Err(HamiltonError::MaskTooSmall {
+                enabled: mask.enabled_count(),
+            });
+        }
+        let (cols, rows) = (mask.cols(), mask.rows());
+        let mut paths: Vec<Vec<GridCoord>> = Vec::new();
+        // Endpoints of still-extensible paths in the previous row,
+        // keyed by column.
+        let mut open_prev: HashMap<u16, usize> = HashMap::new();
+        for y in 0..rows {
+            let mut open_cur: HashMap<u16, usize> = HashMap::new();
+            let mut x = 0u16;
+            while x < cols {
+                if !mask.is_enabled(GridCoord::new(x, y)) {
+                    x += 1;
+                    continue;
+                }
+                // Maximal enabled interval [x0, x1] of this row.
+                let x0 = x;
+                while x < cols && mask.is_enabled(GridCoord::new(x, y)) {
+                    x += 1;
+                }
+                let x1 = x - 1;
+                // Attach to a previous-row endpoint directly below either
+                // end of the interval (the connector column), traversing
+                // away from it; otherwise start a fresh path, alternating
+                // direction by row parity for serpentine aesthetics.
+                let (pi, xs): (usize, Box<dyn Iterator<Item = u16>>) =
+                    if let Some(pi) = open_prev.remove(&x0) {
+                        (pi, Box::new(x0..=x1))
+                    } else if let Some(pi) = open_prev.remove(&x1) {
+                        (pi, Box::new((x0..=x1).rev()))
+                    } else {
+                        paths.push(Vec::new());
+                        let pi = paths.len() - 1;
+                        if y % 2 == 0 {
+                            (pi, Box::new(x0..=x1))
+                        } else {
+                            (pi, Box::new((x0..=x1).rev()))
+                        }
+                    };
+                for cx in xs {
+                    paths[pi].push(GridCoord::new(cx, y));
+                }
+                let end_x = paths[pi].last().expect("interval is nonempty").x;
+                open_cur.insert(end_x, pi);
+            }
+            open_prev = open_cur;
+        }
+
+        let mut order = Vec::with_capacity(mask.enabled_count());
+        let mut segments = Vec::with_capacity(paths.len());
+        for p in &paths {
+            let start = order.len() as u32;
+            order.extend_from_slice(p);
+            segments.push((start, order.len() as u32));
+        }
+        let mut position = vec![u32::MAX; cols as usize * rows as usize];
+        for (k, c) in order.iter().enumerate() {
+            position[c.y as usize * cols as usize + c.x as usize] = k as u32;
+        }
+        Ok(MaskedCycle {
+            cols,
+            rows,
+            order,
+            position,
+            segments,
+        })
+    }
+
+    /// Grid columns.
+    #[inline]
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Grid rows.
+    #[inline]
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of enabled cells on the ring.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Always `false`: construction requires at least two enabled cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The enabled cells in ring order.
+    #[inline]
+    pub fn order(&self) -> &[GridCoord] {
+        &self.order
+    }
+
+    /// The directed paths of the cover, as slices of [`MaskedCycle::order`].
+    /// Each path is 4-adjacent internally; the links between consecutive
+    /// paths (and the closing wrap) are virtual connectors.
+    pub fn segments(&self) -> impl Iterator<Item = &[GridCoord]> + '_ {
+        self.segments
+            .iter()
+            .map(|&(s, e)| &self.order[s as usize..e as usize])
+    }
+
+    /// Number of directed paths in the cover (1 on regions where a
+    /// single serpentine exists).
+    #[inline]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of ring links that are virtual connectors (not 4-adjacent
+    /// steps), including the closing wrap when it is not adjacent.
+    pub fn connector_count(&self) -> usize {
+        let n = self.order.len();
+        (0..n)
+            .filter(|&k| !self.order[k].is_adjacent(self.order[(k + 1) % n]))
+            .count()
+    }
+
+    /// Ring position of `cell` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid or disabled — holes can only
+    /// be enabled cells, so asking about a disabled cell is a wiring bug.
+    pub fn position(&self, cell: GridCoord) -> usize {
+        assert!(
+            cell.x < self.cols && cell.y < self.rows,
+            "cell {cell} outside {}x{} masked ring",
+            self.cols,
+            self.rows
+        );
+        let p = self.position[cell.y as usize * self.cols as usize + cell.x as usize];
+        assert!(p != u32::MAX, "cell {cell} is disabled (not on the ring)");
+        p as usize
+    }
+
+    /// The cell the head of `cell` monitors (next along the ring).
+    ///
+    /// # Panics
+    ///
+    /// As for [`MaskedCycle::position`].
+    pub fn successor(&self, cell: GridCoord) -> GridCoord {
+        let k = self.position(cell);
+        self.order[(k + 1) % self.order.len()]
+    }
+
+    /// The cell whose head monitors `cell` (previous along the ring).
+    ///
+    /// # Panics
+    ///
+    /// As for [`MaskedCycle::position`].
+    pub fn predecessor(&self, cell: GridCoord) -> GridCoord {
+        let k = self.position(cell);
+        self.order[(k + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// Theorem 2's `L` on the masked ring: a replacement walk can
+    /// stretch over every other enabled cell, `enabled − 1` hops.
+    pub fn max_walk_hops(&self) -> usize {
+        self.order.len() - 1
+    }
+}
+
+impl fmt::Display for MaskedCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "masked ring over {}x{}: {} cells in {} paths ({} connectors)",
+            self.cols,
+            self.rows,
+            self.order.len(),
+            self.segments.len(),
+            self.connector_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_masked;
+
+    #[test]
+    fn full_rectangle_is_a_single_serpentine() {
+        let mask = RegionMask::full(6, 4);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        assert_eq!(ring.len(), 24);
+        assert_eq!(ring.segment_count(), 1);
+        // Only the closing wrap can be a connector.
+        assert!(ring.connector_count() <= 1);
+        validate_masked(&ring, &mask).unwrap();
+    }
+
+    #[test]
+    fn l_shape_covers_every_enabled_cell() {
+        let mask = RegionMask::l_shape(8, 8);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        assert_eq!(ring.len(), mask.enabled_count());
+        validate_masked(&ring, &mask).unwrap();
+        assert!(!ring.to_string().is_empty());
+    }
+
+    #[test]
+    fn annulus_needs_more_than_one_path() {
+        let mask = RegionMask::annulus(8, 8);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        assert_eq!(ring.len(), mask.enabled_count());
+        // The courtyard splits middle rows into two intervals; one side
+        // cannot stitch into the other, so the cover has ≥ 2 paths.
+        assert!(ring.segment_count() >= 2, "{ring}");
+        validate_masked(&ring, &mask).unwrap();
+    }
+
+    #[test]
+    fn every_shape_validates_at_multiple_sizes() {
+        use wsn_grid::RegionShape;
+        for shape in RegionShape::ALL {
+            for (cols, rows) in [(8u16, 8u16), (16, 16), (33, 17), (64, 64)] {
+                let mask = shape.build_mask(cols, rows);
+                let ring = MaskedCycle::build(&mask)
+                    .unwrap_or_else(|e| panic!("{shape} {cols}x{rows}: {e}"));
+                validate_masked(&ring, &mask)
+                    .unwrap_or_else(|m| panic!("{shape} {cols}x{rows}: {m}"));
+            }
+        }
+    }
+
+    #[test]
+    fn successor_predecessor_are_inverse() {
+        let mask = RegionMask::corridor(12, 12);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        for &c in ring.order() {
+            assert_eq!(ring.predecessor(ring.successor(c)), c);
+            assert_eq!(ring.successor(ring.predecessor(c)), c);
+        }
+        assert_eq!(ring.max_walk_hops(), ring.len() - 1);
+    }
+
+    #[test]
+    fn too_small_masks_are_rejected() {
+        let empty = RegionMask::full(4, 4).difference_rect(0, 0, 3, 3);
+        assert_eq!(
+            MaskedCycle::build(&empty).unwrap_err(),
+            HamiltonError::MaskTooSmall { enabled: 0 }
+        );
+        let single = empty.union_rect(1, 1, 1, 1);
+        assert_eq!(
+            MaskedCycle::build(&single).unwrap_err(),
+            HamiltonError::MaskTooSmall { enabled: 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disabled")]
+    fn position_of_disabled_cell_panics() {
+        let mask = RegionMask::l_shape(6, 6);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        ring.position(GridCoord::new(5, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn position_out_of_grid_panics() {
+        let mask = RegionMask::full(4, 4);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        ring.position(GridCoord::new(4, 0));
+    }
+}

@@ -3,9 +3,9 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use wsn_grid::GridCoord;
+use wsn_grid::{GridCoord, RegionMask};
 
-use crate::{DualPathCycle, HamiltonCycle, Result};
+use crate::{DualPathCycle, HamiltonCycle, MaskedCycle, Result};
 
 #[cfg(doc)]
 use crate::HamiltonError;
@@ -66,10 +66,13 @@ pub enum CycleTopology {
     Single(HamiltonCycle),
     /// The dual-path structure (both sides odd).
     Dual(DualPathCycle),
+    /// The masked virtual ring for irregular regions (some cells
+    /// disabled by a [`RegionMask`]).
+    Masked(MaskedCycle),
 }
 
 impl CycleTopology {
-    /// Builds the appropriate structure for `cols × rows`.
+    /// Builds the appropriate structure for a full `cols × rows` grid.
     ///
     /// # Errors
     ///
@@ -83,11 +86,29 @@ impl CycleTopology {
         }
     }
 
+    /// Builds the appropriate structure for an arbitrary region: the
+    /// paper's exact constructions when `mask` is the full rectangle,
+    /// the masked virtual ring otherwise.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CycleTopology::build`] on full masks;
+    /// [`HamiltonError::MaskTooSmall`] when fewer than two cells are
+    /// enabled.
+    pub fn build_masked(mask: &RegionMask) -> Result<CycleTopology> {
+        if mask.is_full() {
+            CycleTopology::build(mask.cols(), mask.rows())
+        } else {
+            MaskedCycle::build(mask).map(CycleTopology::Masked)
+        }
+    }
+
     /// Grid columns.
     pub fn cols(&self) -> u16 {
         match self {
             CycleTopology::Single(c) => c.cols(),
             CycleTopology::Dual(d) => d.cols(),
+            CycleTopology::Masked(m) => m.cols(),
         }
     }
 
@@ -96,12 +117,17 @@ impl CycleTopology {
         match self {
             CycleTopology::Single(c) => c.rows(),
             CycleTopology::Dual(d) => d.rows(),
+            CycleTopology::Masked(m) => m.rows(),
         }
     }
 
-    /// Total number of cells.
+    /// Number of cells on the structure: every grid cell for the full
+    /// constructions, the enabled cells for a masked ring.
     pub fn cell_count(&self) -> usize {
-        self.cols() as usize * self.rows() as usize
+        match self {
+            CycleTopology::Masked(m) => m.len(),
+            _ => self.cols() as usize * self.rows() as usize,
+        }
     }
 
     /// The cell whose head monitors `g` and initiates a replacement when
@@ -111,14 +137,16 @@ impl CycleTopology {
     /// one" synchronization. Dual paths (Algorithm 2): `A`/`B` are
     /// monitored by `C` (case one); `D` only by `B` (case two: "only B
     /// will initiate"); chain cells by their chain predecessor (case
-    /// three).
+    /// three). Masked ring: the ring predecessor (the same "one and only
+    /// one" property on the irregular region).
     ///
     /// # Panics
     ///
-    /// Panics if `g` is outside the grid.
+    /// Panics if `g` is outside the grid (or, on masked rings, disabled).
     pub fn monitors(&self, g: GridCoord) -> GridCoord {
         match self {
             CycleTopology::Single(c) => c.predecessor(g),
+            CycleTopology::Masked(m) => m.predecessor(g),
             CycleTopology::Dual(d) => {
                 if g == d.a() || g == d.b() {
                     d.c()
@@ -147,6 +175,7 @@ impl CycleTopology {
     pub fn monitored_by(&self, u: GridCoord) -> Vec<GridCoord> {
         match self {
             CycleTopology::Single(c) => vec![c.successor(u)],
+            CycleTopology::Masked(m) => vec![m.successor(u)],
             CycleTopology::Dual(d) => {
                 if u == d.c() {
                     vec![d.a(), d.b()]
@@ -181,6 +210,10 @@ impl CycleTopology {
         match self {
             CycleTopology::Single(c) => {
                 let p = c.predecessor(u);
+                (p != hole).then_some(BackwardStep::One(p))
+            }
+            CycleTopology::Masked(m) => {
+                let p = m.predecessor(u);
                 (p != hole).then_some(BackwardStep::One(p))
             }
             CycleTopology::Dual(d) => {
@@ -219,17 +252,24 @@ impl CycleTopology {
     /// Theorem 2's `L`: the maximum number of hops a replacement walk can
     /// stretch. `m·n − 1` for a single cycle; `m·n − 2` for dual paths
     /// (Corollary 2 — the walk traverses the shared chain and resolves
-    /// the `A`/`B` fork by notification, not traversal).
+    /// the `A`/`B` fork by notification, not traversal); `enabled − 1`
+    /// for a masked ring.
     pub fn max_walk_hops(&self) -> usize {
         match self {
             CycleTopology::Single(c) => c.deduced_path_hops(),
             CycleTopology::Dual(d) => d.corollary_hops(),
+            CycleTopology::Masked(m) => m.max_walk_hops(),
         }
     }
 
     /// `true` when this is the dual-path variant.
     pub fn is_dual(&self) -> bool {
         matches!(self, CycleTopology::Dual(_))
+    }
+
+    /// `true` when this is the masked-ring variant.
+    pub fn is_masked(&self) -> bool {
+        matches!(self, CycleTopology::Masked(_))
     }
 }
 
@@ -238,6 +278,7 @@ impl fmt::Display for CycleTopology {
         match self {
             CycleTopology::Single(c) => c.fmt(f),
             CycleTopology::Dual(d) => d.fmt(f),
+            CycleTopology::Masked(m) => m.fmt(f),
         }
     }
 }
@@ -380,6 +421,47 @@ mod tests {
         assert_eq!(CycleTopology::build(16, 16).unwrap().max_walk_hops(), 255);
         // 5x5 dual: m*n - 2 = 23 (Corollary 2).
         assert_eq!(CycleTopology::build(5, 5).unwrap().max_walk_hops(), 23);
+    }
+
+    #[test]
+    fn masked_topology_has_unique_monitors_and_terminating_walks() {
+        let mask = RegionMask::l_shape(8, 8);
+        let t = CycleTopology::build_masked(&mask).unwrap();
+        assert!(t.is_masked());
+        assert!(!t.is_dual());
+        assert_eq!(t.cell_count(), mask.enabled_count());
+        assert_eq!(t.max_walk_hops(), mask.enabled_count() - 1);
+        // One and only one monitor per enabled cell; inverse holds.
+        for g in mask.iter_enabled() {
+            let m = t.monitors(g);
+            assert!(mask.is_enabled(m));
+            assert_eq!(t.monitored_by(m), vec![g]);
+        }
+        // A backward walk for any hole visits every other enabled cell.
+        let hole = mask.iter_enabled().nth(7).unwrap();
+        let mut u = t.monitors(hole);
+        let mut hops = 1;
+        while let Some(BackwardStep::One(p)) = t.backward_from(u, hole) {
+            u = p;
+            hops += 1;
+        }
+        assert_eq!(hops, t.max_walk_hops());
+    }
+
+    #[test]
+    fn build_masked_on_full_mask_is_the_paper_structure() {
+        let full = RegionMask::full(6, 6);
+        assert!(matches!(
+            CycleTopology::build_masked(&full).unwrap(),
+            CycleTopology::Single(_)
+        ));
+        let odd = RegionMask::full(5, 5);
+        assert!(matches!(
+            CycleTopology::build_masked(&odd).unwrap(),
+            CycleTopology::Dual(_)
+        ));
+        let empty = RegionMask::full(3, 3).difference_rect(0, 0, 2, 2);
+        assert!(CycleTopology::build_masked(&empty).is_err());
     }
 
     #[test]

@@ -7,9 +7,9 @@
 
 use std::collections::HashSet;
 
-use wsn_grid::GridCoord;
+use wsn_grid::{GridCoord, RegionMask};
 
-use crate::{DualPathCycle, HamiltonCycle};
+use crate::{DualPathCycle, HamiltonCycle, MaskedCycle};
 
 /// Checks that `seq` is a Hamilton *path* over exactly the cells in
 /// `expected`: consecutive cells 4-adjacent, no repeats, full coverage.
@@ -113,6 +113,71 @@ pub fn validate_dual(dual: &DualPathCycle) -> Result<(), String> {
         if !x.is_adjacent(y) {
             return Err(format!("{name} not adjacent ({x} !~ {y})"));
         }
+    }
+    Ok(())
+}
+
+/// Checks the masked ring against its region: the proof obligation of
+/// the irregular-region construction.
+///
+/// * every **enabled** cell of `mask` is on exactly one directed path of
+///   the cover (equivalently: appears exactly once in the ring order);
+/// * no disabled cell appears anywhere;
+/// * within each path, consecutive cells are 4-adjacent;
+/// * the position index is consistent with the ring order;
+/// * every virtual connector sits at a path boundary (inside a path all
+///   steps are adjacent).
+pub fn validate_masked(ring: &MaskedCycle, mask: &RegionMask) -> Result<(), String> {
+    if ring.cols() != mask.cols() || ring.rows() != mask.rows() {
+        return Err(format!(
+            "ring is {}x{} but mask is {}x{}",
+            ring.cols(),
+            ring.rows(),
+            mask.cols(),
+            mask.rows()
+        ));
+    }
+    let enabled: HashSet<GridCoord> = mask.iter_enabled().collect();
+    if ring.len() != enabled.len() {
+        return Err(format!(
+            "ring visits {} cells, mask enables {}",
+            ring.len(),
+            enabled.len()
+        ));
+    }
+    let mut seen = HashSet::with_capacity(ring.len());
+    for (k, &c) in ring.order().iter().enumerate() {
+        if !enabled.contains(&c) {
+            return Err(format!("disabled cell {c} at ring position {k}"));
+        }
+        if !seen.insert(c) {
+            return Err(format!("cell {c} on two paths (ring position {k})"));
+        }
+        if ring.position(c) != k {
+            return Err(format!("position index wrong for {c}"));
+        }
+    }
+    // seen == enabled now follows from equal sizes + subset.
+    let mut covered = 0usize;
+    for segment in ring.segments() {
+        if segment.is_empty() {
+            return Err("empty path in the cover".into());
+        }
+        for w in segment.windows(2) {
+            if !w[0].is_adjacent(w[1]) {
+                return Err(format!(
+                    "non-adjacent step {} -> {} inside a path",
+                    w[0], w[1]
+                ));
+            }
+        }
+        covered += segment.len();
+    }
+    if covered != ring.len() {
+        return Err(format!(
+            "paths cover {covered} cells, ring has {}",
+            ring.len()
+        ));
     }
     Ok(())
 }

@@ -2,12 +2,63 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use wsn_grid::GridCoord;
-use wsn_hamilton::validate::{validate_cycle, validate_dual, validate_path};
-use wsn_hamilton::{BackwardStep, CycleTopology, DualPathCycle, HamiltonCycle};
+use wsn_grid::{GridCoord, RegionMask, RegionShape};
+use wsn_hamilton::validate::{validate_cycle, validate_dual, validate_masked, validate_path};
+use wsn_hamilton::{BackwardStep, CycleTopology, DualPathCycle, HamiltonCycle, MaskedCycle};
+use wsn_simcore::SimRng;
+
+/// A random mask carved from rectangles, guaranteed ≥ 2 enabled cells.
+fn random_mask(cols: u16, rows: u16, seed: u64) -> RegionMask {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xa11c_e11a);
+    let mut mask = RegionMask::full(cols, rows);
+    for _ in 0..1 + rng.range_usize(4) {
+        let x0 = rng.range_usize(cols as usize) as u16;
+        let y0 = rng.range_usize(rows as usize) as u16;
+        let x1 = x0 + rng.range_usize((cols - x0) as usize) as u16;
+        let y1 = y0 + rng.range_usize((rows - y0) as usize) as u16;
+        mask = mask.difference_rect(x0, y0, x1, y1);
+    }
+    if mask.enabled_count() < 2 {
+        mask = mask.union_rect(0, 0, 1, 0);
+    }
+    mask
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn masked_rings_visit_every_enabled_cell_exactly_once(
+        cols in 2u16..24, rows in 2u16..24, seed in 0u64..4000,
+    ) {
+        let mask = random_mask(cols, rows, seed);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        validate_masked(&ring, &mask).unwrap();
+        prop_assert_eq!(ring.len(), mask.enabled_count());
+        // The successor relation is a permutation of the enabled cells.
+        let mut seen = HashSet::new();
+        for &c in ring.order() {
+            prop_assert!(seen.insert(ring.successor(c)));
+        }
+        prop_assert_eq!(seen.len(), mask.enabled_count());
+    }
+
+    #[test]
+    fn masked_preset_shapes_validate(
+        cols in 4u16..32, rows in 4u16..32, shape_idx in 0usize..4,
+    ) {
+        let shape = RegionShape::IRREGULAR[shape_idx];
+        let mask = shape.build_mask(cols, rows);
+        prop_assume!(mask.enabled_count() >= 2);
+        let ring = MaskedCycle::build(&mask).unwrap();
+        validate_masked(&ring, &mask).unwrap();
+        let topo = CycleTopology::build_masked(&mask).unwrap();
+        prop_assert!(topo.is_masked());
+        // Unique adjacent-or-connector monitor per enabled cell.
+        for g in mask.iter_enabled() {
+            prop_assert_eq!(topo.monitored_by(topo.monitors(g)), vec![g]);
+        }
+    }
 
     #[test]
     fn cycles_validate_for_all_even_sided_dims(cols in 2u16..40, rows in 2u16..40) {

@@ -12,6 +12,32 @@
 //! *not* merge — it folds each cell strictly in trial order, because
 //! Welford merges at worker-dependent split points would cost the
 //! bit-identical-across-worker-counts guarantee.
+//!
+//! # Example
+//!
+//! One accumulator per observable: fold trial outcomes in as they
+//! complete, read moments, intervals, and (when attached) the
+//! histogram at the end — memory stays O(1) per observable however
+//! many trials stream through:
+//!
+//! ```
+//! use wsn_stats::{Histogram, StreamingStat};
+//!
+//! // Track "moves per trial" with a 4-bin histogram over [0, 40).
+//! let mut moves = StreamingStat::with_histogram(
+//!     Histogram::new(0.0, 40.0, 4).unwrap(),
+//! );
+//! for outcome in [12.0, 17.0, 9.0, 31.0, 14.0] {
+//!     moves.push(outcome);
+//! }
+//! assert_eq!(moves.summary().count(), 5);
+//! assert!((moves.summary().mean() - 16.6).abs() < 1e-12);
+//! // 95% interval for the mean, ready for figure whiskers.
+//! let ci = moves.ci(0.95);
+//! assert!(ci.low() < 16.6 && 16.6 < ci.high());
+//! // The histogram binned every observation.
+//! assert_eq!(moves.histogram().unwrap().total(), 5);
+//! ```
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

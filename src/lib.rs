@@ -61,8 +61,9 @@ pub mod prelude {
     pub use wsn_geometry::{Disk, Point2, Rect, Vec2};
     pub use wsn_grid::{
         coverage_verdict, deploy, render, GridCoord, GridNetwork, GridSystem, HeadElection,
+        RegionMask, RegionShape,
     };
-    pub use wsn_hamilton::{CycleTopology, DualPathCycle, HamiltonCycle};
+    pub use wsn_hamilton::{CycleTopology, DualPathCycle, HamiltonCycle, MaskedCycle};
     pub use wsn_simcore::{
         fault::{FaultEvent, FaultPlan, Jammer},
         Battery, Metrics, NodeId, SimRng, TraceEvent,

@@ -1,0 +1,110 @@
+//! Markdown link check: every relative link in the repository's
+//! top-level documentation must point at a file that exists.
+//!
+//! This is the link-check half of the docs gate (the other half is
+//! `RUSTDOCFLAGS="-D warnings" cargo doc --no-deps`): it keeps
+//! README/ARCHITECTURE/THEORY/PAPER/PAPERS honest as files move, with
+//! no external tooling. External (`http`/`https`) links are out of
+//! scope — the CI environment is offline by design.
+
+use std::path::{Path, PathBuf};
+
+/// The documents under the gate.
+const DOCS: [&str; 6] = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "THEORY.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "CHANGES.md",
+];
+
+/// Extracts `](target)` link targets from markdown, skipping code
+/// fences (``` blocks) where `](` can appear in source text.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            out.push(rest[..close].to_string());
+            rest = &rest[close..];
+        }
+    }
+    out
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = workspace_root();
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {doc}: {e}"));
+        for target in link_targets(&text) {
+            // External links and pure in-page anchors are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with('#')
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // Strip a fragment, if any.
+            let file_part = target.split('#').next().unwrap_or(&target);
+            if file_part.is_empty() {
+                continue;
+            }
+            checked += 1;
+            let resolved = root.join(file_part);
+            if !Path::new(&resolved).exists() {
+                broken.push(format!("{doc}: ({target})"));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n  {}",
+        broken.join("\n  ")
+    );
+    // The gate must actually be checking something; if the docs lose
+    // all their relative links, this test has gone stale.
+    assert!(
+        checked >= 10,
+        "only {checked} relative links found across the doc set"
+    );
+}
+
+#[test]
+fn doc_set_is_present_and_interlinked() {
+    let root = workspace_root();
+    for doc in DOCS {
+        assert!(root.join(doc).exists(), "{doc} missing");
+    }
+    // The concordance is reachable from both entry points.
+    for entry in ["README.md", "ARCHITECTURE.md"] {
+        let text = std::fs::read_to_string(root.join(entry)).unwrap();
+        assert!(
+            text.contains("](THEORY.md)"),
+            "{entry} does not link THEORY.md"
+        );
+    }
+    // And the paper map is reachable from the concordance.
+    let theory = std::fs::read_to_string(root.join("THEORY.md")).unwrap();
+    assert!(theory.contains("](PAPER.md)"));
+}
