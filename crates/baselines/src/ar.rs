@@ -25,15 +25,15 @@
 use std::collections::{BTreeSet, HashSet};
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
 use wsn_geometry::sample;
-use wsn_grid::{Direction, GridCoord, GridNetwork, NetworkStats};
+use wsn_grid::{Direction, GridCoord, GridNetwork};
 use wsn_simcore::{
     ChangeDrivenProtocol, EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, RoundRunner,
-    RunReport, SimRng, TraceEvent, TraceLog,
+    SimRng, TraceEvent, TraceLog,
 };
 
+use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_coverage::SpareSelection;
 
 /// Configuration for an AR run.
@@ -477,38 +477,10 @@ impl RoundProtocol for ArProtocol {
     }
 }
 
-/// Report of a completed AR run, mirroring
-/// [`wsn_coverage::RecoveryReport`]'s headline fields.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ArReport {
-    /// How the round loop terminated.
-    pub run: RunReport,
-    /// Aggregate cost counters.
-    pub metrics: Metrics,
-    /// Occupancy before recovery.
-    pub initial_stats: NetworkStats,
-    /// Occupancy after recovery.
-    pub final_stats: NetworkStats,
-    /// Every cell ended with a head.
-    pub fully_covered: bool,
-}
-
-impl fmt::Display for ArReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ar {}: {} -> {} holes, {}",
-            if self.fully_covered {
-                "complete"
-            } else {
-                "incomplete"
-            },
-            self.initial_stats.vacant,
-            self.final_stats.vacant,
-            self.metrics
-        )
-    }
-}
+/// Report of a completed AR run (the unified shape; AR has no
+/// per-process summaries, so `processes` stays empty).
+#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
+pub type ArReport = SchemeReport;
 
 /// Drives AR recovery to quiescence.
 #[derive(Debug, Clone)]
@@ -532,17 +504,19 @@ impl ArRecovery {
     }
 
     /// Runs to quiescence (or the cap) and reports.
-    pub fn run(&mut self) -> ArReport {
+    pub fn run(&mut self) -> SchemeReport {
         let initial_stats = self.protocol.network().stats();
         let run = self.runner.run(&mut self.protocol);
         self.protocol.fail_remaining(run.rounds);
         let final_stats = self.protocol.network().stats();
-        ArReport {
+        SchemeReport {
             run,
             metrics: *self.protocol.metrics(),
             initial_stats,
             final_stats,
             fully_covered: final_stats.vacant == 0,
+            processes: Vec::new(),
+            details: SchemeDetails::none(),
         }
     }
 
@@ -557,23 +531,31 @@ impl ArRecovery {
     /// this). When recovery ends *incomplete*, blacklisted holes stay in
     /// the pending set, so `run`'s trailing idle-confirmation sweeps
     /// additionally bill `cells_scanned` that this fast path skips.
-    pub fn run_adaptive(&mut self) -> ArReport {
+    pub fn run_adaptive(&mut self) -> SchemeReport {
         let initial_stats = self.protocol.network().stats();
         let run = self.runner.run_change_driven(&mut self.protocol);
         self.protocol.fail_remaining(run.rounds);
         let final_stats = self.protocol.network().stats();
-        ArReport {
+        SchemeReport {
             run,
             metrics: *self.protocol.metrics(),
             initial_stats,
             final_stats,
             fully_covered: final_stats.vacant == 0,
+            processes: Vec::new(),
+            details: SchemeDetails::none(),
         }
     }
 
     /// The network state.
     pub fn network(&self) -> &GridNetwork {
         self.protocol.network()
+    }
+
+    /// Consumes the driver and releases the network (see
+    /// [`wsn_coverage::Recovery::into_network`]).
+    pub fn into_network(self) -> GridNetwork {
+        self.protocol.net
     }
 
     /// The event trace.

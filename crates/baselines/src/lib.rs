@@ -27,9 +27,17 @@
 #![warn(missing_docs)]
 
 pub mod ar;
+pub mod schemes;
 pub mod smart;
 pub mod vf;
 
-pub use ar::{ArConfig, ArProtocol, ArRecovery, ArReport};
-pub use smart::{SmartConfig, SmartReport};
-pub use vf::{VfConfig, VfReport};
+#[allow(deprecated)]
+pub use ar::ArReport;
+pub use ar::{ArConfig, ArProtocol, ArRecovery};
+pub use schemes::{builtins, Ar, ArBuilder, Smart, Vf, VfBuilder};
+pub use smart::SmartConfig;
+#[allow(deprecated)]
+pub use smart::SmartReport;
+#[allow(deprecated)]
+pub use vf::VfReport;
+pub use vf::{VfConfig, VfDetails};

@@ -14,11 +14,11 @@
 //! quantify exactly that against SR.
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
+use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_geometry::sample;
-use wsn_grid::{GridCoord, GridNetwork, NetworkStats};
-use wsn_simcore::{Metrics, NodeId, SimRng};
+use wsn_grid::{GridCoord, GridNetwork};
+use wsn_simcore::{Metrics, NodeId, Quiescence, RunReport, SimRng};
 
 /// Configuration for the SMART-style balancer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -28,35 +28,10 @@ pub struct SmartConfig {
     pub seed: u64,
 }
 
-/// Report of a SMART-style balancing run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SmartReport {
-    /// Cost counters (`processes_*` stay zero: scans have no processes).
-    pub metrics: Metrics,
-    /// Occupancy before balancing.
-    pub initial_stats: NetworkStats,
-    /// Occupancy after balancing.
-    pub final_stats: NetworkStats,
-    /// Every cell ended with at least one enabled node.
-    pub fully_covered: bool,
-}
-
-impl fmt::Display for SmartReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "smart {}: {} -> {} holes, {}",
-            if self.fully_covered {
-                "complete"
-            } else {
-                "incomplete"
-            },
-            self.initial_stats.vacant,
-            self.final_stats.vacant,
-            self.metrics
-        )
-    }
-}
+/// Report of a SMART-style balancing run (the unified shape; scans have
+/// no replacement processes, so `processes` stays empty).
+#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
+pub type SmartReport = SchemeReport;
 
 /// Balanced per-cell targets for a line of `loads`: each cell gets
 /// `⌊avg⌋` or `⌈avg⌉`, with the remainder spread from the front.
@@ -142,8 +117,10 @@ fn enabled_runs(net: &GridNetwork, line: &[GridCoord]) -> Vec<Vec<GridCoord>> {
 
 /// Runs the two-scan balance (rows, then columns), re-elects heads, and
 /// reports. On masked networks each maximal enabled interval of a line
-/// balances independently (flow cannot cross disabled cells).
-pub fn run(mut net: GridNetwork, config: &SmartConfig) -> SmartReport {
+/// balances independently (flow cannot cross disabled cells). The
+/// network is updated in place, so callers can compare before/after
+/// state without cloning.
+pub fn run(net: &mut GridNetwork, config: &SmartConfig) -> SchemeReport {
     let mut rng = SimRng::seed_from_u64(config.seed);
     let initial_stats = net.stats();
     let mut metrics = Metrics::new();
@@ -151,25 +128,31 @@ pub fn run(mut net: GridNetwork, config: &SmartConfig) -> SmartReport {
     // Scan 1: every row.
     for y in 0..sys.rows() {
         let cells: Vec<GridCoord> = (0..sys.cols()).map(|x| GridCoord::new(x, y)).collect();
-        for run in enabled_runs(&net, &cells) {
-            balance_line(&mut net, &run, &mut metrics, &mut rng);
+        for run in enabled_runs(net, &cells) {
+            balance_line(net, &run, &mut metrics, &mut rng);
         }
     }
     // Scan 2: every column.
     for x in 0..sys.cols() {
         let cells: Vec<GridCoord> = (0..sys.rows()).map(|y| GridCoord::new(x, y)).collect();
-        for run in enabled_runs(&net, &cells) {
-            balance_line(&mut net, &run, &mut metrics, &mut rng);
+        for run in enabled_runs(net, &cells) {
+            balance_line(net, &run, &mut metrics, &mut rng);
         }
     }
     metrics.rounds = 2; // two global scans
     net.elect_all_heads(wsn_grid::HeadElection::FirstId, &mut rng);
     let final_stats = net.stats();
-    SmartReport {
+    SchemeReport {
+        run: RunReport {
+            rounds: 2,
+            termination: Quiescence::Reached,
+        },
         metrics,
         initial_stats,
         fully_covered: final_stats.vacant == 0,
         final_stats,
+        processes: Vec::new(),
+        details: SchemeDetails::none(),
     }
 }
 
@@ -192,8 +175,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         // Clustered deployment with >= one node per cell available.
         let pos = deploy::clustered(&sys, 2 * sys.cell_count(), 2, 4.0, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
-        let report = run(net, &SmartConfig::default());
+        let mut net = GridNetwork::new(sys, &pos);
+        let report = run(&mut net, &SmartConfig::default());
         assert!(report.fully_covered, "{report}");
         // Perfect balance: every cell within floor/ceil of the average.
         assert_eq!(report.final_stats.vacant, 0);
@@ -204,9 +187,9 @@ mod tests {
         let sys = GridSystem::new(4, 4, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(2);
         let pos = deploy::clustered(&sys, 32, 1, 2.0, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
+        let mut net = GridNetwork::new(sys, &pos);
         let total = net.enabled_count();
-        let report = run(net, &SmartConfig { seed: 2 });
+        let report = run(&mut net, &SmartConfig { seed: 2 });
         let avg = total as f64 / 16.0;
         // After balancing, occupancy equals cell count when avg >= 1.
         assert!(avg >= 1.0);
@@ -221,9 +204,9 @@ mod tests {
         let sys = GridSystem::new(6, 6, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(3);
         let pos = deploy::with_holes(&sys, &[GridCoord::new(3, 3)], 2, &mut rng);
-        let smart_net = GridNetwork::new(sys, &pos);
+        let mut smart_net = GridNetwork::new(sys, &pos);
         let sr_net = GridNetwork::new(sys, &pos);
-        let smart = run(smart_net, &SmartConfig { seed: 3 });
+        let smart = run(&mut smart_net, &SmartConfig { seed: 3 });
         let sr = Recovery::new(sr_net, SrConfig::default().with_seed(3))
             .unwrap()
             .run();
@@ -241,8 +224,8 @@ mod tests {
         let sys = GridSystem::new(4, 4, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(4);
         let pos = deploy::per_cell_exact(&sys, 2, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
-        let report = run(net, &SmartConfig { seed: 4 });
+        let mut net = GridNetwork::new(sys, &pos);
+        let report = run(&mut net, &SmartConfig { seed: 4 });
         assert_eq!(report.metrics.moves, 0);
         assert!(report.fully_covered);
     }
@@ -252,8 +235,8 @@ mod tests {
         let sys = GridSystem::new(4, 4, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(5);
         let pos = deploy::uniform(&sys, 10, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
-        let report = run(net, &SmartConfig { seed: 5 });
+        let mut net = GridNetwork::new(sys, &pos);
+        let report = run(&mut net, &SmartConfig { seed: 5 });
         assert!(!report.fully_covered);
         // Still balanced: at most one node per cell when total < cells.
         assert_eq!(report.final_stats.occupied, 10);
@@ -270,8 +253,8 @@ mod tests {
         let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
         let holes: Vec<GridCoord> = enabled.iter().copied().step_by(9).collect();
         let pos = deploy::with_holes_masked(&sys, &mask, &holes, 2, &mut rng);
-        let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
-        let report = run(net, &SmartConfig { seed: 11 });
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        let report = run(&mut net, &SmartConfig { seed: 11 });
         assert!(report.fully_covered, "{report}");
         assert_eq!(report.final_stats.enabled, report.initial_stats.enabled);
     }
@@ -285,8 +268,8 @@ mod tests {
             GridNetwork::new(sys, &pos)
         };
         assert_eq!(
-            run(mk(), &SmartConfig { seed: 1 }),
-            run(mk(), &SmartConfig { seed: 1 })
+            run(&mut mk(), &SmartConfig { seed: 1 }),
+            run(&mut mk(), &SmartConfig { seed: 1 })
         );
     }
 
@@ -295,9 +278,9 @@ mod tests {
         let sys = GridSystem::new(5, 4, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(7);
         let pos = deploy::clustered(&sys, 50, 2, 3.0, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
+        let mut net = GridNetwork::new(sys, &pos);
         let before = net.enabled_count();
-        let report = run(net.clone(), &SmartConfig { seed: 7 });
+        let report = run(&mut net, &SmartConfig { seed: 7 });
         assert_eq!(report.final_stats.enabled, before);
     }
 }

@@ -11,11 +11,11 @@
 //! of movements" — is exactly what the bench harness measures.
 
 use serde::{Deserialize, Serialize};
-use std::fmt;
 
+use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_geometry::{Point2, Vec2};
-use wsn_grid::{GridNetwork, NetworkStats};
-use wsn_simcore::{Metrics, SimRng};
+use wsn_grid::GridNetwork;
+use wsn_simcore::{Metrics, Quiescence, RunReport, SimRng};
 
 /// Configuration for the virtual-force baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,42 +47,39 @@ impl Default for VfConfig {
     }
 }
 
-/// Report of a virtual-force run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct VfReport {
-    /// Cost counters (`processes_*` stay zero: VF has no processes).
-    pub metrics: Metrics,
-    /// Occupancy before.
-    pub initial_stats: NetworkStats,
-    /// Occupancy after.
-    pub final_stats: NetworkStats,
-    /// Every cell ended with at least one enabled node.
-    pub fully_covered: bool,
-    /// Rounds until the force field settled (or the cap).
-    pub rounds: u64,
-}
+/// Report of a virtual-force run (the unified shape; the rounds-to-settle
+/// count is `metrics.rounds`, and [`VfDetails`] rides in `details`).
+#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
+pub type VfReport = SchemeReport;
 
-impl fmt::Display for VfReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "vf {} after {} rounds: {} -> {} holes, {}",
-            if self.fully_covered {
-                "complete"
-            } else {
-                "incomplete"
-            },
-            self.rounds,
-            self.initial_stats.vacant,
-            self.final_stats.vacant,
-            self.metrics
-        )
-    }
+/// VF-specific extras attached to the report's
+/// [`details`](SchemeReport::details) — the exemplar for the typed
+/// extension mechanism:
+///
+/// ```
+/// # use wsn_baselines::vf::{self, VfConfig, VfDetails};
+/// # use wsn_grid::{deploy, GridNetwork, GridSystem};
+/// # use wsn_simcore::SimRng;
+/// # let sys = GridSystem::new(3, 3, 4.4721).unwrap();
+/// # let mut rng = SimRng::seed_from_u64(1);
+/// # let pos = deploy::uniform(&sys, 20, &mut rng);
+/// # let mut net = GridNetwork::new(sys, &pos);
+/// let report = vf::run(&mut net, &VfConfig::default());
+/// let details = report.details.get::<VfDetails>().expect("VF attaches details");
+/// assert_eq!(details.equilibrium, report.run.is_quiescent());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VfDetails {
+    /// `true` when the force field settled (no node above the jitter
+    /// threshold) before the round cap.
+    pub equilibrium: bool,
 }
 
 /// Runs the virtual-force protocol to force-equilibrium (no node wants to
-/// move) or the round cap, then re-elects heads and reports.
-pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
+/// move) or the round cap, then re-elects heads and reports. The network
+/// is updated in place, so callers can compare before/after state
+/// without cloning.
+pub fn run(net: &mut GridNetwork, config: &VfConfig) -> SchemeReport {
     let mut rng = SimRng::seed_from_u64(config.seed);
     let initial_stats = net.stats();
     let mut metrics = Metrics::new();
@@ -94,6 +91,7 @@ pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
     let area = net.system().area();
 
     let mut rounds = 0;
+    let mut equilibrium = false;
     for round in 0..config.max_rounds {
         rounds = round + 1;
         // Gather enabled ids and positions (forces computed on a frozen
@@ -149,6 +147,7 @@ pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
             }
         }
         if !moved_any {
+            equilibrium = true;
             break;
         }
     }
@@ -156,12 +155,21 @@ pub fn run(mut net: GridNetwork, config: &VfConfig) -> VfReport {
     let mut rng2 = SimRng::seed_from_u64(config.seed.wrapping_add(1));
     net.elect_all_heads(wsn_grid::HeadElection::FirstId, &mut rng2);
     let final_stats = net.stats();
-    VfReport {
+    SchemeReport {
+        run: RunReport {
+            rounds,
+            termination: if equilibrium {
+                Quiescence::Reached
+            } else {
+                Quiescence::MaxRoundsExceeded
+            },
+        },
         metrics,
         initial_stats,
         fully_covered: final_stats.vacant == 0,
         final_stats,
-        rounds,
+        processes: Vec::new(),
+        details: SchemeDetails::new(VfDetails { equilibrium }),
     }
 }
 
@@ -176,9 +184,9 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         // Everything clustered in one corner: terrible initial coverage.
         let pos = deploy::clustered(&sys, 72, 1, 3.0, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
+        let mut net = GridNetwork::new(sys, &pos);
         let before = net.stats().occupied;
-        let report = run(net, &VfConfig::default());
+        let report = run(&mut net, &VfConfig::default());
         assert!(
             report.final_stats.occupied > before,
             "VF must improve occupancy: {} -> {}",
@@ -195,8 +203,8 @@ mod tests {
         let sys = GridSystem::new(6, 6, 4.4721).unwrap();
         let mut rng = SimRng::seed_from_u64(3);
         let pos = deploy::with_holes(&sys, &[GridCoord::new(3, 3)], 2, &mut rng);
-        let net = GridNetwork::new(sys, &pos);
-        let report = run(net, &VfConfig::default());
+        let mut net = GridNetwork::new(sys, &pos);
+        let report = run(&mut net, &VfConfig::default());
         // Dozens of nodes jostle, far more than SR's 1-2 moves.
         assert!(
             report.metrics.moves > 10,
@@ -214,13 +222,15 @@ mod tests {
             .iter_coords()
             .map(|c| sys.cell_center(c).unwrap())
             .collect();
-        let net = GridNetwork::new(sys, &pos);
-        let report = run(net, &VfConfig::default());
+        let mut net = GridNetwork::new(sys, &pos);
+        let report = run(&mut net, &VfConfig::default());
         assert!(
-            report.rounds < 50,
+            report.metrics.rounds < 50,
             "should settle fast, took {}",
-            report.rounds
+            report.metrics.rounds
         );
+        assert!(report.run.is_quiescent());
+        assert!(report.details.get::<VfDetails>().unwrap().equilibrium);
     }
 
     #[test]
@@ -230,16 +240,16 @@ mod tests {
         let mask = RegionMask::l_shape(8, 8);
         let mut rng = SimRng::seed_from_u64(21);
         let pos = deploy::uniform_masked(&sys, &mask, 100, &mut rng);
-        let net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
-        let net2 = net.clone();
-        let report = run(net, &VfConfig::default());
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        let report = run(&mut net, &VfConfig::default());
         assert!(report.metrics.moves > 0);
         // Moves into obstacles are rejected by the network, so stats
         // stay confined to the enabled region throughout.
         assert!(report.final_stats.occupied + report.final_stats.vacant == mask.enabled_count());
-        // The invariants (incl. no-node-in-disabled-cell) hold on the
-        // untouched clone too, proving the masked deployment itself.
-        net2.debug_invariants();
+        // The in-place contract: `net` is the settled network, and the
+        // invariants (incl. no-node-in-disabled-cell) still hold on it.
+        assert_eq!(net.stats(), report.final_stats);
+        net.debug_invariants();
     }
 
     #[test]
@@ -250,16 +260,16 @@ mod tests {
             let pos = deploy::uniform(&sys, 50, &mut rng);
             GridNetwork::new(sys, &pos)
         };
-        let a = run(mk(), &VfConfig::default());
-        let b = run(mk(), &VfConfig::default());
+        let a = run(&mut mk(), &VfConfig::default());
+        let b = run(&mut mk(), &VfConfig::default());
         assert_eq!(a, b);
     }
 
     #[test]
     fn report_display() {
         let sys = GridSystem::new(3, 3, 1.0).unwrap();
-        let net = GridNetwork::new(sys, &[]);
-        let report = run(net, &VfConfig::default());
+        let mut net = GridNetwork::new(sys, &[]);
+        let report = run(&mut net, &VfConfig::default());
         assert!(!report.fully_covered);
         assert!(!report.to_string().is_empty());
     }

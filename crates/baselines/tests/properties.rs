@@ -62,9 +62,9 @@ proptest! {
         // which is why the paper says scan methods need several-x density
         // to *guarantee* coverage. At >= 2 nodes/cell they always cover;
         // below 1 node/cell they never can.
-        let net = random_network(cols, rows, count, seed);
+        let mut net = random_network(cols, rows, count, seed);
         let cells = net.system().cell_count();
-        let report = smart::run(net, &SmartConfig { seed });
+        let report = smart::run(&mut net, &SmartConfig { seed });
         prop_assert_eq!(report.final_stats.enabled, count);
         if count >= 2 * cells {
             prop_assert!(report.fully_covered, "2x density must cover");
@@ -81,8 +81,8 @@ proptest! {
     ) {
         // Each unit of flow crosses each row boundary at most once per
         // scan; total moves are bounded by count * (cols + rows) hops.
-        let net = random_network(cols, rows, count, seed);
-        let report = smart::run(net, &SmartConfig { seed });
+        let mut net = random_network(cols, rows, count, seed);
+        let report = smart::run(&mut net, &SmartConfig { seed });
         prop_assert!(
             report.metrics.moves <= (count * (cols as usize + rows as usize)) as u64,
             "moves {} exceed the scan bound",
@@ -95,10 +95,10 @@ proptest! {
         cols in 2u16..7, rows in 2u16..7,
         count in 0usize..120, seed in 0u64..2_000,
     ) {
-        let net = random_network(cols, rows, count, seed);
+        let mut net = random_network(cols, rows, count, seed);
         let cfg = VfConfig { seed, max_rounds: 80, ..VfConfig::default() };
-        let report = vf::run(net, &cfg);
-        prop_assert!(report.rounds <= 80);
+        let report = vf::run(&mut net, &cfg);
+        prop_assert!(report.metrics.rounds <= 80);
         prop_assert_eq!(report.final_stats.enabled, count);
         // VF never tears a node out of the surveillance area.
         prop_assert!(report.metrics.distance.is_finite());
@@ -110,9 +110,9 @@ proptest! {
     ) {
         // Repulsion spreads nodes; occupied-cell count should not
         // collapse (allow small jitter-induced dips).
-        let net = random_network(6, 6, 100, seed);
+        let mut net = random_network(6, 6, 100, seed);
         let before = net.stats().occupied;
-        let report = vf::run(net, &VfConfig { seed, max_rounds: 80, ..VfConfig::default() });
+        let report = vf::run(&mut net, &VfConfig { seed, max_rounds: 80, ..VfConfig::default() });
         prop_assert!(
             report.final_stats.occupied + 3 >= before,
             "occupancy collapsed {} -> {}",

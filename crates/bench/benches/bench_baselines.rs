@@ -28,12 +28,16 @@ fn bench_single_hole(c: &mut Criterion) {
         })
     });
     g.bench_function("smart_scan", |b| {
-        b.iter(|| smart::run(black_box(net.clone()), &SmartConfig { seed: 5 }))
+        b.iter(|| {
+            let mut net = black_box(net.clone());
+            smart::run(&mut net, &SmartConfig { seed: 5 })
+        })
     });
     g.bench_function("virtual_force", |b| {
         b.iter(|| {
+            let mut net = black_box(net.clone());
             vf::run(
-                black_box(net.clone()),
+                &mut net,
                 &VfConfig {
                     seed: 5,
                     max_rounds: 60,

@@ -7,7 +7,12 @@
 //! cargo run -p wsn-bench --bin figures --release -- --smoke    # CI smoke: tiny grid, seconds
 //! cargo run -p wsn-bench --bin figures --release -- --campaign # Figures 6-8 with CI whiskers
 //! cargo run -p wsn-bench --bin figures --release -- --campaign --masked # irregular-region axis
+//! cargo run -p wsn-bench --bin figures --release -- --schemes sr,ar,vf,smart # scheme axis
 //! ```
+//!
+//! `--schemes` takes a comma-separated list of registry ids (see
+//! `wsn_baselines::builtins`) and overrides the campaign's scheme axis;
+//! it implies `--campaign`. Unknown ids abort with the registered list.
 //!
 //! ASCII plots go to stdout; `<fig>.txt` and `<fig>.csv` land in
 //! `results/` at the workspace root (or `$WSN_RESULTS_DIR`), and every
@@ -24,15 +29,74 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use wsn_baselines::builtins;
 use wsn_bench::campaign::{run_campaign, CampaignConfig};
 use wsn_bench::figures;
 use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
+use wsn_coverage::SchemeId;
 use wsn_stats::table::TextTable;
 
 fn out_dir() -> PathBuf {
     std::env::var_os("WSN_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Parses `--schemes a,b,c` / `--schemes=a,b,c` against the built-in
+/// registry, consuming the flag (and its value) from `args`. `Ok(None)`
+/// when the flag is absent; `Err` with a CLI-ready message otherwise.
+fn parse_schemes_flag(args: &mut Vec<String>) -> Result<Option<Vec<SchemeId>>, String> {
+    let mut value: Option<String> = None;
+    // Consume every occurrence, so a repeated flag errors instead of
+    // leaking its value into the positional figure filter.
+    loop {
+        let next = if let Some(i) = args.iter().position(|a| a == "--schemes") {
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                return Err("--schemes needs a comma-separated id list".into());
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            v
+        } else if let Some(i) = args.iter().position(|a| a.starts_with("--schemes=")) {
+            args.remove(i)["--schemes=".len()..].to_owned()
+        } else {
+            break;
+        };
+        if value.is_some() {
+            return Err("--schemes given more than once".into());
+        }
+        value = Some(next);
+    }
+    let Some(value) = value else { return Ok(None) };
+    let registry = builtins();
+    let registered = || {
+        registry
+            .ids()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut ids = Vec::new();
+    for token in value.split(',').filter(|t| !t.is_empty()) {
+        let id: SchemeId = token
+            .parse()
+            .map_err(|e| format!("{e}; registered ids: {}", registered()))?;
+        if !registry.contains(id.as_str()) {
+            return Err(format!(
+                "unknown scheme id '{id}'; registered ids: {}",
+                registered()
+            ));
+        }
+        ids.push(id);
+    }
+    if ids.is_empty() {
+        return Err(format!(
+            "--schemes needs at least one id; registered ids: {}",
+            registered()
+        ));
+    }
+    Ok(Some(ids))
 }
 
 /// The CI smoke configuration: an 8×8 grid, two targets, one trial —
@@ -48,12 +112,21 @@ fn smoke_config() -> SweepConfig {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let schemes = match parse_schemes_flag(&mut args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = args;
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = args.iter().any(|a| a == "--quick");
-    // --masked is a campaign axis; passing it alone implies --campaign.
+    // --masked and --schemes are campaign axes; passing either alone
+    // implies --campaign.
     let masked = args.iter().any(|a| a == "--masked");
-    let campaign = masked || args.iter().any(|a| a == "--campaign");
+    let campaign = masked || schemes.is_some() || args.iter().any(|a| a == "--campaign");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -125,13 +198,16 @@ fn main() -> ExitCode {
     if campaign && masked && want("figmasked") {
         // The irregular-region axis: SR vs AR (and SR-SC in the smoke
         // matrix) across region shapes, mean curves per (scheme, region).
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             CampaignConfig::masked_smoke()
         } else if quick {
             CampaignConfig::masked().with_seeds_per_cell(10)
         } else {
             CampaignConfig::masked()
         };
+        if let Some(ids) = schemes.clone() {
+            cfg.schemes = ids;
+        }
         eprintln!(
             "running masked campaign '{}': {} cells x {} seeds ({} trials) ...",
             cfg.name,
@@ -183,13 +259,16 @@ fn main() -> ExitCode {
             );
         }
     } else if campaign && !masked && (want("fig6") || want("fig7") || want("fig8")) {
-        let cfg = if smoke {
+        let mut cfg = if smoke {
             CampaignConfig::smoke()
         } else if quick {
             CampaignConfig::quick()
         } else {
             CampaignConfig::paper()
         };
+        if let Some(ids) = schemes.clone() {
+            cfg.schemes = ids;
+        }
         eprintln!(
             "running campaign '{}': {} cells x {} seeds ({} trials) ...",
             cfg.name,

@@ -45,10 +45,13 @@
 //!
 //! A campaign is a plain config run through [`run_campaign`]; the
 //! paper's full matrix is [`CampaignConfig::paper`], and any field can
-//! be overridden for custom experiments:
+//! be overridden for custom experiments. The scheme axis is a list of
+//! registry ids ([`wsn_coverage::SchemeId`]) — any scheme in the
+//! registry, including runtime-registered plugins via
+//! [`run_campaign_with`], can join the matrix:
 //!
 //! ```
-//! use wsn_bench::campaign::{run_campaign, CampaignConfig, Scheme};
+//! use wsn_bench::campaign::{run_campaign, CampaignConfig};
 //!
 //! // The paper's §5 matrix, shrunk to a doctest-sized grid.
 //! let cfg = CampaignConfig {
@@ -61,8 +64,8 @@
 //! let result = run_campaign(&cfg)?;
 //! assert_eq!(result.cells.len(), cfg.cell_count());
 //! // Paired deployments: SR and AR saw identical hole counts per cell.
-//! let sr = result.cell(Scheme::Sr, 6, 6, 5).unwrap();
-//! let ar = result.cell(Scheme::Ar, 6, 6, 5).unwrap();
+//! let sr = result.cell("sr", 6, 6, 5).unwrap();
+//! let ar = result.cell("ar", 6, 6, 5).unwrap();
 //! assert_eq!(sr.holes, ar.holes);
 //! # Ok::<(), wsn_bench::campaign::CampaignError>(())
 //! ```
@@ -97,40 +100,11 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use wsn_baselines::{ArConfig, ArRecovery};
-use wsn_coverage::{Recovery, ShortcutRecovery, SrConfig};
+use wsn_baselines::builtins;
+use wsn_coverage::scheme::{DriveMode, NetworkSpec, ReplacementScheme, SchemeId, SchemeRegistry};
 use wsn_grid::{deploy, GridNetwork, GridSystem, RegionShape};
 use wsn_simcore::{derive_stream_seed, Metrics, SimRng};
 use wsn_stats::{Histogram, JsonValue, StreamingStat};
-
-/// A recovery scheme runnable as one matrix axis value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Scheme {
-    /// The paper's synchronized replacement (this repo's contribution).
-    Sr,
-    /// The unsynchronized AR baseline (Jiang et al., WSNS'07).
-    Ar,
-    /// The SR-SC shortcut variant (§6 future work; even-sided grids
-    /// only).
-    SrSc,
-}
-
-impl Scheme {
-    /// Figure-legend label.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Scheme::Sr => "SR",
-            Scheme::Ar => "AR",
-            Scheme::SrSc => "SR-SC",
-        }
-    }
-}
-
-impl fmt::Display for Scheme {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
 
 /// What one campaign trial measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,8 +136,10 @@ impl CampaignMode {
 pub struct CampaignConfig {
     /// Artifact base name: results land in `campaign_<name>.json`/`.csv`.
     pub name: String,
-    /// Schemes to run (figure legend order).
-    pub schemes: Vec<Scheme>,
+    /// Registry ids of the schemes to run (figure legend order). Every
+    /// id must resolve in the registry the campaign runs against
+    /// ([`wsn_baselines::builtins`] for [`run_campaign`]).
+    pub schemes: Vec<SchemeId>,
     /// Region shapes to sweep ([`RegionShape::Full`] alone reproduces
     /// the paper's rectangular setting; irregular shapes mask the grid).
     pub regions: Vec<RegionShape>,
@@ -199,7 +175,7 @@ impl CampaignConfig {
     pub fn paper() -> CampaignConfig {
         CampaignConfig {
             name: "paper16".into(),
-            schemes: vec![Scheme::Ar, Scheme::Sr],
+            schemes: SchemeId::list(&["ar", "sr"]),
             regions: vec![RegionShape::Full],
             grids: vec![(16, 16)],
             targets: vec![
@@ -224,11 +200,13 @@ impl CampaignConfig {
         }
     }
 
-    /// The seconds-long CI smoke matrix: 8×8 grid, two targets, three
-    /// seeds. Also the fixture config of the golden-file test.
+    /// The seconds-long CI smoke matrix: **all five** built-in schemes
+    /// on an 8×8 grid, two targets, three seeds. Also the fixture
+    /// config of the golden-file test.
     pub fn smoke() -> CampaignConfig {
         CampaignConfig {
             name: "smoke8".into(),
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc", "vf", "smart"]),
             grids: vec![(8, 8)],
             targets: vec![10, 100],
             seeds_per_cell: 3,
@@ -249,13 +227,13 @@ impl CampaignConfig {
         }
     }
 
-    /// The seconds-long masked smoke matrix: all three schemes on an
-    /// 8×8 L-shape and annulus. Also the fixture config of the masked
-    /// golden-file test.
+    /// The seconds-long masked smoke matrix: **all five** built-in
+    /// schemes on an 8×8 L-shape and annulus. Also the fixture config
+    /// of the masked golden-file test.
     pub fn masked_smoke() -> CampaignConfig {
         CampaignConfig {
             name: "masked8".into(),
-            schemes: vec![Scheme::Ar, Scheme::Sr, Scheme::SrSc],
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc", "vf", "smart"]),
             regions: vec![RegionShape::LShape, RegionShape::Annulus],
             grids: vec![(8, 8)],
             targets: vec![10, 100],
@@ -291,10 +269,10 @@ impl CampaignConfig {
     /// Decodes a dense cell index into `(scheme, region, (cols, rows), n)`
     /// — canonical order: schemes outermost, then regions, then grids,
     /// targets innermost.
-    fn cell_params(&self, cell: usize) -> (Scheme, RegionShape, (u16, u16), usize) {
+    fn cell_params(&self, cell: usize) -> (&SchemeId, RegionShape, (u16, u16), usize) {
         let per_region = self.grids.len() * self.targets.len();
         let per_scheme = self.regions.len() * per_region;
-        let scheme = self.schemes[cell / per_scheme];
+        let scheme = &self.schemes[cell / per_scheme];
         let rest = cell % per_scheme;
         let region = self.regions[rest / per_region];
         let rest = rest % per_region;
@@ -303,7 +281,7 @@ impl CampaignConfig {
         (scheme, region, grid, n)
     }
 
-    fn validate(&self) -> Result<(), CampaignError> {
+    fn validate(&self, registry: &SchemeRegistry) -> Result<(), CampaignError> {
         if self.schemes.is_empty()
             || self.regions.is_empty()
             || self.grids.is_empty()
@@ -311,11 +289,24 @@ impl CampaignConfig {
         {
             return Err(CampaignError::EmptyMatrix);
         }
+        for (i, id) in self.schemes.iter().enumerate() {
+            if !registry.contains(id.as_str()) {
+                return Err(CampaignError::UnknownScheme {
+                    id: id.to_string(),
+                    registered: registry.ids().iter().map(ToString::to_string).collect(),
+                });
+            }
+            // A repeated id would duplicate whole matrix slabs (same
+            // stream seeds, twice the trials, two identical series).
+            if self.schemes[..i].contains(id) {
+                return Err(CampaignError::DuplicateScheme { id: id.to_string() });
+            }
+        }
         if self.seeds_per_cell == 0 {
             return Err(CampaignError::ZeroSeeds);
         }
         if self.mode == CampaignMode::SingleReplacement
-            && self.schemes.iter().any(|s| *s != Scheme::Sr)
+            && self.schemes.iter().any(|s| s.as_str() != "sr")
         {
             return Err(CampaignError::SingleReplacementNeedsSr);
         }
@@ -328,6 +319,7 @@ impl CampaignConfig {
         }
         // Establish every per-trial precondition here, so trial execution
         // cannot fail (or panic on a worker thread) for a validated
+        // matrix: every scheme must support every (region, grid) of the
         // matrix.
         let invalid =
             |(cols, rows), reason: String| CampaignError::InvalidGrid { cols, rows, reason };
@@ -341,28 +333,11 @@ impl CampaignConfig {
                 if mask.enabled_count() == 0 {
                     return Err(invalid(grid, format!("region '{region}' enables no cells")));
                 }
-                if self
-                    .schemes
-                    .iter()
-                    .any(|s| matches!(s, Scheme::Sr | Scheme::SrSc))
-                {
-                    match wsn_hamilton::CycleTopology::build_masked(&mask) {
-                        Err(e) => {
-                            return Err(invalid(grid, format!("region '{region}': {e}")));
-                        }
-                        Ok(topo) => {
-                            // SR-SC needs a unique-predecessor ring: the
-                            // single cycle or the masked virtual ring,
-                            // never the dual-path structure.
-                            if self.schemes.contains(&Scheme::SrSc)
-                                && matches!(topo, wsn_hamilton::CycleTopology::Dual(_))
-                            {
-                                return Err(invalid(
-                                    grid,
-                                    "SR-SC requires a single Hamilton cycle (one even side)".into(),
-                                ));
-                            }
-                        }
+                let spec = NetworkSpec::masked(mask);
+                for id in &self.schemes {
+                    let scheme = registry.get(id.as_str()).expect("ids checked above");
+                    if let Err(e) = scheme.supports(&spec) {
+                        return Err(invalid(grid, format!("region '{region}': {e}")));
                     }
                 }
             }
@@ -382,7 +357,7 @@ impl CampaignConfig {
                 JsonValue::Arr(
                     self.schemes
                         .iter()
-                        .map(|s| JsonValue::from(s.label()))
+                        .map(|s| JsonValue::from(s.as_str()))
                         .collect(),
                 ),
             ),
@@ -423,9 +398,24 @@ impl CampaignConfig {
 
 /// Campaign configuration errors.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CampaignError {
     /// Schemes, grids or targets is empty.
     EmptyMatrix,
+    /// A scheme id does not resolve in the registry the campaign runs
+    /// against.
+    UnknownScheme {
+        /// The unresolved id.
+        id: String,
+        /// Every id the registry knows.
+        registered: Vec<String>,
+    },
+    /// A scheme id appears more than once in the scheme axis (which
+    /// would duplicate trials and artifact series).
+    DuplicateScheme {
+        /// The repeated id.
+        id: String,
+    },
     /// `seeds_per_cell` must be at least 1.
     ZeroSeeds,
     /// [`CampaignMode::SingleReplacement`] measures Theorem 2's SR
@@ -452,9 +442,20 @@ impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CampaignError::EmptyMatrix => write!(f, "campaign matrix has an empty axis"),
+            CampaignError::UnknownScheme { id, registered } => write!(
+                f,
+                "unknown scheme id '{id}'; registered ids: {}",
+                registered.join(", ")
+            ),
+            CampaignError::DuplicateScheme { id } => {
+                write!(f, "scheme id '{id}' appears more than once in the matrix")
+            }
             CampaignError::ZeroSeeds => write!(f, "seeds_per_cell must be at least 1"),
             CampaignError::SingleReplacementNeedsSr => {
-                write!(f, "single-replacement campaigns support only Scheme::Sr")
+                write!(
+                    f,
+                    "single-replacement campaigns support only the 'sr' scheme"
+                )
             }
             CampaignError::UnsupportedCiLevel(l) => {
                 write!(f, "unsupported ci_level {l}; use 0.90/0.95/0.99")
@@ -483,8 +484,11 @@ struct TrialOutcome {
 /// Streaming aggregate of one matrix cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellStats {
-    /// The cell's scheme.
-    pub scheme: Scheme,
+    /// The cell's scheme id (the registry key; also the artifact token).
+    pub scheme: SchemeId,
+    /// The scheme's figure-legend label, resolved from the registry at
+    /// campaign start (e.g. `"SR-SC"` for id `sr-sc`).
+    pub label: String,
     /// The cell's region shape.
     pub region: RegionShape,
     /// Grid columns.
@@ -508,7 +512,8 @@ pub struct CellStats {
 
 impl CellStats {
     fn new(
-        scheme: Scheme,
+        scheme: SchemeId,
+        label: String,
         region: RegionShape,
         (cols, rows): (u16, u16),
         n_target: usize,
@@ -533,6 +538,7 @@ impl CellStats {
             .collect();
         CellStats {
             scheme,
+            label,
             region,
             cols,
             rows,
@@ -570,7 +576,7 @@ impl CellStats {
             .map(|(&name, stat)| (name.to_owned(), stat.to_json(ci_level)))
             .collect();
         JsonValue::obj([
-            ("scheme", JsonValue::from(self.scheme.label())),
+            ("scheme", JsonValue::from(self.scheme.as_str())),
             ("region", JsonValue::from(self.region.label())),
             ("cols", JsonValue::from(usize::from(self.cols))),
             ("rows", JsonValue::from(usize::from(self.rows))),
@@ -595,33 +601,30 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// Looks up one cell's aggregate, ignoring the region axis (the
-    /// first region in matrix order wins — unambiguous for single-region
-    /// campaigns; multi-region campaigns use
+    /// Looks up one cell's aggregate by scheme id, ignoring the region
+    /// axis (the first region in matrix order wins — unambiguous for
+    /// single-region campaigns; multi-region campaigns use
     /// [`CampaignResult::cell_in_region`]).
-    pub fn cell(
-        &self,
-        scheme: Scheme,
-        cols: u16,
-        rows: u16,
-        n_target: usize,
-    ) -> Option<&CellStats> {
+    pub fn cell(&self, scheme: &str, cols: u16, rows: u16, n_target: usize) -> Option<&CellStats> {
         self.cells.iter().find(|c| {
-            c.scheme == scheme && c.cols == cols && c.rows == rows && c.n_target == n_target
+            c.scheme.as_str() == scheme
+                && c.cols == cols
+                && c.rows == rows
+                && c.n_target == n_target
         })
     }
 
     /// Looks up one cell's aggregate on the full four-axis key.
     pub fn cell_in_region(
         &self,
-        scheme: Scheme,
+        scheme: &str,
         region: RegionShape,
         cols: u16,
         rows: u16,
         n_target: usize,
     ) -> Option<&CellStats> {
         self.cells.iter().find(|c| {
-            c.scheme == scheme
+            c.scheme.as_str() == scheme
                 && c.region == region
                 && c.cols == cols
                 && c.rows == rows
@@ -629,14 +632,15 @@ impl CampaignResult {
         })
     }
 
-    /// Serializes the campaign artifact. Schema `wsn-campaign/2`
-    /// (`/1` plus the region axis in config and cells):
-    /// `{schema, config, cells[]}` with fixed key order and shortest
-    /// round-trip float formatting, so identical campaigns render
-    /// byte-identical text regardless of worker count.
+    /// Serializes the campaign artifact. Schema `wsn-campaign/3`
+    /// (`/2`'s shape with registry *ids* — lowercase tokens like
+    /// `"sr-sc"` — in the scheme axis and cells, opening the axis to
+    /// every registered scheme): `{schema, config, cells[]}` with fixed
+    /// key order and shortest round-trip float formatting, so identical
+    /// campaigns render byte-identical text regardless of worker count.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::obj([
-            ("schema", JsonValue::from("wsn-campaign/2")),
+            ("schema", JsonValue::from("wsn-campaign/3")),
             ("config", self.config.to_json()),
             (
                 "cells",
@@ -681,7 +685,7 @@ impl CampaignResult {
         let mut rows: Vec<Vec<String>> = vec![header];
         for c in &self.cells {
             let mut row = vec![
-                c.scheme.label().to_owned(),
+                c.scheme.to_string(),
                 c.region.label().to_owned(),
                 c.cols.to_string(),
                 c.rows.to_string(),
@@ -723,7 +727,7 @@ impl CampaignResult {
 /// any order — same outcome).
 fn run_matrix_trial(
     cfg: &CampaignConfig,
-    scheme: Scheme,
+    scheme: &dyn ReplacementScheme,
     region: RegionShape,
     (cols, rows): (u16, u16),
     n_target: usize,
@@ -755,7 +759,7 @@ fn run_matrix_trial(
         .expect("campaign grid dimensions are valid");
     let mask = region.build_mask(cols, rows);
     let mut rng = SimRng::seed_from_u64(seed);
-    let net = match cfg.mode {
+    let mut net = match cfg.mode {
         CampaignMode::FullRecovery => {
             // §5: "(N + m x n) enabled nodes", uniform — with m·n read
             // as the enabled-cell count of the region.
@@ -784,31 +788,16 @@ fn run_matrix_trial(
         }
     };
     let stats = net.stats();
-    let (metrics, covered) = match scheme {
-        Scheme::Sr => {
-            let report = Recovery::new(net, SrConfig::default().with_seed(seed))
-                .expect("campaign grids always have a topology")
-                .run();
-            (report.metrics, report.fully_covered)
-        }
-        Scheme::Ar => {
-            let report = ArRecovery::new(net, ArConfig::default().with_seed(seed))
-                .expect("valid round cap")
-                .run();
-            (report.metrics, report.fully_covered)
-        }
-        Scheme::SrSc => {
-            let report = ShortcutRecovery::new(net, SrConfig::default().with_seed(seed))
-                .expect("SR-SC campaign grids must have an even side")
-                .run();
-            (report.metrics, report.fully_covered)
-        }
-    };
+    // One uniform dispatch for every scheme in the registry — this is
+    // the line the closed `match scheme` used to be.
+    let report = scheme
+        .run(&mut net, seed, DriveMode::Classic)
+        .expect("validation proved every scheme supports every matrix cell");
     TrialOutcome {
         holes: stats.vacant,
         spares: stats.spares,
-        covered,
-        metrics,
+        covered: report.fully_covered,
+        metrics: report.metrics,
     }
 }
 
@@ -889,11 +878,16 @@ struct Folder {
 }
 
 impl Folder {
-    fn new(cfg: &CampaignConfig) -> Folder {
+    fn new(cfg: &CampaignConfig, registry: &SchemeRegistry) -> Folder {
         let cells: Vec<CellStats> = (0..cfg.cell_count())
             .map(|c| {
                 let (scheme, region, grid, n) = cfg.cell_params(c);
-                CellStats::new(scheme, region, grid, n, cfg.comm_range)
+                let label = registry
+                    .get(scheme.as_str())
+                    .expect("validated ids")
+                    .label()
+                    .to_owned();
+                CellStats::new(scheme.clone(), label, region, grid, n, cfg.comm_range)
             })
             .collect();
         let n = cells.len();
@@ -915,7 +909,8 @@ impl Folder {
     }
 }
 
-/// Expands and executes the campaign matrix on a work-stealing pool of
+/// Expands and executes the campaign matrix against the built-in scheme
+/// registry ([`wsn_baselines::builtins`]) on a work-stealing pool of
 /// scoped threads, streaming trial outcomes into per-cell aggregates.
 ///
 /// # Errors
@@ -923,7 +918,21 @@ impl Folder {
 /// Returns a [`CampaignError`] for empty/invalid configurations; trial
 /// execution itself cannot fail for valid matrices.
 pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignError> {
-    cfg.validate()?;
+    run_campaign_with(cfg, &builtins())
+}
+
+/// Like [`run_campaign`], but against a caller-supplied registry — the
+/// hook that lets runtime-registered plugin schemes join the matrix.
+///
+/// # Errors
+///
+/// As [`run_campaign`], plus [`CampaignError::UnknownScheme`] for ids
+/// the registry cannot resolve.
+pub fn run_campaign_with(
+    cfg: &CampaignConfig,
+    registry: &SchemeRegistry,
+) -> Result<CampaignResult, CampaignError> {
+    cfg.validate(registry)?;
     let total = cfg.trial_count();
     let workers = cfg
         .workers
@@ -935,7 +944,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignErro
         .clamp(1, 256)
         .min(total.max(1) as usize);
     let queue = WorkQueue::new(total, workers);
-    let folder = Mutex::new(Folder::new(cfg));
+    let folder = Mutex::new(Folder::new(cfg, registry));
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queue = &queue;
@@ -945,6 +954,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Result<CampaignResult, CampaignErro
                     let cell = (idx / cfg.seeds_per_cell) as usize;
                     let trial = idx % cfg.seeds_per_cell;
                     let (scheme, region, grid, n) = cfg.cell_params(cell);
+                    let scheme = registry.get(scheme.as_str()).expect("validated ids");
                     let outcome = run_matrix_trial(cfg, scheme, region, grid, n, trial);
                     folder.lock().expect("no poisoned folds").fold(
                         idx,
@@ -978,27 +988,31 @@ mod tests {
         }
     }
 
+    fn id(s: &str) -> SchemeId {
+        SchemeId::new(s).unwrap()
+    }
+
     #[test]
     fn matrix_decoding_is_canonical() {
         let full = RegionShape::Full;
         let cfg = CampaignConfig {
-            schemes: vec![Scheme::Ar, Scheme::Sr],
+            schemes: SchemeId::list(&["ar", "sr"]),
             grids: vec![(8, 8), (16, 16)],
             targets: vec![10, 100],
             ..CampaignConfig::paper()
         };
         assert_eq!(cfg.cell_count(), 8);
-        assert_eq!(cfg.cell_params(0), (Scheme::Ar, full, (8, 8), 10));
-        assert_eq!(cfg.cell_params(1), (Scheme::Ar, full, (8, 8), 100));
-        assert_eq!(cfg.cell_params(2), (Scheme::Ar, full, (16, 16), 10));
-        assert_eq!(cfg.cell_params(4), (Scheme::Sr, full, (8, 8), 10));
-        assert_eq!(cfg.cell_params(7), (Scheme::Sr, full, (16, 16), 100));
+        assert_eq!(cfg.cell_params(0), (&id("ar"), full, (8, 8), 10));
+        assert_eq!(cfg.cell_params(1), (&id("ar"), full, (8, 8), 100));
+        assert_eq!(cfg.cell_params(2), (&id("ar"), full, (16, 16), 10));
+        assert_eq!(cfg.cell_params(4), (&id("sr"), full, (8, 8), 10));
+        assert_eq!(cfg.cell_params(7), (&id("sr"), full, (16, 16), 100));
     }
 
     #[test]
     fn region_axis_decodes_between_schemes_and_grids() {
         let cfg = CampaignConfig {
-            schemes: vec![Scheme::Ar, Scheme::Sr],
+            schemes: SchemeId::list(&["ar", "sr"]),
             regions: vec![RegionShape::Full, RegionShape::LShape],
             grids: vec![(8, 8)],
             targets: vec![10, 100],
@@ -1007,19 +1021,19 @@ mod tests {
         assert_eq!(cfg.cell_count(), 8);
         assert_eq!(
             cfg.cell_params(0),
-            (Scheme::Ar, RegionShape::Full, (8, 8), 10)
+            (&id("ar"), RegionShape::Full, (8, 8), 10)
         );
         assert_eq!(
             cfg.cell_params(2),
-            (Scheme::Ar, RegionShape::LShape, (8, 8), 10)
+            (&id("ar"), RegionShape::LShape, (8, 8), 10)
         );
         assert_eq!(
             cfg.cell_params(5),
-            (Scheme::Sr, RegionShape::Full, (8, 8), 100)
+            (&id("sr"), RegionShape::Full, (8, 8), 100)
         );
         assert_eq!(
             cfg.cell_params(7),
-            (Scheme::Sr, RegionShape::LShape, (8, 8), 100)
+            (&id("sr"), RegionShape::LShape, (8, 8), 100)
         );
     }
 
@@ -1032,26 +1046,32 @@ mod tests {
         let result = run_campaign(&cfg).unwrap();
         assert_eq!(result.cells.len(), cfg.cell_count());
         for cell in &result.cells {
-            assert_eq!(cell.trials, 2, "{:?}/{}", cell.scheme, cell.region);
+            assert_eq!(cell.trials, 2, "{}/{}", cell.scheme, cell.region);
         }
         // SR fully covers every masked full-recovery trial; the masked
         // ring preserves Theorem 1 on irregular regions.
         for &region in &cfg.regions {
             for &n in &cfg.targets {
-                let sr = result.cell_in_region(Scheme::Sr, region, 8, 8, n).unwrap();
+                let sr = result.cell_in_region("sr", region, 8, 8, n).unwrap();
                 assert_eq!(sr.covered_trials, sr.trials, "{region} N={n}");
-                // Paired deployments hold per region too.
-                let ar = result.cell_in_region(Scheme::Ar, region, 8, 8, n).unwrap();
-                assert_eq!(sr.holes, ar.holes, "{region} N={n}");
+                // Paired deployments hold per region too — across all
+                // five schemes, not just SR vs AR.
+                for other in ["ar", "sr-sc", "vf", "smart"] {
+                    let cell = result.cell_in_region(other, region, 8, 8, n).unwrap();
+                    assert_eq!(sr.holes, cell.holes, "{other} {region} N={n}");
+                }
             }
         }
-        // The artifact carries the region axis.
+        // The artifact carries the region axis and scheme ids.
         let json = result.to_json().to_string();
-        assert!(json.starts_with("{\"schema\":\"wsn-campaign/2\""));
+        assert!(json.starts_with("{\"schema\":\"wsn-campaign/3\""));
+        assert!(json.contains("\"schemes\":[\"ar\",\"sr\",\"sr-sc\",\"vf\",\"smart\"]"));
         assert!(json.contains("\"regions\":[\"l-shape\",\"annulus\"]"));
         assert!(json.contains("\"region\":\"l-shape\""));
+        assert!(json.contains("\"scheme\":\"sr-sc\""));
         let csv = result.to_csv();
         assert!(csv.starts_with("scheme,region,"));
+        assert!(csv.contains("\nsmart,"));
     }
 
     #[test]
@@ -1059,6 +1079,15 @@ mod tests {
         let mut cfg = tiny();
         cfg.schemes.clear();
         assert_eq!(run_campaign(&cfg).unwrap_err(), CampaignError::EmptyMatrix);
+        let mut cfg = tiny();
+        cfg.schemes.push(id("no-such-scheme"));
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(matches!(err, CampaignError::UnknownScheme { .. }));
+        // The error lists every registered id, for CLI hand-holding.
+        let msg = err.to_string();
+        for known in ["sr", "sr-sc", "ar", "vf", "smart"] {
+            assert!(msg.contains(known), "{msg}");
+        }
         let cfg = tiny().with_seeds_per_cell(0);
         assert_eq!(run_campaign(&cfg).unwrap_err(), CampaignError::ZeroSeeds);
         let mut cfg = tiny();
@@ -1074,6 +1103,38 @@ mod tests {
             CampaignError::UnsupportedCiLevel(_)
         ));
         assert!(!CampaignError::EmptyMatrix.to_string().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_scheme_ids() {
+        // A repeated id would double whole matrix slabs with identical
+        // stream seeds — reject it instead of silently duplicating.
+        let mut cfg = tiny();
+        cfg.schemes = vec![id("sr"), id("ar"), id("sr")];
+        assert_eq!(
+            run_campaign(&cfg).unwrap_err(),
+            CampaignError::DuplicateScheme { id: "sr".into() }
+        );
+    }
+
+    #[test]
+    fn validation_catches_config_invalid_schemes_up_front() {
+        // A scheme whose *config* (not region) is unusable must fail
+        // validation, not panic a worker thread mid-campaign: config
+        // validity is part of the supports() contract.
+        use wsn_coverage::{Sr, SrConfig};
+        let mut registry = SchemeRegistry::new();
+        registry
+            .register(Sr::from_config(SrConfig::default().with_max_rounds(0)))
+            .unwrap();
+        let mut cfg = tiny();
+        cfg.schemes = SchemeId::list(&["sr"]);
+        let err = run_campaign_with(&cfg, &registry).unwrap_err();
+        assert!(
+            matches!(err, CampaignError::InvalidGrid { .. }),
+            "expected up-front rejection, got {err:?}"
+        );
+        assert!(err.to_string().contains("max_rounds"), "{err}");
     }
 
     #[test]
@@ -1099,7 +1160,7 @@ mod tests {
         // SR-SC needs a single cycle; odd x odd grids only have the
         // dual-path structure.
         let mut cfg = tiny();
-        cfg.schemes = vec![Scheme::SrSc];
+        cfg.schemes = SchemeId::list(&["sr-sc"]);
         cfg.grids = vec![(5, 5)];
         let err = run_campaign(&cfg).unwrap_err();
         assert!(matches!(
@@ -1113,7 +1174,7 @@ mod tests {
         assert!(err.to_string().contains("single Hamilton cycle"));
         // ...and runs fine on an even-sided grid.
         let mut cfg = tiny();
-        cfg.schemes = vec![Scheme::SrSc];
+        cfg.schemes = SchemeId::list(&["sr-sc"]);
         cfg.seeds_per_cell = 1;
         let result = run_campaign(&cfg).unwrap();
         assert_eq!(result.cells.len(), 2);
@@ -1131,17 +1192,18 @@ mod tests {
         }
         // SR fully covers every 6x6 full-recovery trial.
         for &n in &[5usize, 20] {
-            let sr = result.cell(Scheme::Sr, 6, 6, n).unwrap();
+            let sr = result.cell("sr", 6, 6, n).unwrap();
             assert_eq!(sr.covered_trials, sr.trials);
             assert_eq!(
                 sr.metric("success_rate_percent").unwrap().summary().mean(),
                 100.0
             );
+            assert_eq!(sr.label, "SR");
         }
         // Paired deployments: SR and AR cells saw identical hole counts.
         for &n in &[5usize, 20] {
-            let sr = result.cell(Scheme::Sr, 6, 6, n).unwrap();
-            let ar = result.cell(Scheme::Ar, 6, 6, n).unwrap();
+            let sr = result.cell("sr", 6, 6, n).unwrap();
+            let ar = result.cell("ar", 6, 6, n).unwrap();
             assert_eq!(sr.holes, ar.holes, "N={n}");
             assert_eq!(sr.spares, ar.spares, "N={n}");
         }
@@ -1159,7 +1221,7 @@ mod tests {
     fn single_replacement_mode_measures_one_process() {
         let cfg = CampaignConfig {
             name: "single6".into(),
-            schemes: vec![Scheme::Sr],
+            schemes: SchemeId::list(&["sr"]),
             grids: vec![(6, 6)],
             targets: vec![8],
             seeds_per_cell: 5,
@@ -1182,7 +1244,7 @@ mod tests {
     fn json_and_csv_are_well_formed() {
         let result = run_campaign(&tiny()).unwrap();
         let json = result.to_json().to_string();
-        assert!(json.starts_with("{\"schema\":\"wsn-campaign/2\""));
+        assert!(json.starts_with("{\"schema\":\"wsn-campaign/3\""));
         assert!(json.contains("\"config\""));
         assert!(json.contains("\"cells\""));
         assert!(json.contains("\"histogram\""));

@@ -151,13 +151,22 @@ pub fn campaign_series(
 ) -> Vec<Series> {
     let level_pct = (res.config.ci_level * 100.0).round() as u32;
     let mut out = Vec::new();
-    for &scheme in &res.config.schemes {
-        let mut mean = Series::new(scheme.label());
-        let mut lo = Series::new(format!("{} lo{level_pct}", scheme.label()));
-        let mut hi = Series::new(format!("{} hi{level_pct}", scheme.label()));
+    for scheme in &res.config.schemes {
+        // Legends use the registry label carried by the cells (e.g.
+        // "SR-SC" for id sr-sc).
+        let label = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == *scheme)
+            .expect("campaign contains every configured scheme")
+            .label
+            .clone();
+        let mut mean = Series::new(label.clone());
+        let mut lo = Series::new(format!("{label} lo{level_pct}"));
+        let mut hi = Series::new(format!("{label} hi{level_pct}"));
         for &n in &res.config.targets {
             let cell = res
-                .cell(scheme, cols, rows, n)
+                .cell(scheme.as_str(), cols, rows, n)
                 .expect("campaign contains the requested grid");
             let ci = cell
                 .metric(metric)
@@ -192,49 +201,48 @@ pub fn fig6b_campaign(res: &CampaignResult) -> Vec<Series> {
 
 /// The Theorem-2 overlay for a campaign cell: `mean_holes · M(L, N)`
 /// with `L = cols·rows − 1` (each replacement walks the single Hamilton
-/// cycle minus its own hole).
-fn campaign_analytical_moves(res: &CampaignResult, cols: u16, rows: u16) -> Series {
+/// cycle minus its own hole). `None` when the campaign has no SR cells
+/// to anchor the overlay (Theorem 2 is SR's closed form).
+fn campaign_analytical_moves(res: &CampaignResult, cols: u16, rows: u16) -> Option<Series> {
     let l = cols as usize * rows as usize - 1;
-    let sr = res
-        .config
-        .schemes
-        .iter()
-        .copied()
-        .find(|s| *s == crate::campaign::Scheme::Sr)
-        .expect("campaign figures need an SR cell for the overlay");
+    if !res.config.schemes.iter().any(|s| s.as_str() == "sr") {
+        return None;
+    }
     let mut overlay = Series::new("SR analytical");
     for &n in &res.config.targets {
-        let cell = res.cell(sr, cols, rows, n).expect("grid in campaign");
+        let cell = res.cell("sr", cols, rows, n).expect("grid in campaign");
         let holes = cell.holes.summary().mean();
         overlay.push(n as f64, holes * analysis::expected_moves(l, n.max(1)));
     }
-    overlay
+    Some(overlay)
 }
 
-/// Figure 7 from a campaign: total node movements with CI whiskers plus
-/// the analytical SR overlay.
+/// Figure 7 from a campaign: total node movements with CI whiskers,
+/// plus the analytical SR overlay when SR is in the matrix.
 pub fn fig7_campaign(res: &CampaignResult) -> Vec<Series> {
     let (cols, rows) = res.config.grids[0];
     let mut series = campaign_series(res, cols, rows, "moves", true);
-    series.push(campaign_analytical_moves(res, cols, rows));
+    series.extend(campaign_analytical_moves(res, cols, rows));
     series
 }
 
-/// Figure 8 from a campaign: total moving distance with CI whiskers plus
-/// the analytical SR overlay (`1.08 · r · Σ M`).
+/// Figure 8 from a campaign: total moving distance with CI whiskers,
+/// plus the analytical SR overlay (`1.08 · r · Σ M`) when SR is in the
+/// matrix.
 pub fn fig8_campaign(res: &CampaignResult) -> Vec<Series> {
     let (cols, rows) = res.config.grids[0];
     let mut series = campaign_series(res, cols, rows, "distance", true);
-    let moves = campaign_analytical_moves(res, cols, rows);
     let r = res.config.comm_range / 5f64.sqrt();
-    series.push(Series::from_points(
-        "SR analytical",
-        moves
-            .points()
-            .iter()
-            .map(|&(x, y)| (x, wsn_geometry::CellGeometry::AVG_MOVE_FACTOR * r * y))
-            .collect(),
-    ));
+    series.extend(campaign_analytical_moves(res, cols, rows).map(|moves| {
+        Series::from_points(
+            "SR analytical",
+            moves
+                .points()
+                .iter()
+                .map(|&(x, y)| (x, wsn_geometry::CellGeometry::AVG_MOVE_FACTOR * r * y))
+                .collect(),
+        )
+    }));
     series
 }
 
@@ -252,12 +260,19 @@ pub fn fig8_campaign(res: &CampaignResult) -> Vec<Series> {
 pub fn campaign_region_series(res: &CampaignResult, metric: &str) -> Vec<Series> {
     let (cols, rows) = res.config.grids[0];
     let mut out = Vec::new();
-    for &scheme in &res.config.schemes {
+    for scheme in &res.config.schemes {
         for &region in &res.config.regions {
-            let mut series = Series::new(format!("{}@{}", scheme.label(), region.label()));
+            let label = res
+                .cells
+                .iter()
+                .find(|c| c.scheme == *scheme)
+                .expect("campaign contains every configured scheme")
+                .label
+                .clone();
+            let mut series = Series::new(format!("{}@{}", label, region.label()));
             for &n in &res.config.targets {
                 let cell = res
-                    .cell_in_region(scheme, region, cols, rows, n)
+                    .cell_in_region(scheme.as_str(), region, cols, rows, n)
                     .expect("campaign contains every (scheme, region, grid, N) cell");
                 let mean = cell
                     .metric(metric)

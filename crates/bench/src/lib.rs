@@ -39,7 +39,8 @@ pub mod scenarios;
 pub mod sweep;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignMode, CampaignResult, CellStats, Scheme,
+    run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignMode, CampaignResult,
+    CellStats,
 };
 pub use scenarios::{run_greedy_repair, OccupancyMode, RepairOutcome, Scenario};
 pub use sweep::{run_sweep, SweepConfig, TrialResult};

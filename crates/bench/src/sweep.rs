@@ -1,9 +1,15 @@
 //! The Monte-Carlo sweep behind Figures 6, 7 and 8.
+//!
+//! Trials drive the schemes through the uniform
+//! [`wsn_coverage::ReplacementScheme`] API (the trait path is proven
+//! byte-identical to the old direct drivers by the golden sweep
+//! fixture).
 
 use serde::{Deserialize, Serialize};
 
-use wsn_baselines::{ArConfig, ArRecovery};
-use wsn_coverage::{Recovery, SrConfig};
+use wsn_baselines::Ar;
+use wsn_coverage::scheme::{DriveMode, ReplacementScheme};
+use wsn_coverage::{Recovery, Sr, SrConfig, SrSc};
 use wsn_grid::{deploy, GridNetwork, GridSystem};
 use wsn_simcore::{Metrics, SimRng};
 use wsn_stats::JsonValue;
@@ -113,10 +119,10 @@ pub fn run_trial_with_shortcut(
         .expect("sweep dimensions are valid");
     let mut rng = SimRng::seed_from_u64(seed);
     let positions = deploy::uniform(&sys, n_target + sys.cell_count(), &mut rng);
-    let net = GridNetwork::new(sys, &positions);
-    let mut sc = wsn_coverage::ShortcutRecovery::new(net, SrConfig::default().with_seed(seed))
+    let mut net = GridNetwork::new(sys, &positions);
+    let report = SrSc::new()
+        .run(&mut net, seed, DriveMode::Classic)
         .expect("16x16-class grids have a single cycle");
-    let report = sc.run();
     (trial, report.metrics)
 }
 
@@ -127,16 +133,18 @@ fn run_trial(cfg: &SweepConfig, n_target: usize, seed: u64) -> TrialResult {
     // The paper: "(N + m x n) enabled nodes", uniform.
     let enabled = n_target + sys.cell_count();
     let positions = deploy::uniform(&sys, enabled, &mut rng);
-    let net_sr = GridNetwork::new(sys, &positions);
-    let net_ar = net_sr.clone();
+    let mut net_sr = GridNetwork::new(sys, &positions);
+    let mut net_ar = net_sr.clone();
     let stats = net_sr.stats();
 
-    let mut sr = Recovery::new(net_sr, SrConfig::default().with_seed(seed))
+    // Both schemes run through the uniform trait API on byte-identical
+    // deployments.
+    let sr_report = Sr::new()
+        .run(&mut net_sr, seed, DriveMode::Classic)
         .expect("16x16-class grids always have a topology");
-    let sr_report = sr.run();
-    let mut ar =
-        ArRecovery::new(net_ar, ArConfig::default().with_seed(seed)).expect("valid round cap");
-    let ar_report = ar.run();
+    let ar_report = Ar::new()
+        .run(&mut net_ar, seed, DriveMode::Classic)
+        .expect("AR runs on any grid");
 
     TrialResult {
         n_target,

@@ -18,9 +18,10 @@
 //! [`RoundRunner::run`]: wsn_simcore::RoundRunner::run
 //! [`RoundRunner::run_change_driven`]: wsn_simcore::RoundRunner::run_change_driven
 
-use wsn_baselines::{ArConfig, ArRecovery};
+use wsn_baselines::{builtins, ArConfig, ArRecovery};
+use wsn_coverage::scheme::{DriveMode, NetworkSpec};
 use wsn_coverage::{Recovery, SrConfig};
-use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, RegionMask, RegionShape};
 use wsn_simcore::{FaultEvent, FaultPlan, Metrics, SimRng};
 
 /// The scenario grid: `(cols, rows, holes, per_cell)` per entry, each
@@ -157,6 +158,110 @@ fn sr_conformance_holds_under_mid_run_faults() {
         );
         // The fault round itself must have been executed by both.
         assert!(adaptive.metrics.rounds > 3, "seed {seed}");
+    }
+}
+
+#[test]
+fn every_registered_scheme_drives_generically_through_the_registry() {
+    // The uniform API: no per-scheme code in this loop at all. Every
+    // registered scheme runs classic on a full region; schemes that
+    // advertise the change-driven driver must do identical work on it,
+    // and schemes that don't must refuse it without touching the
+    // network.
+    let registry = builtins();
+    let ids: Vec<String> = registry.ids().iter().map(ToString::to_string).collect();
+    assert_eq!(ids, ["sr", "sr-sc", "ar", "vf", "smart"]);
+    for scheme in registry.iter() {
+        for seed in [11u64, 47] {
+            // 8x8 keeps every built-in in-spec (SR-SC needs an even side).
+            let mk = || seeded_network(8, 8, 3, 2, seed);
+            let tag = format!("{} seed={seed}", scheme.id());
+            scheme
+                .supports(&NetworkSpec::full(8, 8))
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            let mut net = mk();
+            let before = net.stats();
+            let classic = scheme
+                .run(&mut net, seed, DriveMode::Classic)
+                .unwrap_or_else(|e| panic!("{tag}: {e}"));
+            // The &mut contract: paired before/after inspection without
+            // cloning.
+            assert_eq!(classic.initial_stats, before, "{tag}");
+            assert_eq!(classic.final_stats, net.stats(), "{tag}");
+            net.debug_invariants();
+            if scheme.supports_change_driven() {
+                let mut net2 = mk();
+                let adaptive = scheme
+                    .run(&mut net2, seed, DriveMode::ChangeDriven)
+                    .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                assert_eq!(
+                    costs(classic.metrics),
+                    costs(adaptive.metrics),
+                    "{tag}: change-driven must do identical work"
+                );
+                assert!(adaptive.run.rounds <= classic.run.rounds, "{tag}");
+            } else {
+                let mut net2 = mk();
+                let untouched = net2.stats();
+                assert!(
+                    scheme
+                        .run(&mut net2, seed, DriveMode::ChangeDriven)
+                        .is_err(),
+                    "{tag}: unsupported mode must be refused"
+                );
+                assert_eq!(net2.stats(), untouched, "{tag}: refusal must not mutate");
+            }
+        }
+    }
+}
+
+#[test]
+fn supports_is_honored_on_masked_regions() {
+    let registry = builtins();
+    // Every built-in supports the masked L-shape (the virtual ring
+    // serves SR/SR-SC; AR/VF/SMART are structure-free) and actually
+    // drives it without placing nodes in disabled cells.
+    let mask = RegionMask::l_shape(8, 8);
+    let spec = NetworkSpec::masked(mask.clone());
+    for scheme in registry.iter() {
+        scheme
+            .supports(&spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.id()));
+        let sys = GridSystem::for_comm_range(8, 8, 10.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let enabled: Vec<GridCoord> = mask.iter_enabled().collect();
+        let holes = vec![enabled[7]];
+        let pos = deploy::with_holes_masked(&sys, &mask, &holes, 2, &mut rng);
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &pos).unwrap();
+        let report = scheme.run(&mut net, 5, DriveMode::Classic).unwrap();
+        assert_eq!(report.final_stats, net.stats(), "{}", scheme.id());
+        net.debug_invariants();
+        for node in net.nodes() {
+            if node.status().is_enabled() {
+                let cell = sys.cell_of(node.position()).unwrap();
+                assert!(
+                    mask.is_enabled(cell),
+                    "{}: node in disabled {cell}",
+                    scheme.id()
+                );
+            }
+        }
+    }
+    // ...and a region a scheme cannot serve is refused up front: odd x odd
+    // full grids have no single Hamilton cycle for SR-SC, and 1xN strips
+    // have no replacement structure for SR at all.
+    let sr_sc = registry.get("sr-sc").unwrap();
+    assert!(sr_sc.supports(&NetworkSpec::full(5, 5)).is_err());
+    let sr = registry.get("sr").unwrap();
+    assert!(sr.supports(&NetworkSpec::full(1, 4)).is_err());
+    // Structure-free schemes shrug at both.
+    for id in ["ar", "vf", "smart"] {
+        let scheme = registry.get(id).unwrap();
+        assert!(scheme.supports(&NetworkSpec::full(5, 5)).is_ok(), "{id}");
+        for shape in RegionShape::IRREGULAR {
+            let spec = NetworkSpec::masked(shape.build_mask(10, 10));
+            assert!(scheme.supports(&spec).is_ok(), "{id}@{shape}");
+        }
     }
 }
 

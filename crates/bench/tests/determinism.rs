@@ -12,7 +12,8 @@
 //! workers.
 
 use proptest::prelude::*;
-use wsn_bench::campaign::{run_campaign, CampaignConfig, Scheme};
+use wsn_bench::campaign::{run_campaign, CampaignConfig};
+use wsn_coverage::SchemeId;
 use wsn_grid::RegionShape;
 
 fn small_matrix(
@@ -26,7 +27,7 @@ fn small_matrix(
     let grids = [(4u16, 4u16), (6, 6), (5, 5)];
     CampaignConfig {
         name: "prop".into(),
-        schemes: vec![Scheme::Ar, Scheme::Sr],
+        schemes: SchemeId::list(&["ar", "sr"]),
         grids: vec![grids[grid_choice % grids.len()]],
         targets: vec![t1, t2],
         seeds_per_cell: seeds,
@@ -71,7 +72,7 @@ proptest! {
         // the region's stable id.
         let cfg = CampaignConfig {
             name: "propmask".into(),
-            schemes: vec![Scheme::Ar, Scheme::Sr],
+            schemes: SchemeId::list(&["ar", "sr"]),
             regions: vec![RegionShape::Full, RegionShape::IRREGULAR[shape_idx]],
             grids: vec![(6, 6)],
             targets: vec![t],
@@ -94,7 +95,7 @@ proptest! {
         // reproduces the artifact byte for byte.
         let cfg = CampaignConfig {
             name: "rerun".into(),
-            schemes: vec![Scheme::Sr],
+            schemes: SchemeId::list(&["sr"]),
             grids: vec![(6, 6)],
             targets: vec![t],
             seeds_per_cell: 2,

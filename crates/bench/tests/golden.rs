@@ -9,12 +9,13 @@
 //!   shows up as a diff here before it silently rewrites history in
 //!   `results/`.
 //! * `campaign_smoke8.json` — the smoke campaign artifact, pinning the
-//!   `wsn-campaign/2` schema: config echo (without the worker count,
-//!   which must never leak into results), per-cell streaming summaries,
-//!   confidence intervals and histograms, all with normalized
+//!   `wsn-campaign/3` schema (scheme axis as registry *ids*, all five
+//!   built-ins): config echo (without the worker count, which must
+//!   never leak into results), per-cell streaming summaries, confidence
+//!   intervals and histograms, all with normalized
 //!   (shortest-round-trip) float formatting.
-//! * `campaign_masked8.json` — the irregular-region smoke campaign
-//!   (AR/SR/SR-SC on the 8×8 L-shape and annulus), pinning the region
+//! * `campaign_masked8.json` — the irregular-region smoke campaign (all
+//!   five schemes on the 8×8 L-shape and annulus), pinning the region
 //!   axis end to end: masked deployment, masked replacement rings, and
 //!   the `region` fields of the artifact.
 //!
@@ -65,13 +66,17 @@ fn campaign_schema_has_the_advertised_shape() {
     // Cheap structural assertions on the fixture itself, so schema
     // violations fail with a readable message even when the byte diff
     // is large.
-    assert!(CAMPAIGN_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/2\""));
+    assert!(CAMPAIGN_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/3\""));
     for key in [
         "\"config\":",
+        "\"schemes\":[\"ar\",\"sr\",\"sr-sc\",\"vf\",\"smart\"]",
         "\"regions\":[\"full\"]",
         "\"cells\":",
-        "\"scheme\":\"AR\"",
-        "\"scheme\":\"SR\"",
+        "\"scheme\":\"ar\"",
+        "\"scheme\":\"sr\"",
+        "\"scheme\":\"sr-sc\"",
+        "\"scheme\":\"vf\"",
+        "\"scheme\":\"smart\"",
         "\"region\":\"full\"",
         "\"metrics\":",
         "\"moves\":",
@@ -81,14 +86,16 @@ fn campaign_schema_has_the_advertised_shape() {
     ] {
         assert!(CAMPAIGN_GOLDEN.contains(key), "missing {key}");
     }
-    // The masked fixture carries the irregular region axis and all
-    // three schemes.
-    assert!(MASKED_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/2\""));
+    // The masked fixture carries the irregular region axis and all five
+    // schemes.
+    assert!(MASKED_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/3\""));
     for key in [
         "\"regions\":[\"l-shape\",\"annulus\"]",
         "\"region\":\"l-shape\"",
         "\"region\":\"annulus\"",
-        "\"scheme\":\"SR-SC\"",
+        "\"scheme\":\"sr-sc\"",
+        "\"scheme\":\"vf\"",
+        "\"scheme\":\"smart\"",
     ] {
         assert!(MASKED_GOLDEN.contains(key), "missing {key}");
     }

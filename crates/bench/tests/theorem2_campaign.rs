@@ -19,8 +19,8 @@
 //! bit-deterministic per master seed (see `tests/determinism.rs`), so
 //! these are fixed-fixture statistical checks, not flaky ones.
 
-use wsn_bench::campaign::{run_campaign, CampaignConfig, CampaignMode, CampaignResult, Scheme};
-use wsn_coverage::analysis;
+use wsn_bench::campaign::{run_campaign, CampaignConfig, CampaignMode, CampaignResult};
+use wsn_coverage::{analysis, SchemeId};
 
 fn single_replacement_campaign(
     cols: u16,
@@ -31,7 +31,7 @@ fn single_replacement_campaign(
 ) -> CampaignResult {
     let cfg = CampaignConfig {
         name: format!("theorem2_{cols}x{rows}"),
-        schemes: vec![Scheme::Sr],
+        schemes: SchemeId::list(&["sr"]),
         grids: vec![(cols, rows)],
         targets,
         seeds_per_cell: seeds,

@@ -200,6 +200,11 @@ impl SrProtocol {
         &self.net
     }
 
+    /// Consumes the protocol and releases its network.
+    pub fn into_network(self) -> GridNetwork {
+        self.net
+    }
+
     /// The cycle topology in use.
     pub fn topology(&self) -> &CycleTopology {
         &self.topo

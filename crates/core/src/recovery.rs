@@ -1,14 +1,13 @@
 //! High-level recovery driver: wires the protocol to the round runner and
 //! produces a structured report.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use wsn_grid::{GridNetwork, NetworkStats};
+use wsn_grid::GridNetwork;
 use wsn_hamilton::{CycleTopology, HamiltonError};
-use wsn_simcore::{EngineError, Metrics, RoundRunner, RunReport, TraceLog};
+use wsn_simcore::{EngineError, RoundRunner, TraceLog};
 
-use crate::process::ProcessSummary;
+use crate::scheme::{SchemeDetails, SchemeReport};
 use crate::{SrConfig, SrProtocol};
 
 /// Errors surfaced when assembling a recovery run.
@@ -60,39 +59,12 @@ impl From<EngineError> for SrError {
 }
 
 /// The result of a completed recovery run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RecoveryReport {
-    /// How the round loop terminated.
-    pub run: RunReport,
-    /// Aggregate cost counters (the paper's Figures 6–8 metrics).
-    pub metrics: Metrics,
-    /// Occupancy before recovery.
-    pub initial_stats: NetworkStats,
-    /// Occupancy after recovery.
-    pub final_stats: NetworkStats,
-    /// `true` when every cell ended with a head — the paper's complete
-    /// coverage goal (Theorem 1's postcondition when a spare existed).
-    pub fully_covered: bool,
-    /// Per-process details.
-    pub processes: Vec<ProcessSummary>,
-}
-
-impl fmt::Display for RecoveryReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "recovery {}: {} -> {} holes, {}",
-            if self.fully_covered {
-                "complete"
-            } else {
-                "incomplete"
-            },
-            self.initial_stats.vacant,
-            self.final_stats.vacant,
-            self.metrics
-        )
-    }
-}
+///
+/// Since the scheme-API unification every driver reports the shared
+/// [`SchemeReport`] shape; this alias survives one release for
+/// downstream code.
+#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
+pub type RecoveryReport = SchemeReport;
 
 /// Drives SR recovery on a network to quiescence.
 ///
@@ -134,6 +106,23 @@ impl Recovery {
     /// `config`.
     pub fn new(net: GridNetwork, config: SrConfig) -> Result<Recovery, SrError> {
         let topo = CycleTopology::build_masked(net.mask())?;
+        Recovery::with_topology(net, topo, config)
+    }
+
+    /// Like [`Recovery::new`] with a pre-built topology — for callers
+    /// (e.g. the [`crate::scheme::ReplacementScheme`] impls) that have
+    /// already constructed the replacement structure and should not pay
+    /// for it twice. `topo` must have been built for `net`'s region
+    /// (i.e. from its [`wsn_grid::RegionMask`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SrError::Engine`] for invalid round caps in `config`.
+    pub fn with_topology(
+        net: GridNetwork,
+        topo: CycleTopology,
+        config: SrConfig,
+    ) -> Result<Recovery, SrError> {
         let runner = RoundRunner::with_quiescence(config.max_rounds, config.quiescent_rounds)?;
         Ok(Recovery {
             protocol: SrProtocol::new(net, topo, config),
@@ -142,18 +131,19 @@ impl Recovery {
     }
 
     /// Runs to quiescence (or the round cap) and reports.
-    pub fn run(&mut self) -> RecoveryReport {
+    pub fn run(&mut self) -> SchemeReport {
         let initial_stats = self.protocol.network().stats();
         let run = self.runner.run(&mut self.protocol);
         self.protocol.fail_remaining(run.rounds);
         let final_stats = self.protocol.network().stats();
-        RecoveryReport {
+        SchemeReport {
             run,
             metrics: *self.protocol.metrics(),
             initial_stats,
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            details: SchemeDetails::none(),
         }
     }
 
@@ -170,18 +160,19 @@ impl Recovery {
     /// margin, coverage) may diverge from `run`'s. Use `run` when
     /// comparing round counts or energy against the paper, and
     /// `run_adaptive` for large-grid scenario harnesses.
-    pub fn run_adaptive(&mut self) -> RecoveryReport {
+    pub fn run_adaptive(&mut self) -> SchemeReport {
         let initial_stats = self.protocol.network().stats();
         let run = self.runner.run_change_driven(&mut self.protocol);
         self.protocol.fail_remaining(run.rounds);
         let final_stats = self.protocol.network().stats();
-        RecoveryReport {
+        SchemeReport {
             run,
             metrics: *self.protocol.metrics(),
             initial_stats,
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            details: SchemeDetails::none(),
         }
     }
 
@@ -189,6 +180,13 @@ impl Recovery {
     /// heads elected; after: the recovered state).
     pub fn network(&self) -> &GridNetwork {
         self.protocol.network()
+    }
+
+    /// Consumes the driver and releases the network — how the
+    /// [`crate::scheme::ReplacementScheme`] impl hands the recovered
+    /// state back through its `&mut GridNetwork` argument.
+    pub fn into_network(self) -> GridNetwork {
+        self.protocol.into_network()
     }
 
     /// The protocol's event trace.

@@ -47,6 +47,7 @@ use wsn_simcore::{
 use crate::movement::movement_target;
 use crate::process::{ProcessId, ProcessStatus, ProcessSummary};
 use crate::recovery::SrError;
+use crate::scheme::{SchemeDetails, SchemeReport};
 use crate::SrConfig;
 
 /// The backward ring SR-SC forwards notifications along: either the
@@ -415,9 +416,9 @@ pub struct ShortcutRecovery {
     runner: RoundRunner,
 }
 
-/// Report of a completed SR-SC run (same shape as
-/// [`crate::RecoveryReport`]).
-pub type ShortcutReport = crate::RecoveryReport;
+/// Report of a completed SR-SC run (the unified shape).
+#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
+pub type ShortcutReport = SchemeReport;
 
 impl ShortcutRecovery {
     /// Builds the shortcut recovery. Full rectangular networks use the
@@ -432,7 +433,24 @@ impl ShortcutRecovery {
     /// regions with no structure at all, and [`SrError::Engine`] for
     /// invalid round caps.
     pub fn new(net: GridNetwork, config: SrConfig) -> Result<ShortcutRecovery, SrError> {
-        let ring = match CycleTopology::build_masked(net.mask())? {
+        let topo = CycleTopology::build_masked(net.mask())?;
+        ShortcutRecovery::with_topology(net, topo, config)
+    }
+
+    /// Like [`ShortcutRecovery::new`] with a pre-built topology (see
+    /// [`crate::Recovery::with_topology`]); `topo` must have been built
+    /// for `net`'s region.
+    ///
+    /// # Errors
+    ///
+    /// [`SrError::ShortcutNeedsCycle`] when `topo` is the dual-path
+    /// structure, and [`SrError::Engine`] for invalid round caps.
+    pub fn with_topology(
+        net: GridNetwork,
+        topo: CycleTopology,
+        config: SrConfig,
+    ) -> Result<ShortcutRecovery, SrError> {
+        let ring = match topo {
             CycleTopology::Single(cycle) => ScRing::Cycle(cycle),
             CycleTopology::Masked(ring) => ScRing::Masked(ring),
             CycleTopology::Dual(_) => return Err(SrError::ShortcutNeedsCycle),
@@ -445,24 +463,31 @@ impl ShortcutRecovery {
     }
 
     /// Runs to quiescence and reports.
-    pub fn run(&mut self) -> ShortcutReport {
+    pub fn run(&mut self) -> SchemeReport {
         let initial_stats: NetworkStats = self.protocol.network().stats();
         let run: RunReport = self.runner.run(&mut self.protocol);
         self.protocol.fail_remaining(run.rounds);
         let final_stats = self.protocol.network().stats();
-        ShortcutReport {
+        SchemeReport {
             run,
             metrics: *self.protocol.metrics(),
             initial_stats,
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            details: SchemeDetails::none(),
         }
     }
 
     /// The network state.
     pub fn network(&self) -> &GridNetwork {
         self.protocol.network()
+    }
+
+    /// Consumes the driver and releases the network (see
+    /// [`crate::Recovery::into_network`]).
+    pub fn into_network(self) -> GridNetwork {
+        self.protocol.net
     }
 
     /// The event trace.

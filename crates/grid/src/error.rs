@@ -3,7 +3,11 @@ use std::fmt;
 use crate::GridCoord;
 
 /// Errors reported by the grid layer.
+///
+/// Marked `#[non_exhaustive]`: future scheme and region capabilities may
+/// add variants without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum GridError {
     /// Grid dimensions must each be at least 1 and the cell count must
     /// fit the occupancy index.

@@ -1,4 +1,5 @@
-//! Quickstart: create a network, punch a hole, watch SR repair it.
+//! Quickstart: create a network, punch a hole, watch SR repair it —
+//! through the uniform scheme API ([`ReplacementScheme`]).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -29,27 +30,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict_before = coverage_verdict(&network, 80);
     println!("coverage    : {verdict_before}");
 
-    // SR recovery: thread the cells on the directed Hamilton cycle, let
-    // the monitoring heads detect the vacancies, and run the snake-like
-    // cascading replacement to quiescence.
-    let mut recovery = Recovery::new(
-        network,
-        SrConfig::default().with_seed(2008).with_trace(true),
-    )?;
-    let report = recovery.run();
+    // SR recovery through the scheme API: build a configured scheme,
+    // check the region, and drive the network in place. (The same three
+    // lines run any registered scheme — see the baseline_faceoff
+    // example; for protocol traces, drop down to `Recovery::new`.)
+    let sr = Sr::builder()
+        .spare_selection(SpareSelection::ClosestToTarget)
+        .build();
+    sr.supports(&NetworkSpec::of(&network))?;
+    let report = sr.run(&mut network, 2008, DriveMode::Classic)?;
 
-    println!("\n--- protocol trace ---");
-    print!("{}", recovery.trace().render());
-
-    println!("--- result ---");
+    println!("\n--- result ---");
     println!("{report}");
-    let verdict_after = coverage_verdict(recovery.network(), 80);
+    let verdict_after = coverage_verdict(&network, 80);
     println!("coverage    : {verdict_after}");
     assert!(report.fully_covered, "Theorem 1: holes must be repaired");
     assert_eq!(
         report.metrics.processes_initiated, 2,
         "synchronization: exactly one process per hole"
     );
+    for p in &report.processes {
+        println!(
+            "process {} : hole {} repaired in {} hops ({} moves, {:.1} m)",
+            p.id, p.hole, p.hops, p.moves, p.distance
+        );
+    }
 
     // Theorem 2 cross-check: what the analysis predicts for this network.
     let l = 8 * 8 - 1;

@@ -18,6 +18,11 @@
 //!
 //! # Quickstart
 //!
+//! Every replacement scheme is driven through the object-safe
+//! [`ReplacementScheme`](wsn_coverage::ReplacementScheme) trait; the
+//! registry ([`wsn_baselines::builtins`]) maps stable string ids
+//! (`"sr"`, `"ar"`, …) to the five built-ins.
+//!
 //! ```
 //! use wsn::prelude::*;
 //!
@@ -34,11 +39,23 @@
 //! }
 //! assert_eq!(network.vacant_cells().len(), 1);
 //!
-//! // SR recovery: exactly one replacement process, hole filled.
-//! let mut recovery = Recovery::new(network, SrConfig::default().with_seed(42))?;
-//! let report = recovery.run();
+//! // SR recovery through the scheme API: exactly one replacement
+//! // process, hole filled, network recovered in place.
+//! let sr = Sr::builder()
+//!     .spare_selection(SpareSelection::ClosestToTarget)
+//!     .build();
+//! sr.supports(&NetworkSpec::of(&network))?;
+//! let report = sr.run(&mut network, 42, DriveMode::Classic)?;
 //! assert!(report.fully_covered);
 //! assert_eq!(report.metrics.processes_initiated, 1);
+//! assert_eq!(network.stats(), report.final_stats);
+//!
+//! // Same two calls run any registered scheme — here AR, by id.
+//! let ar_report = builtins()
+//!     .get("ar")
+//!     .expect("built-in")
+//!     .run(&mut network.clone(), 42, DriveMode::Classic)?;
+//! assert!(ar_report.fully_covered);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -55,8 +72,12 @@ pub use wsn_stats as stats;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
+    pub use wsn_baselines::{builtins, Ar, Smart, Vf};
+    #[allow(deprecated)]
+    pub use wsn_coverage::RecoveryReport;
     pub use wsn_coverage::{
-        analysis, Recovery, RecoveryReport, ShortcutRecovery, SpareSelection, SrConfig, SrError,
+        analysis, DriveMode, NetworkSpec, Recovery, ReplacementScheme, SchemeId, SchemeRegistry,
+        SchemeReport, ShortcutRecovery, SpareSelection, Sr, SrConfig, SrError, SrSc, Unsupported,
     };
     pub use wsn_geometry::{Disk, Point2, Rect, Vec2};
     pub use wsn_grid::{

@@ -84,16 +84,16 @@ fn empirical_crossover_lands_near_the_papers_55() {
 
 #[test]
 fn shortcut_report_shape_matches_sr_report() {
-    // ShortcutReport is the same type as RecoveryReport, so downstream
+    // Every driver reports the unified SchemeReport, so downstream
     // tooling can swap schemes without code changes.
     let system = GridSystem::for_comm_range(6, 6, 10.0).unwrap();
     let mut rng = SimRng::seed_from_u64(8);
     let positions = deploy::with_holes(&system, &[GridCoord::new(2, 4)], 2, &mut rng);
     let network = GridNetwork::new(system, &positions);
-    let sr: RecoveryReport = Recovery::new(network.clone(), SrConfig::default().with_seed(8))
+    let sr: SchemeReport = Recovery::new(network.clone(), SrConfig::default().with_seed(8))
         .unwrap()
         .run();
-    let sc: RecoveryReport = ShortcutRecovery::new(network, SrConfig::default().with_seed(8))
+    let sc: SchemeReport = ShortcutRecovery::new(network, SrConfig::default().with_seed(8))
         .unwrap()
         .run();
     assert_eq!(sr.initial_stats, sc.initial_stats);

@@ -3,7 +3,7 @@
 
 use wsn::prelude::*;
 
-fn recover_everything(cols: u16, rows: u16, seed: u64) -> RecoveryReport {
+fn recover_everything(cols: u16, rows: u16, seed: u64) -> SchemeReport {
     let system = GridSystem::for_comm_range(cols, rows, 10.0).expect("valid dims");
     let mut rng = SimRng::seed_from_u64(seed);
     let positions = deploy::per_cell_exact(&system, 2, &mut rng);
