@@ -477,11 +477,6 @@ impl RoundProtocol for ArProtocol {
     }
 }
 
-/// Report of a completed AR run (the unified shape; AR has no
-/// per-process summaries, so `processes` stays empty).
-#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
-pub type ArReport = SchemeReport;
-
 /// Drives AR recovery to quiescence.
 #[derive(Debug, Clone)]
 pub struct ArRecovery {

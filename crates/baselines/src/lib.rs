@@ -31,13 +31,7 @@ pub mod schemes;
 pub mod smart;
 pub mod vf;
 
-#[allow(deprecated)]
-pub use ar::ArReport;
 pub use ar::{ArConfig, ArProtocol, ArRecovery};
 pub use schemes::{builtins, Ar, ArBuilder, Smart, Vf, VfBuilder};
 pub use smart::SmartConfig;
-#[allow(deprecated)]
-pub use smart::SmartReport;
-#[allow(deprecated)]
-pub use vf::VfReport;
 pub use vf::{VfConfig, VfDetails};

@@ -12,6 +12,7 @@ use wsn_coverage::scheme::{
     SrSc, Unsupported,
 };
 use wsn_grid::GridNetwork;
+use wsn_simcore::TraceLog;
 
 use crate::ar::{ArConfig, ArRecovery};
 use crate::smart::{self, SmartConfig};
@@ -179,6 +180,26 @@ impl ReplacementScheme for Ar {
         *net = recovery.into_network();
         Ok(report)
     }
+
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        self.check_config()?;
+        let owned = detach_network(net);
+        let mut config = self.config.clone().with_trace(true);
+        config.seed = seed;
+        let mut recovery = ArRecovery::new(owned, config).expect("round cap pre-validated");
+        let report = match mode {
+            DriveMode::Classic => recovery.run(),
+            DriveMode::ChangeDriven => recovery.run_adaptive(),
+        };
+        let trace = recovery.trace().clone();
+        *net = recovery.into_network();
+        Ok((report, trace))
+    }
 }
 
 /// **VF** — the virtual-force baseline ([`crate::vf`]) — as a
@@ -286,6 +307,23 @@ impl ReplacementScheme for Vf {
         config.seed = seed;
         Ok(vf::run(net, &config))
     }
+
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        if mode == DriveMode::ChangeDriven {
+            return Err(Unsupported::new(
+                self.id(),
+                "VF has no change-driven driver (the force field is recomputed every round)",
+            ));
+        }
+        let mut config = self.config.clone();
+        config.seed = seed;
+        Ok(vf::run_traced(net, &config))
+    }
 }
 
 /// **SMART** — the scan-balancing baseline ([`crate::smart`]) — as a
@@ -342,6 +380,23 @@ impl ReplacementScheme for Smart {
         let mut config = self.config.clone();
         config.seed = seed;
         Ok(smart::run(net, &config))
+    }
+
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        if mode == DriveMode::ChangeDriven {
+            return Err(Unsupported::new(
+                self.id(),
+                "SMART has no change-driven driver (scans are one-shot and global)",
+            ));
+        }
+        let mut config = self.config.clone();
+        config.seed = seed;
+        Ok(smart::run_traced(net, &config))
     }
 }
 

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_geometry::sample;
 use wsn_grid::{GridCoord, GridNetwork};
-use wsn_simcore::{Metrics, NodeId, Quiescence, RunReport, SimRng};
+use wsn_simcore::{Metrics, NodeId, Quiescence, RunReport, SimRng, TraceEvent, TraceLog};
 
 /// Configuration for the SMART-style balancer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -27,11 +27,6 @@ pub struct SmartConfig {
     /// cells).
     pub seed: u64,
 }
-
-/// Report of a SMART-style balancing run (the unified shape; scans have
-/// no replacement processes, so `processes` stays empty).
-#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
-pub type SmartReport = SchemeReport;
 
 /// Balanced per-cell targets for a line of `loads`: each cell gets
 /// `⌊avg⌋` or `⌈avg⌉`, with the remainder spread from the front.
@@ -50,6 +45,8 @@ fn balance_line(
     cells: &[GridCoord],
     metrics: &mut Metrics,
     rng: &mut SimRng,
+    round: u64,
+    trace: &mut TraceLog,
 ) {
     // Each line scan reads every cell of the line — SMART's global
     // adjustment cost ("node adjustments in the entire grid network");
@@ -81,6 +78,16 @@ fn balance_line(
             let dest = sample::point_in_central_area(&rect, rng.uniform_f64(), rng.uniform_f64());
             let out = net.move_node(node, dest).expect("targets inside area");
             metrics.record_move(out.distance);
+            trace.record(
+                round,
+                TraceEvent::NodeMoved {
+                    process: None,
+                    node,
+                    from: out.from.into(),
+                    to: out.to.into(),
+                    distance: out.distance,
+                },
+            );
         }
     };
     for i in 0..flows.len() {
@@ -121,6 +128,21 @@ fn enabled_runs(net: &GridNetwork, line: &[GridCoord]) -> Vec<Vec<GridCoord>> {
 /// network is updated in place, so callers can compare before/after
 /// state without cloning.
 pub fn run(net: &mut GridNetwork, config: &SmartConfig) -> SchemeReport {
+    run_with(net, config, &mut TraceLog::disabled())
+}
+
+/// [`run`], additionally capturing the event trace: one
+/// [`TraceEvent::NodeMoved`] (with `process: None` — scan flow belongs
+/// to no replacement process) per cascaded hop, stamped with the scan
+/// number as the round (row scan = round 0, column scan = round 1). The
+/// RNG draws and report are identical to an untraced run.
+pub fn run_traced(net: &mut GridNetwork, config: &SmartConfig) -> (SchemeReport, TraceLog) {
+    let mut trace = TraceLog::new();
+    let report = run_with(net, config, &mut trace);
+    (report, trace)
+}
+
+fn run_with(net: &mut GridNetwork, config: &SmartConfig, trace: &mut TraceLog) -> SchemeReport {
     let mut rng = SimRng::seed_from_u64(config.seed);
     let initial_stats = net.stats();
     let mut metrics = Metrics::new();
@@ -129,14 +151,14 @@ pub fn run(net: &mut GridNetwork, config: &SmartConfig) -> SchemeReport {
     for y in 0..sys.rows() {
         let cells: Vec<GridCoord> = (0..sys.cols()).map(|x| GridCoord::new(x, y)).collect();
         for run in enabled_runs(net, &cells) {
-            balance_line(net, &run, &mut metrics, &mut rng);
+            balance_line(net, &run, &mut metrics, &mut rng, 0, trace);
         }
     }
     // Scan 2: every column.
     for x in 0..sys.cols() {
         let cells: Vec<GridCoord> = (0..sys.rows()).map(|y| GridCoord::new(x, y)).collect();
         for run in enabled_runs(net, &cells) {
-            balance_line(net, &run, &mut metrics, &mut rng);
+            balance_line(net, &run, &mut metrics, &mut rng, 1, trace);
         }
     }
     metrics.rounds = 2; // two global scans

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_geometry::{Point2, Vec2};
 use wsn_grid::GridNetwork;
-use wsn_simcore::{Metrics, Quiescence, RunReport, SimRng};
+use wsn_simcore::{Metrics, Quiescence, RunReport, SimRng, TraceEvent, TraceLog};
 
 /// Configuration for the virtual-force baseline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,11 +47,6 @@ impl Default for VfConfig {
     }
 }
 
-/// Report of a virtual-force run (the unified shape; the rounds-to-settle
-/// count is `metrics.rounds`, and [`VfDetails`] rides in `details`).
-#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
-pub type VfReport = SchemeReport;
-
 /// VF-specific extras attached to the report's
 /// [`details`](SchemeReport::details) — the exemplar for the typed
 /// extension mechanism:
@@ -80,6 +75,20 @@ pub struct VfDetails {
 /// is updated in place, so callers can compare before/after state
 /// without cloning.
 pub fn run(net: &mut GridNetwork, config: &VfConfig) -> SchemeReport {
+    run_with(net, config, &mut TraceLog::disabled())
+}
+
+/// [`run`], additionally capturing the event trace: one
+/// [`TraceEvent::NodeMoved`] (with `process: None` — force steps belong
+/// to no replacement process) per executed movement. The round
+/// sequence, RNG draws and report are identical to an untraced run.
+pub fn run_traced(net: &mut GridNetwork, config: &VfConfig) -> (SchemeReport, TraceLog) {
+    let mut trace = TraceLog::new();
+    let report = run_with(net, config, &mut trace);
+    (report, trace)
+}
+
+fn run_with(net: &mut GridNetwork, config: &VfConfig, trace: &mut TraceLog) -> SchemeReport {
     let mut rng = SimRng::seed_from_u64(config.seed);
     let initial_stats = net.stats();
     let mut metrics = Metrics::new();
@@ -143,6 +152,16 @@ pub fn run(net: &mut GridNetwork, config: &VfConfig) -> SchemeReport {
                 if out.distance >= min_step {
                     metrics.record_move(out.distance);
                     moved_any = true;
+                    trace.record(
+                        round,
+                        TraceEvent::NodeMoved {
+                            process: None,
+                            node: id,
+                            from: out.from.into(),
+                            to: out.to.into(),
+                            distance: out.distance,
+                        },
+                    );
                 }
             }
         }

@@ -269,7 +269,7 @@ impl CampaignConfig {
     /// Decodes a dense cell index into `(scheme, region, (cols, rows), n)`
     /// — canonical order: schemes outermost, then regions, then grids,
     /// targets innermost.
-    fn cell_params(&self, cell: usize) -> (&SchemeId, RegionShape, (u16, u16), usize) {
+    pub(crate) fn cell_params(&self, cell: usize) -> (&SchemeId, RegionShape, (u16, u16), usize) {
         let per_region = self.grids.len() * self.targets.len();
         let per_scheme = self.regions.len() * per_region;
         let scheme = &self.schemes[cell / per_scheme];
@@ -725,27 +725,30 @@ impl CampaignResult {
 
 /// Runs one trial, addressed purely by matrix coordinates (any worker,
 /// any order — same outcome).
-fn run_matrix_trial(
-    cfg: &CampaignConfig,
-    scheme: &dyn ReplacementScheme,
+/// The deterministic stream seed of a matrix trial — the address half of
+/// the record/replay contract ([`crate::replay`] re-derives the identical
+/// seed from a coordinate alone).
+///
+/// The scheme is deliberately not part of the stream path: every scheme
+/// replays the identical deployment (the paper's paired methodology).
+/// Full-region trials keep the original (pre-region) path so existing
+/// campaign artifacts replay byte-identically; irregular regions extend
+/// the path with their stable stream id.
+pub(crate) fn trial_stream_seed(
+    master_seed: u64,
     region: RegionShape,
     (cols, rows): (u16, u16),
     n_target: usize,
     trial: u64,
-) -> TrialOutcome {
-    // The scheme is deliberately not part of the stream path: every
-    // scheme replays the identical deployment (the paper's paired
-    // methodology). Full-region trials keep the original (pre-region)
-    // path so existing campaign artifacts replay byte-identically;
-    // irregular regions extend the path with their stable stream id.
-    let seed = if region == RegionShape::Full {
+) -> u64 {
+    if region == RegionShape::Full {
         derive_stream_seed(
-            cfg.master_seed,
+            master_seed,
             &[u64::from(cols), u64::from(rows), n_target as u64, trial],
         )
     } else {
         derive_stream_seed(
-            cfg.master_seed,
+            master_seed,
             &[
                 u64::from(cols),
                 u64::from(rows),
@@ -754,12 +757,26 @@ fn run_matrix_trial(
                 trial,
             ],
         )
-    };
-    let sys = GridSystem::for_comm_range(cols, rows, cfg.comm_range)
+    }
+}
+
+/// Builds the deployment of a matrix trial from its stream seed — the
+/// re-execution half of the record/replay contract: one function, used
+/// by both the campaign workers and the [`crate::replay`] recorder, so a
+/// recorded coordinate always reproduces the byte-identical network.
+pub(crate) fn build_trial_network(
+    mode: CampaignMode,
+    comm_range: f64,
+    region: RegionShape,
+    (cols, rows): (u16, u16),
+    n_target: usize,
+    seed: u64,
+) -> GridNetwork {
+    let sys = GridSystem::for_comm_range(cols, rows, comm_range)
         .expect("campaign grid dimensions are valid");
     let mask = region.build_mask(cols, rows);
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut net = match cfg.mode {
+    match mode {
         CampaignMode::FullRecovery => {
             // §5: "(N + m x n) enabled nodes", uniform — with m·n read
             // as the enabled-cell count of the region.
@@ -786,7 +803,26 @@ fn run_matrix_trial(
             }
             GridNetwork::with_mask(sys, mask, &pos).expect("masked generator respects the mask")
         }
-    };
+    }
+}
+
+fn run_matrix_trial(
+    cfg: &CampaignConfig,
+    scheme: &dyn ReplacementScheme,
+    region: RegionShape,
+    (cols, rows): (u16, u16),
+    n_target: usize,
+    trial: u64,
+) -> TrialOutcome {
+    let seed = trial_stream_seed(cfg.master_seed, region, (cols, rows), n_target, trial);
+    let mut net = build_trial_network(
+        cfg.mode,
+        cfg.comm_range,
+        region,
+        (cols, rows),
+        n_target,
+        seed,
+    );
     let stats = net.stats();
     // One uniform dispatch for every scheme in the registry — this is
     // the line the closed `match scheme` used to be.

@@ -35,12 +35,16 @@
 
 pub mod campaign;
 pub mod figures;
+pub mod replay;
 pub mod scenarios;
 pub mod sweep;
 
 pub use campaign::{
     run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignMode, CampaignResult,
     CellStats,
+};
+pub use replay::{
+    record, scheme_with_plan, shrink_between, Recording, ReplayArtifact, ReplayError, ReplaySpec,
 };
 pub use scenarios::{run_greedy_repair, OccupancyMode, RepairOutcome, Scenario};
 pub use sweep::{run_sweep, SweepConfig, TrialResult};

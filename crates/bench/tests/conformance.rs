@@ -18,7 +18,10 @@
 //! [`RoundRunner::run`]: wsn_simcore::RoundRunner::run
 //! [`RoundRunner::run_change_driven`]: wsn_simcore::RoundRunner::run_change_driven
 
+use std::path::Path;
+
 use wsn_baselines::{builtins, ArConfig, ArRecovery};
+use wsn_bench::replay::{self, ReplaySpec};
 use wsn_coverage::scheme::{DriveMode, NetworkSpec};
 use wsn_coverage::{Recovery, SrConfig};
 use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, RegionMask, RegionShape};
@@ -58,6 +61,27 @@ fn costs(m: Metrics) -> Metrics {
     m.ignoring_rounds()
 }
 
+/// On-divergence reporting: instead of a bare failed assert, re-record
+/// both drivers traced through the replay harness, drop paired
+/// `replay_<coord>.trace` artifacts (plus the ddmin-shrunk fault
+/// schedule when one is involved) into `results/`, and panic with the
+/// first divergent event and the artifact paths.
+fn conformance_divergence(
+    tag: &str,
+    scheme: &str,
+    grid: (u16, u16),
+    holes: usize,
+    per_cell: usize,
+    seed: u64,
+    plan: FaultPlan,
+) -> String {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let left = ReplaySpec::scenario(scheme, grid, holes, per_cell, seed).with_plan(plan);
+    let right = left.clone().with_drive(DriveMode::ChangeDriven);
+    replay::divergence_message(&dir, tag, &left, &right)
+        .unwrap_or_else(|e| format!("{tag}: drivers diverged (and replay reporting failed: {e})"))
+}
+
 #[test]
 fn sr_change_driven_run_is_conformant_across_the_scenario_grid() {
     for (cols, rows, holes, per_cell) in scenario_grid() {
@@ -72,11 +96,20 @@ fn sr_change_driven_run_is_conformant_across_the_scenario_grid() {
             let tag = format!("SR {cols}x{rows} holes={holes} seed={seed}");
             assert!(classic.fully_covered, "{tag}: classic must recover");
             assert!(adaptive.fully_covered, "{tag}: adaptive must recover");
-            assert_eq!(
-                costs(classic.metrics),
-                costs(adaptive.metrics),
-                "{tag}: cost counters must be identical"
-            );
+            if costs(classic.metrics) != costs(adaptive.metrics) {
+                panic!(
+                    "{}",
+                    conformance_divergence(
+                        &tag,
+                        "sr",
+                        (cols, rows),
+                        holes,
+                        per_cell,
+                        seed,
+                        FaultPlan::new()
+                    )
+                );
+            }
             assert_eq!(
                 classic.processes, adaptive.processes,
                 "{tag}: per-process summaries must be identical"
@@ -103,11 +136,20 @@ fn ar_change_driven_run_is_conformant_across_the_scenario_grid() {
             let tag = format!("AR {cols}x{rows} holes={holes} seed={seed}");
             assert!(classic.fully_covered, "{tag}: classic must recover");
             assert!(adaptive.fully_covered, "{tag}: adaptive must recover");
-            assert_eq!(
-                costs(classic.metrics),
-                costs(adaptive.metrics),
-                "{tag}: cost counters must be identical"
-            );
+            if costs(classic.metrics) != costs(adaptive.metrics) {
+                panic!(
+                    "{}",
+                    conformance_divergence(
+                        &tag,
+                        "ar",
+                        (cols, rows),
+                        holes,
+                        per_cell,
+                        seed,
+                        FaultPlan::new()
+                    )
+                );
+            }
             assert_eq!(
                 classic.final_stats.vacant, adaptive.final_stats.vacant,
                 "{tag}: final occupancy must agree"
@@ -151,11 +193,23 @@ fn sr_conformance_holds_under_mid_run_faults() {
             classic.fully_covered && adaptive.fully_covered,
             "seed {seed}"
         );
-        assert_eq!(
-            costs(classic.metrics),
-            costs(adaptive.metrics),
-            "seed {seed}"
-        );
+        if costs(classic.metrics) != costs(adaptive.metrics) {
+            // This comparison involves a fault schedule, so the
+            // divergence report also ships a ddmin-shrunk version of it.
+            let (_, victims) = mk();
+            panic!(
+                "{}",
+                conformance_divergence(
+                    &format!("SR mid-run faults seed={seed}"),
+                    "sr",
+                    (6, 6),
+                    1,
+                    2,
+                    seed,
+                    FaultPlan::new().at(3, FaultEvent::KillNodes(victims))
+                )
+            );
+        }
         // The fault round itself must have been executed by both.
         assert!(adaptive.metrics.rounds > 3, "seed {seed}");
     }
@@ -194,11 +248,20 @@ fn every_registered_scheme_drives_generically_through_the_registry() {
                 let adaptive = scheme
                     .run(&mut net2, seed, DriveMode::ChangeDriven)
                     .unwrap_or_else(|e| panic!("{tag}: {e}"));
-                assert_eq!(
-                    costs(classic.metrics),
-                    costs(adaptive.metrics),
-                    "{tag}: change-driven must do identical work"
-                );
+                if costs(classic.metrics) != costs(adaptive.metrics) {
+                    panic!(
+                        "{}",
+                        conformance_divergence(
+                            &tag,
+                            scheme.id(),
+                            (8, 8),
+                            3,
+                            2,
+                            seed,
+                            FaultPlan::new()
+                        )
+                    );
+                }
                 assert!(adaptive.run.rounds <= classic.run.rounds, "{tag}");
             } else {
                 let mut net2 = mk();

@@ -57,13 +57,9 @@ pub mod shortcut;
 pub use config::{SpareSelection, SrConfig};
 pub use process::{ProcessId, ProcessStatus, ProcessSummary};
 pub use protocol::{DetectionOutcome, SrProtocol};
-#[allow(deprecated)]
-pub use recovery::RecoveryReport;
 pub use recovery::{Recovery, SrError};
 pub use scheme::{
     DriveMode, NetworkSpec, RegistryError, ReplacementScheme, SchemeDetails, SchemeId,
     SchemeIdError, SchemeRegistry, SchemeReport, Sr, SrBuilder, SrSc, Unsupported,
 };
-#[allow(deprecated)]
-pub use shortcut::ShortcutReport;
 pub use shortcut::{ShortcutProtocol, ShortcutRecovery};

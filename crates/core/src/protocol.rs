@@ -124,7 +124,7 @@ struct ActiveProcess {
 /// round at a time via [`RoundProtocol`].
 ///
 /// Most callers use [`crate::Recovery`], which wires this to the round
-/// runner and produces a [`crate::RecoveryReport`]; the protocol type is
+/// runner and produces a [`crate::SchemeReport`]; the protocol type is
 /// public for custom drivers (e.g. lock-step comparisons against
 /// baselines).
 #[derive(Debug, Clone)]

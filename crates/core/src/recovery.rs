@@ -58,14 +58,6 @@ impl From<EngineError> for SrError {
     }
 }
 
-/// The result of a completed recovery run.
-///
-/// Since the scheme-API unification every driver reports the shared
-/// [`SchemeReport`] shape; this alias survives one release for
-/// downstream code.
-#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
-pub type RecoveryReport = SchemeReport;
-
 /// Drives SR recovery on a network to quiescence.
 ///
 /// ```

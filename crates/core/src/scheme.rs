@@ -117,7 +117,7 @@ use serde::{Deserialize, Serialize};
 
 use wsn_grid::{GridNetwork, GridSystem, NetworkStats, RegionMask};
 use wsn_hamilton::CycleTopology;
-use wsn_simcore::{Metrics, RunReport};
+use wsn_simcore::{Metrics, RunReport, TraceLog};
 
 use crate::process::ProcessSummary;
 use crate::recovery::{Recovery, SrError};
@@ -417,6 +417,30 @@ pub trait ReplacementScheme: fmt::Debug + Send + Sync {
         seed: u64,
         mode: DriveMode,
     ) -> Result<SchemeReport, Unsupported>;
+
+    /// Like [`ReplacementScheme::run`], but additionally captures the
+    /// scheme's full event trace — the record half of the
+    /// record/replay tooling ([`wsn_simcore::replay`]). A traced run
+    /// must execute the *identical* round sequence and RNG draws as the
+    /// untraced one (tracing is observation, never perturbation), so a
+    /// trial recorded by its campaign coordinate re-executes
+    /// byte-identically.
+    ///
+    /// The default implementation runs untraced and returns a
+    /// [`TraceLog::disabled`] log; schemes with event instrumentation
+    /// override it. All five built-ins do.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ReplacementScheme::run`].
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        self.run(net, seed, mode).map(|r| (r, TraceLog::disabled()))
+    }
 }
 
 /// Detaches the network behind `net`, leaving a minimal placeholder —
@@ -829,6 +853,29 @@ impl ReplacementScheme for Sr {
         seed: u64,
         mode: DriveMode,
     ) -> Result<SchemeReport, Unsupported> {
+        self.drive(net, seed, mode, false).map(|(report, _)| report)
+    }
+
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        self.drive(net, seed, mode, true)
+    }
+}
+
+impl Sr {
+    /// The shared driver behind `run` and `run_traced`: identical round
+    /// sequence either way, with tracing switched on only when asked.
+    fn drive(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+        traced: bool,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
         // Validate on the borrowed network first: once it is detached, a
         // failed constructor could not hand it back. The topology built
         // here is the one the driver runs on — no second construction.
@@ -836,15 +883,19 @@ impl ReplacementScheme for Sr {
             .map_err(|e| Unsupported::new(self.id(), e.to_string()))?;
         validate_runner_config(self.id(), &self.config)?;
         let owned = detach_network(net);
+        let mut config = self.config.clone().with_seed(seed);
+        if traced {
+            config = config.with_trace(true);
+        }
         let mut recovery =
-            Recovery::with_topology(owned, topo, self.config.clone().with_seed(seed))
-                .expect("round caps pre-validated");
+            Recovery::with_topology(owned, topo, config).expect("round caps pre-validated");
         let report = match mode {
             DriveMode::Classic => recovery.run(),
             DriveMode::ChangeDriven => recovery.run_adaptive(),
         };
+        let trace = recovery.trace().clone();
         *net = recovery.into_network();
-        Ok(report)
+        Ok((report, trace))
     }
 }
 
@@ -936,6 +987,37 @@ impl ReplacementScheme for SrSc {
         let report = recovery.run();
         *net = recovery.into_network();
         Ok(report)
+    }
+
+    fn run_traced(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        if mode == DriveMode::ChangeDriven {
+            return Err(Unsupported::new(
+                self.id(),
+                "SR-SC has no change-driven driver (the gossip gradient needs every round)",
+            ));
+        }
+        let topo = CycleTopology::build_masked(net.mask())
+            .map_err(|e| Unsupported::new(self.id(), e.to_string()))?;
+        if matches!(topo, CycleTopology::Dual(_)) {
+            return Err(Unsupported::new(
+                self.id(),
+                "SR-SC requires a single Hamilton cycle (one even side)",
+            ));
+        }
+        validate_runner_config(self.id(), &self.config)?;
+        let owned = detach_network(net);
+        let config = self.config.clone().with_seed(seed).with_trace(true);
+        let mut recovery = ShortcutRecovery::with_topology(owned, topo, config)
+            .expect("pre-validated ring and round caps");
+        let report = recovery.run();
+        let trace = recovery.trace().clone();
+        *net = recovery.into_network();
+        Ok((report, trace))
     }
 }
 

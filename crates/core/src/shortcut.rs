@@ -416,10 +416,6 @@ pub struct ShortcutRecovery {
     runner: RoundRunner,
 }
 
-/// Report of a completed SR-SC run (the unified shape).
-#[deprecated(note = "use wsn_coverage::SchemeReport (the unified report type)")]
-pub type ShortcutReport = SchemeReport;
-
 impl ShortcutRecovery {
     /// Builds the shortcut recovery. Full rectangular networks use the
     /// paper's Hamilton cycle; networks over an irregular

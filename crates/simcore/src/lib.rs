@@ -22,7 +22,10 @@
 //!   cost accounting.
 //! * [`metrics`] — counters for movements, distance, messages and
 //!   replacement processes.
-//! * [`trace`] — structured event log for debugging and for the examples.
+//! * [`trace`] — structured event log for debugging and for the
+//!   examples, with lossless JSON-Lines and versioned binary codecs.
+//! * [`replay`] — event-log diffing and delta-debugging fault-schedule
+//!   shrinking over those logs.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod node;
+pub mod replay;
 pub mod rng;
 pub mod trace;
 
@@ -54,8 +58,9 @@ pub use engine::{
 pub use fault::{FaultEvent, FaultPlan, Jammer};
 pub use metrics::Metrics;
 pub use node::{NodeId, NodeStatus, SensorNode};
+pub use replay::{diff_logs, shrink_fault_plan, Divergence, ShrinkReport, TraceDiff};
 pub use rng::{derive_stream_seed, SimRng};
-pub use trace::{TraceEvent, TraceLog};
+pub use trace::{TraceCodecError, TraceEvent, TraceLog, TraceRecord};
 
 /// A simulation round index (the paper's synchronous time step).
 pub type Round = u64;

@@ -1,0 +1,402 @@
+//! Record/replay tooling: event-log diffing and fault-schedule
+//! shrinking.
+//!
+//! The [`crate::trace`] log is the source of truth for what a protocol
+//! run *did*: every hole, notification, movement and convergence is a
+//! [`TraceRecord`]. That turns two debugging chores into mechanical
+//! ones:
+//!
+//! * **diff** — two runs that should agree (the same scheme across two
+//!   commits, two drive modes of one scheme, or two schemes on the
+//!   identical deployment stream) are compared event by event;
+//!   [`diff_logs`] reports the first divergent record with the shared
+//!   records leading up to it, instead of a bare "metrics differ".
+//! * **shrink** — when a fault schedule provokes a divergence,
+//!   [`shrink_fault_plan`] runs textbook delta debugging (Zeller's
+//!   *ddmin*) over the schedule: drop batches, re-run the caller's
+//!   oracle, keep whatever still fails, until the schedule is 1-minimal
+//!   at batch granularity; a second pass then minimizes the victim list
+//!   inside every surviving [`FaultEvent::KillNodes`] batch.
+//!
+//! Both halves are pure functions: given a deterministic oracle the
+//! shrink is deterministic, so minimal repros reproduce across reruns
+//! and worker counts. The experiment-harness layer (`wsn-bench`) builds
+//! the re-execution machinery (campaign-coordinate recording, artifact
+//! files, the `replay` CLI) on top of these primitives.
+
+use crate::fault::{FaultEvent, FaultPlan, ScheduledFault};
+use crate::trace::{TraceLog, TraceRecord};
+use std::fmt;
+
+/// Shared records kept before a divergence for human context.
+pub const DIFF_CONTEXT: usize = 3;
+
+/// The first point where two logs disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Record index (0-based) of the first disagreement.
+    pub index: usize,
+    /// The left log's record at `index` (`None`: left ended early).
+    pub left: Option<TraceRecord>,
+    /// The right log's record at `index` (`None`: right ended early).
+    pub right: Option<TraceRecord>,
+    /// Up to [`DIFF_CONTEXT`] shared records immediately before
+    /// `index`, oldest first.
+    pub context: Vec<TraceRecord>,
+}
+
+/// Outcome of [`diff_logs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDiff {
+    /// Number of leading records the two logs share.
+    pub common_prefix: usize,
+    /// Record count of the left log.
+    pub len_left: usize,
+    /// Record count of the right log.
+    pub len_right: usize,
+    /// The first disagreement, or `None` when the logs are identical.
+    pub divergence: Option<Divergence>,
+}
+
+impl TraceDiff {
+    /// `true` when the two logs are record-for-record identical.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergence {
+            None => write!(f, "logs identical ({} records)", self.len_left),
+            Some(d) => {
+                writeln!(
+                    f,
+                    "first divergence at record {} (left: {} records, right: {} records)",
+                    d.index, self.len_left, self.len_right
+                )?;
+                for (i, r) in d.context.iter().enumerate() {
+                    let idx = d.index - d.context.len() + i;
+                    writeln!(f, "  #{idx} [round {:>4}] {}", r.round, r.event)?;
+                }
+                match &d.left {
+                    Some(r) => writeln!(f, "- #{} [round {:>4}] {}", d.index, r.round, r.event)?,
+                    None => writeln!(f, "- #{} <end of log>", d.index)?,
+                }
+                match &d.right {
+                    Some(r) => write!(f, "+ #{} [round {:>4}] {}", d.index, r.round, r.event),
+                    None => write!(f, "+ #{} <end of log>", d.index),
+                }
+            }
+        }
+    }
+}
+
+/// Aligns two logs record by record and reports the first divergence
+/// (with up to [`DIFF_CONTEXT`] shared records of context). Two logs of
+/// different lengths whose shared prefix is clean diverge at the end of
+/// the shorter one.
+pub fn diff_logs(left: &TraceLog, right: &TraceLog) -> TraceDiff {
+    let a = left.records();
+    let b = right.records();
+    let common_prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let divergence = if common_prefix == a.len() && common_prefix == b.len() {
+        None
+    } else {
+        let start = common_prefix.saturating_sub(DIFF_CONTEXT);
+        Some(Divergence {
+            index: common_prefix,
+            left: a.get(common_prefix).cloned(),
+            right: b.get(common_prefix).cloned(),
+            context: a[start..common_prefix].to_vec(),
+        })
+    };
+    TraceDiff {
+        common_prefix,
+        len_left: a.len(),
+        len_right: b.len(),
+        divergence,
+    }
+}
+
+/// Outcome of [`shrink_fault_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkReport {
+    /// The minimized schedule (equal to the input when the oracle never
+    /// accepted the full plan).
+    pub plan: FaultPlan,
+    /// Whether the *input* plan failed the oracle at all. When `false`
+    /// nothing was shrunk — there is no failure to preserve.
+    pub reproduced: bool,
+    /// How many times the oracle ran (re-executions are the expensive
+    /// part; this is the number callers budget against).
+    pub oracle_calls: usize,
+    /// Scheduled batches in the input plan.
+    pub initial_batches: usize,
+}
+
+impl ShrinkReport {
+    /// Batches removed by the shrink.
+    pub fn removed_batches(&self) -> usize {
+        self.initial_batches - self.plan.events().len()
+    }
+}
+
+/// Delta-debugging minimizer over a fault schedule.
+///
+/// `still_fails` re-runs the scenario under a candidate schedule and
+/// returns `true` when the failure still reproduces. The input plan is
+/// checked first; if it does not fail, the plan is returned unchanged
+/// with [`ShrinkReport::reproduced`] `false`. Otherwise *ddmin* runs
+/// over the scheduled batches until dropping any single batch makes the
+/// failure vanish, then over the victim list of every surviving
+/// [`FaultEvent::KillNodes`] batch. The result is guaranteed to fail
+/// the oracle.
+///
+/// Determinism: this function is a pure fold over the oracle's answers,
+/// so a deterministic oracle gives a bit-identical minimal schedule on
+/// every rerun.
+pub fn shrink_fault_plan(
+    plan: &FaultPlan,
+    mut still_fails: impl FnMut(&FaultPlan) -> bool,
+) -> ShrinkReport {
+    let mut oracle_calls = 0usize;
+    let batches: Vec<ScheduledFault> = plan.events().to_vec();
+    let mut test_batches = |candidate: &[ScheduledFault]| {
+        oracle_calls += 1;
+        still_fails(&rebuild(candidate))
+    };
+    if !test_batches(&batches) {
+        return ShrinkReport {
+            plan: plan.clone(),
+            reproduced: false,
+            oracle_calls,
+            initial_batches: batches.len(),
+        };
+    }
+    let mut minimal = ddmin(&batches, &mut test_batches);
+    // Second pass: shrink the victim list inside each surviving
+    // KillNodes batch (the other event kinds have no list to shrink).
+    for i in 0..minimal.len() {
+        let ScheduledFault {
+            round,
+            event: FaultEvent::KillNodes(victims),
+        } = &minimal[i]
+        else {
+            continue;
+        };
+        let (round, victims) = (*round, victims.clone());
+        let mut test_victims = |candidate: &[crate::node::NodeId]| {
+            let mut trial = minimal.clone();
+            trial[i] = ScheduledFault {
+                round,
+                event: FaultEvent::KillNodes(candidate.to_vec()),
+            };
+            oracle_calls += 1;
+            still_fails(&rebuild(&trial))
+        };
+        let kept = ddmin(&victims, &mut test_victims);
+        minimal[i] = ScheduledFault {
+            round,
+            event: FaultEvent::KillNodes(kept),
+        };
+    }
+    ShrinkReport {
+        plan: rebuild(&minimal),
+        reproduced: true,
+        oracle_calls,
+        initial_batches: batches.len(),
+    }
+}
+
+/// Rebuilds a [`FaultPlan`] from a batch subset, preserving the stable
+/// round ordering.
+fn rebuild(batches: &[ScheduledFault]) -> FaultPlan {
+    batches
+        .iter()
+        .fold(FaultPlan::new(), |p, b| p.at(b.round, b.event.clone()))
+}
+
+/// Zeller's ddmin over a list: the input is assumed to fail `test`;
+/// returns a sublist that still fails and from which no chunk of the
+/// current granularity can be dropped. Runs down to single-element
+/// granularity, so the result is 1-minimal.
+fn ddmin<T: Clone>(items: &[T], test: &mut impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut current: Vec<T> = items.to_vec();
+    if current.len() == 1 && test(&[]) {
+        return Vec::new();
+    }
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
+                .collect();
+            if test(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break;
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::trace::TraceEvent;
+
+    fn ev(process: u64) -> TraceEvent {
+        TraceEvent::ProcessConverged { process, moves: 1 }
+    }
+
+    fn log_of(processes: &[u64]) -> TraceLog {
+        let mut log = TraceLog::new();
+        for (i, p) in processes.iter().enumerate() {
+            log.record(i as u64, ev(*p));
+        }
+        log
+    }
+
+    #[test]
+    fn identical_logs_diff_clean() {
+        let a = log_of(&[1, 2, 3]);
+        let d = diff_logs(&a, &a.clone());
+        assert!(d.is_clean());
+        assert_eq!(d.common_prefix, 3);
+        assert!(d.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergent_record_with_context() {
+        let a = log_of(&[1, 2, 3, 4, 5, 6]);
+        let b = log_of(&[1, 2, 3, 4, 9, 6]);
+        let d = diff_logs(&a, &b);
+        assert!(!d.is_clean());
+        let div = d.divergence.clone().expect("diverges");
+        assert_eq!(div.index, 4);
+        assert_eq!(div.left, Some(a.records()[4].clone()));
+        assert_eq!(div.right, Some(b.records()[4].clone()));
+        assert_eq!(div.context.len(), DIFF_CONTEXT);
+        assert_eq!(div.context[0], a.records()[1].clone());
+        let rendered = d.to_string();
+        assert!(rendered.contains("record 4"), "{rendered}");
+        assert!(rendered.contains("- #4"), "{rendered}");
+        assert!(rendered.contains("+ #4"), "{rendered}");
+    }
+
+    #[test]
+    fn diff_flags_early_termination() {
+        let a = log_of(&[1, 2, 3]);
+        let b = log_of(&[1, 2]);
+        let d = diff_logs(&a, &b);
+        let div = d.divergence.clone().expect("diverges");
+        assert_eq!(div.index, 2);
+        assert!(div.left.is_some());
+        assert!(div.right.is_none());
+        assert!(d.to_string().contains("<end of log>"));
+        // Context shorter than DIFF_CONTEXT near the start of the log.
+        let d2 = diff_logs(&log_of(&[7]), &log_of(&[8]));
+        assert_eq!(d2.divergence.expect("diverges").context.len(), 0);
+    }
+
+    fn plan_of(rounds: &[u64]) -> FaultPlan {
+        rounds.iter().fold(FaultPlan::new(), |p, r| {
+            p.at(
+                *r,
+                FaultEvent::KillNodes(vec![NodeId::new(*r as u32), NodeId::new(100 + *r as u32)]),
+            )
+        })
+    }
+
+    #[test]
+    fn shrinker_finds_a_single_guilty_batch() {
+        // Failure reproduces iff a batch at round 5 is present.
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let report = shrink_fault_plan(&plan, |p| p.events().iter().any(|e| e.round == 5));
+        assert!(report.reproduced);
+        assert_eq!(report.plan.events().len(), 1);
+        assert_eq!(report.plan.events()[0].round, 5);
+        assert_eq!(report.initial_batches, 8);
+        assert_eq!(report.removed_batches(), 7);
+        assert!(report.oracle_calls > 1);
+    }
+
+    #[test]
+    fn shrinker_minimizes_kill_lists_inside_surviving_batches() {
+        // Failure needs node 105 to die; everything else is noise.
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let victim = NodeId::new(105);
+        let report = shrink_fault_plan(&plan, |p| {
+            p.events().iter().any(|e| match &e.event {
+                FaultEvent::KillNodes(ids) => ids.contains(&victim),
+                _ => false,
+            })
+        });
+        assert!(report.reproduced);
+        assert_eq!(report.plan.events().len(), 1);
+        assert_eq!(
+            report.plan.events()[0].event,
+            FaultEvent::KillNodes(vec![victim])
+        );
+    }
+
+    #[test]
+    fn shrinker_keeps_conjunctive_causes() {
+        // 1-minimality, not global minimality: both rounds 2 and 6 are
+        // needed, and both survive.
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let report = shrink_fault_plan(&plan, |p| {
+            let rounds: Vec<u64> = p.events().iter().map(|e| e.round).collect();
+            rounds.contains(&2) && rounds.contains(&6)
+        });
+        assert!(report.reproduced);
+        let rounds: Vec<u64> = report.plan.events().iter().map(|e| e.round).collect();
+        assert_eq!(rounds, vec![2, 6]);
+    }
+
+    #[test]
+    fn shrinker_reports_non_reproducing_plans() {
+        let plan = plan_of(&[1, 2, 3]);
+        let report = shrink_fault_plan(&plan, |_| false);
+        assert!(!report.reproduced);
+        assert_eq!(report.plan, plan);
+        assert_eq!(report.oracle_calls, 1);
+        assert_eq!(report.removed_batches(), 0);
+    }
+
+    #[test]
+    fn shrinker_is_deterministic_across_reruns() {
+        let plan = plan_of(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let oracle = |p: &FaultPlan| p.events().iter().filter(|e| e.round % 3 == 0).count() >= 2;
+        let a = shrink_fault_plan(&plan, oracle);
+        let b = shrink_fault_plan(&plan, oracle);
+        assert_eq!(a, b);
+        assert!(oracle(&a.plan), "result must still fail");
+    }
+
+    #[test]
+    fn shrinker_can_reach_the_empty_plan() {
+        // An oracle that always fails shrinks to nothing.
+        let plan = plan_of(&[4]);
+        let report = shrink_fault_plan(&plan, |_| true);
+        assert!(report.reproduced);
+        assert!(report.plan.is_empty());
+    }
+}

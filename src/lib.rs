@@ -73,8 +73,6 @@ pub use wsn_stats as stats;
 /// The names almost every user of the library needs.
 pub mod prelude {
     pub use wsn_baselines::{builtins, Ar, Smart, Vf};
-    #[allow(deprecated)]
-    pub use wsn_coverage::RecoveryReport;
     pub use wsn_coverage::{
         analysis, DriveMode, NetworkSpec, Recovery, ReplacementScheme, SchemeId, SchemeRegistry,
         SchemeReport, ShortcutRecovery, SpareSelection, Sr, SrConfig, SrError, SrSc, Unsupported,
