@@ -22,7 +22,7 @@
 //!   counted) and the processes still count as converged — Figure 6(b)
 //!   measures spare-finding, not usefulness.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
@@ -114,9 +114,10 @@ pub struct ArProtocol {
     ttl: usize,
     /// Current holes (dense row-major indices), maintained from the
     /// network's occupancy change journal — detection walks this in
-    /// O(holes) instead of scanning every cell. AR keeps its redundant
+    /// O(holes) instead of scanning every cell (word-level
+    /// [`wsn_grid::HoleSet`], ascending order). AR keeps its redundant
     /// multi-initiation *per hole*; only hole discovery is indexed.
-    pending_holes: BTreeSet<usize>,
+    pending_holes: wsn_grid::HoleSet,
     /// Scratch buffer reused by detection sweeps.
     detect_buf: Vec<usize>,
 }
@@ -136,7 +137,8 @@ impl ArProtocol {
         } else {
             config.ttl
         };
-        let pending_holes: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+        let mut pending_holes = wsn_grid::HoleSet::new(net.system().cell_count());
+        pending_holes.assign_vacant(net.occupancy());
         net.clear_changed_cells();
         ArProtocol {
             net,
@@ -348,7 +350,7 @@ impl ChangeDrivenProtocol for ArProtocol {
         }
         self.pending_holes
             .iter()
-            .any(|&idx| self.net.occupancy().is_vacant(idx) && self.hole_is_actionable(idx))
+            .any(|idx| self.net.occupancy().is_vacant(idx) && self.hole_is_actionable(idx))
     }
 }
 
@@ -420,10 +422,10 @@ impl RoundProtocol for ArProtocol {
         let mut initiated = std::mem::take(&mut self.initiated);
         initiated.retain(|(_, hole)| !self.is_occupied(*hole));
         self.initiated = initiated;
-        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        self.net.fold_changed_cells_into(&mut self.pending_holes);
         let mut buf = std::mem::take(&mut self.detect_buf);
         buf.clear();
-        buf.extend(self.pending_holes.iter().copied());
+        buf.extend(self.pending_holes.iter());
         self.metrics.cells_scanned += buf.len() as u64;
         for &hole_idx in &buf {
             let g = self.net.system().coord_of(hole_idx);

@@ -102,7 +102,7 @@ use serde::{Deserialize, Serialize};
 
 use wsn_baselines::builtins;
 use wsn_coverage::scheme::{DriveMode, NetworkSpec, ReplacementScheme, SchemeId, SchemeRegistry};
-use wsn_grid::{deploy, GridNetwork, GridSystem, RegionShape};
+use wsn_grid::{deploy, GridNetwork, GridSystem, RegionMask, RegionShape};
 use wsn_simcore::{derive_stream_seed, Metrics, SimRng};
 use wsn_stats::{Histogram, JsonValue, StreamingStat};
 
@@ -760,6 +760,45 @@ pub(crate) fn trial_stream_seed(
     }
 }
 
+/// Generates the deployment positions of a matrix trial from its stream
+/// seed — the generation half of [`build_trial_network`], shared with
+/// the per-worker [`TrialArena`] so arena-reset trials draw the
+/// byte-identical RNG stream as freshly built ones.
+pub(crate) fn trial_positions(
+    mode: CampaignMode,
+    sys: &GridSystem,
+    mask: &RegionMask,
+    n_target: usize,
+    seed: u64,
+) -> Vec<wsn_geometry::Point2> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    match mode {
+        CampaignMode::FullRecovery => {
+            // §5: "(N + m x n) enabled nodes", uniform — with m·n read
+            // as the enabled-cell count of the region.
+            deploy::uniform_masked(sys, mask, n_target + mask.enabled_count(), &mut rng)
+        }
+        CampaignMode::SingleReplacement => {
+            // Theorem 2's setting: one hole, one node everywhere else,
+            // exactly N spares over the occupied (enabled) cells.
+            let enabled: Vec<_> = mask.iter_enabled().collect();
+            let hole = enabled[rng.range_usize(enabled.len())];
+            let mut pos = deploy::with_holes_masked(sys, mask, &[hole], 1, &mut rng);
+            let occupied: Vec<_> = enabled.into_iter().filter(|c| *c != hole).collect();
+            for _ in 0..n_target {
+                let cell = occupied[rng.range_usize(occupied.len())];
+                let rect = sys.cell_rect(cell).expect("in bounds");
+                pos.push(wsn_geometry::sample::point_in_rect(
+                    &rect,
+                    rng.uniform_f64(),
+                    rng.uniform_f64(),
+                ));
+            }
+            pos
+        }
+    }
+}
+
 /// Builds the deployment of a matrix trial from its stream seed — the
 /// re-execution half of the record/replay contract: one function, used
 /// by both the campaign workers and the [`crate::replay`] recorder, so a
@@ -775,47 +814,73 @@ pub(crate) fn build_trial_network(
     let sys = GridSystem::for_comm_range(cols, rows, comm_range)
         .expect("campaign grid dimensions are valid");
     let mask = region.build_mask(cols, rows);
-    let mut rng = SimRng::seed_from_u64(seed);
-    match mode {
-        CampaignMode::FullRecovery => {
-            // §5: "(N + m x n) enabled nodes", uniform — with m·n read
-            // as the enabled-cell count of the region.
-            let positions =
-                deploy::uniform_masked(&sys, &mask, n_target + mask.enabled_count(), &mut rng);
-            GridNetwork::with_mask(sys, mask, &positions)
-                .expect("masked generator respects the mask")
+    let positions = trial_positions(mode, &sys, &mask, n_target, seed);
+    GridNetwork::with_mask(sys, mask, &positions).expect("masked generator respects the mask")
+}
+
+/// Per-worker trial arena: one cached [`GridNetwork`] rebuilt in place
+/// via [`GridNetwork::reset_into`] while consecutive trials share a
+/// `(region, grid)` key, so the node vector, member pool, occupancy
+/// words and head table are allocated once per worker instead of once
+/// per trial. Trials on a new key rebuild the cache from scratch;
+/// either way the network handed out is observation-equivalent to
+/// [`build_trial_network`]'s (the `reset_into` proptest pins equality).
+pub(crate) struct TrialArena {
+    key: Option<(RegionShape, u16, u16)>,
+    net: Option<GridNetwork>,
+}
+
+impl TrialArena {
+    pub(crate) fn new() -> TrialArena {
+        TrialArena {
+            key: None,
+            net: None,
         }
-        CampaignMode::SingleReplacement => {
-            // Theorem 2's setting: one hole, one node everywhere else,
-            // exactly N spares over the occupied (enabled) cells.
-            let enabled: Vec<_> = mask.iter_enabled().collect();
-            let hole = enabled[rng.range_usize(enabled.len())];
-            let mut pos = deploy::with_holes_masked(&sys, &mask, &[hole], 1, &mut rng);
-            let occupied: Vec<_> = enabled.into_iter().filter(|c| *c != hole).collect();
-            for _ in 0..n_target {
-                let cell = occupied[rng.range_usize(occupied.len())];
-                let rect = sys.cell_rect(cell).expect("in bounds");
-                pos.push(wsn_geometry::sample::point_in_rect(
-                    &rect,
-                    rng.uniform_f64(),
-                    rng.uniform_f64(),
-                ));
-            }
-            GridNetwork::with_mask(sys, mask, &pos).expect("masked generator respects the mask")
+    }
+
+    /// The trial network for the given matrix coordinates, reusing the
+    /// cached allocations whenever the `(region, grid)` key matches.
+    pub(crate) fn network(
+        &mut self,
+        mode: CampaignMode,
+        comm_range: f64,
+        region: RegionShape,
+        (cols, rows): (u16, u16),
+        n_target: usize,
+        seed: u64,
+    ) -> &mut GridNetwork {
+        let reusable = self.key == Some((region, cols, rows)) && self.net.is_some();
+        if reusable {
+            let net = self.net.as_mut().expect("key implies cached network");
+            let positions = trial_positions(mode, net.system(), net.mask(), n_target, seed);
+            net.reset_into(&positions)
+                .expect("masked generator respects the mask");
+        } else {
+            self.net = Some(build_trial_network(
+                mode,
+                comm_range,
+                region,
+                (cols, rows),
+                n_target,
+                seed,
+            ));
+            self.key = Some((region, cols, rows));
         }
+        self.net.as_mut().expect("cached or just built")
     }
 }
 
 fn run_matrix_trial(
     cfg: &CampaignConfig,
     scheme: &dyn ReplacementScheme,
+    arena: &mut TrialArena,
     region: RegionShape,
     (cols, rows): (u16, u16),
     n_target: usize,
     trial: u64,
 ) -> TrialOutcome {
     let seed = trial_stream_seed(cfg.master_seed, region, (cols, rows), n_target, trial);
-    let mut net = build_trial_network(
+    let net = arena.network(
         cfg.mode,
         cfg.comm_range,
         region,
@@ -827,7 +892,7 @@ fn run_matrix_trial(
     // One uniform dispatch for every scheme in the registry — this is
     // the line the closed `match scheme` used to be.
     let report = scheme
-        .run(&mut net, seed, DriveMode::Classic)
+        .run(net, seed, DriveMode::Classic)
         .expect("validation proved every scheme supports every matrix cell");
     TrialOutcome {
         holes: stats.vacant,
@@ -986,12 +1051,16 @@ pub fn run_campaign_with(
             let queue = &queue;
             let folder = &folder;
             scope.spawn(move || {
+                // One arena per worker: network allocations are reused
+                // across every trial the worker runs on the same
+                // (region, grid) key.
+                let mut arena = TrialArena::new();
                 while let Some(idx) = queue.pop(w) {
                     let cell = (idx / cfg.seeds_per_cell) as usize;
                     let trial = idx % cfg.seeds_per_cell;
                     let (scheme, region, grid, n) = cfg.cell_params(cell);
                     let scheme = registry.get(scheme.as_str()).expect("validated ids");
-                    let outcome = run_matrix_trial(cfg, scheme, region, grid, n, trial);
+                    let outcome = run_matrix_trial(cfg, scheme, &mut arena, region, grid, n, trial);
                     folder.lock().expect("no poisoned folds").fold(
                         idx,
                         cfg.seeds_per_cell,
@@ -1308,6 +1377,33 @@ mod tests {
             .unwrap()
             .starts_with("scheme,"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trial_arena_reuse_matches_fresh_builds() {
+        // Consecutive trials on the same key reset in place; a key
+        // change rebuilds. Either way the network must equal the
+        // from-scratch build for the same coordinates.
+        let mut arena = TrialArena::new();
+        let coords = [
+            (RegionShape::Full, (8u16, 8u16), 10usize, 0u64),
+            (RegionShape::Full, (8, 8), 10, 1),
+            (RegionShape::Full, (8, 8), 100, 2),
+            (RegionShape::LShape, (8, 8), 10, 0),
+            (RegionShape::LShape, (8, 8), 10, 1),
+            (RegionShape::Full, (6, 6), 10, 0),
+        ];
+        for (region, grid, n, trial) in coords {
+            let seed = trial_stream_seed(20_080_617, region, grid, n, trial);
+            let mode = CampaignMode::FullRecovery;
+            let fresh = build_trial_network(mode, 10.0, region, grid, n, seed);
+            let reused = arena.network(mode, 10.0, region, grid, n, seed);
+            assert_eq!(*reused, fresh, "{region} {grid:?} N={n} t={trial}");
+            reused.debug_invariants();
+            // Dirty the cached network so the next reset has real work.
+            let any = reused.nodes().first().expect("nonempty deployment").id();
+            reused.disable_node(any).unwrap();
+        }
     }
 
     #[test]

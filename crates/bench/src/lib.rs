@@ -35,6 +35,7 @@
 
 pub mod campaign;
 pub mod figures;
+pub mod perf;
 pub mod replay;
 pub mod scenarios;
 pub mod sweep;

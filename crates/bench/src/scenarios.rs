@@ -7,24 +7,28 @@
 //! [`run_greedy_repair`] runs the same steady-state monitor-and-repair
 //! loop under either discovery strategy:
 //!
-//! * [`OccupancyMode::Indexed`] — holes are discovered by folding the
-//!   network's occupancy change journal into a pending set: O(changed)
-//!   per round, zero work on quiet rounds;
+//! * [`OccupancyMode::WordKernel`] — holes are discovered by folding the
+//!   change journal into a word-level [`HoleSet`] bitset and sweeping it
+//!   with `u64`-block iteration: O(changed) folds with no allocation or
+//!   tree rebalancing, `cells/64` word reads per sweep;
+//! * [`OccupancyMode::Indexed`] — the PR 2 representation: the same
+//!   journal folded into a `BTreeSet` pending set, O(changed) per round
+//!   with tree inserts;
 //! * [`OccupancyMode::FullScan`] — holes are rediscovered each round by
 //!   [`GridNetwork::vacant_cells_scan`], the pre-index O(cells) code
 //!   path kept as the baseline.
 //!
-//! Both modes make byte-identical repair decisions (the property the
-//! tests pin down); `benches/bench_occupancy.rs` measures the wall-clock
-//! gap, which is the tentpole acceptance criterion of the occupancy
-//! refactor.
+//! All modes make byte-identical repair decisions (the property the
+//! tests pin down); `benches/bench_occupancy.rs` and the `perf` binary
+//! measure the wall-clock gaps, which are the tentpole acceptance
+//! criteria of the occupancy and kernel refactors.
 //!
 //! [`VacancySet`]: wsn_grid::VacancySet
 
 use std::collections::BTreeSet;
 
 use wsn_geometry::{sample, Point2, Vec2};
-use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, RegionShape};
+use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, HoleSet, RegionShape};
 use wsn_simcore::{FaultPlan, Jammer, NodeId, Round, SimRng};
 
 /// A reproducible large-grid fault scenario.
@@ -195,8 +199,12 @@ impl Scenario {
 /// How [`run_greedy_repair`] discovers holes each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OccupancyMode {
-    /// Fold the occupancy change journal into a pending set —
-    /// O(changed) per round.
+    /// Fold the occupancy change journal into a word-level [`HoleSet`]
+    /// bitset and sweep it as `u64` blocks — O(changed) bit writes per
+    /// round, no allocation, `cells/64` word reads per sweep.
+    WordKernel,
+    /// Fold the occupancy change journal into a `BTreeSet` pending set —
+    /// the PR 2 representation: O(changed) tree inserts per round.
     Indexed,
     /// Rescan the whole member table every round — the pre-index
     /// O(cells) baseline.
@@ -237,6 +245,8 @@ pub fn run_greedy_repair(
     let sys = *net.system();
     net.clear_changed_cells();
     let mut pending: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+    let mut kernel = HoleSet::new(sys.cell_count());
+    kernel.assign_vacant(net.occupancy());
     let mut out = RepairOutcome {
         rounds: scenario.rounds,
         moves: 0,
@@ -252,6 +262,12 @@ pub fn run_greedy_repair(
         }
         holes.clear();
         match mode {
+            OccupancyMode::WordKernel => {
+                out.cells_scanned += net.changed_cells().len() as u64;
+                net.fold_changed_cells_into(&mut kernel);
+                out.cells_scanned += kernel.len() as u64;
+                holes.extend(kernel.iter().map(|i| sys.coord_of(i)));
+            }
             OccupancyMode::Indexed => {
                 out.cells_scanned += net.changed_cells().len() as u64;
                 net.drain_changed_cells_into(&mut pending);
@@ -281,15 +297,20 @@ pub fn run_greedy_repair(
             let moved = net.move_node(spare, dest).expect("dest inside the area");
             out.moves += 1;
             out.distance += moved.distance;
-            if mode == OccupancyMode::Indexed {
+            match mode {
                 // The fill lands in the journal; fold it now so the hole
                 // leaves the pending set without waiting a round.
-                net.drain_changed_cells_into(&mut pending);
+                OccupancyMode::WordKernel => net.fold_changed_cells_into(&mut kernel),
+                OccupancyMode::Indexed => net.drain_changed_cells_into(&mut pending),
+                OccupancyMode::FullScan => {}
             }
         }
     }
     out.unfilled = net.vacant_count();
-    debug_assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+    debug_assert_eq!(
+        net.vacant_iter().collect::<Vec<_>>(),
+        net.vacant_cells_scan()
+    );
     out
 }
 
@@ -325,12 +346,16 @@ mod tests {
             Scenario::fault_storm(24, 24),
             Scenario::jammer_walk(24, 24),
         ] {
+            let kernel = run_greedy_repair(&s, s.build_network(), OccupancyMode::WordKernel);
             let indexed = run_greedy_repair(&s, s.build_network(), OccupancyMode::Indexed);
             let scanned = run_greedy_repair(&s, s.build_network(), OccupancyMode::FullScan);
             assert_eq!(indexed.moves, scanned.moves, "{}", s.name);
             assert_eq!(indexed.distance, scanned.distance, "{}", s.name);
             assert_eq!(indexed.unfilled, scanned.unfilled, "{}", s.name);
             assert_eq!(indexed.rounds, scanned.rounds, "{}", s.name);
+            // The word kernel is observation-equivalent to the BTreeSet
+            // fold in every field, discovery accounting included.
+            assert_eq!(kernel, indexed, "{}", s.name);
             assert!(
                 indexed.cells_scanned < scanned.cells_scanned / 5,
                 "{}: indexed discovery must be far below the full scan \
@@ -425,11 +450,16 @@ mod tests {
             wsn_simcore::FaultEvent::KillRandomEnabled { count: kill },
         );
         s.rounds = 256;
+        let kernel = run_greedy_repair(&s, s.build_network(), OccupancyMode::WordKernel);
         let indexed = run_greedy_repair(&s, s.build_network(), OccupancyMode::Indexed);
         let scanned = run_greedy_repair(&s, s.build_network(), OccupancyMode::FullScan);
         assert_eq!(indexed.moves, scanned.moves);
         assert_eq!(indexed.distance, scanned.distance);
         assert_eq!(indexed.unfilled, scanned.unfilled);
+        assert_eq!(
+            kernel, indexed,
+            "word kernel must match the fold on masked regions"
+        );
         assert!(indexed.moves > 0);
         let net = s.build_network();
         net.debug_invariants();

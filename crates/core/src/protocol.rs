@@ -30,9 +30,9 @@
 //! is deterministic and only matters in the rare dual-path corner where
 //! two processes share an asked cell (`C` watches both `A` and `B`).
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::HashSet;
 
-use wsn_grid::{GridCoord, GridError, GridNetwork};
+use wsn_grid::{GridCoord, GridError, GridNetwork, HoleSet};
 use wsn_hamilton::{BackwardStep, CycleTopology};
 use wsn_simcore::{
     ChangeDrivenProtocol, EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, SimRng,
@@ -146,10 +146,10 @@ pub struct SrProtocol {
     failed_holes: HashSet<GridCoord>,
     /// Current holes as dense row-major cell indices, maintained from the
     /// network's occupancy change journal — detection iterates this in
-    /// O(holes) per round instead of scanning every cell. `BTreeSet`
-    /// keeps row-major order, so sweeps visit holes exactly as the old
-    /// full scan did.
-    pending_holes: BTreeSet<usize>,
+    /// O(holes) per round instead of scanning every cell. The word-level
+    /// [`HoleSet`] iterates ascending, so sweeps visit holes exactly as
+    /// the `BTreeSet` (and the full scan before it) did.
+    pending_holes: HoleSet,
     /// Scratch buffer reused by detection sweeps (no per-round allocs).
     detect_buf: Vec<usize>,
 }
@@ -175,9 +175,11 @@ impl SrProtocol {
         } else {
             TraceLog::disabled()
         };
-        // Seed the pending-hole set from the index once; every later
-        // round folds in the change journal instead of rescanning.
-        let pending_holes: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+        // Seed the pending-hole set from the index once (a word-level
+        // copy of the vacancy bitset); every later round folds in the
+        // change journal instead of rescanning.
+        let mut pending_holes = HoleSet::new(net.system().cell_count());
+        pending_holes.assign_vacant(net.occupancy());
         net.clear_changed_cells();
         SrProtocol {
             net,
@@ -477,10 +479,10 @@ impl SrProtocol {
     /// monitoring head. Sweeps the journal-maintained pending-hole set
     /// (row-major, like the full scan it replaced) rather than the grid.
     fn detect_and_initiate(&mut self, round: u64) -> DetectionOutcome {
-        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        self.net.fold_changed_cells_into(&mut self.pending_holes);
         let mut buf = std::mem::take(&mut self.detect_buf);
         buf.clear();
-        buf.extend(self.pending_holes.iter().copied());
+        buf.extend(self.pending_holes.iter());
         self.metrics.cells_scanned += buf.len() as u64;
         let mut outcome = DetectionOutcome::default();
         for &idx in &buf {
@@ -578,7 +580,7 @@ impl ChangeDrivenProtocol for SrProtocol {
         }
         self.pending_holes
             .iter()
-            .any(|&idx| self.net.occupancy().is_vacant(idx) && self.hole_is_actionable(idx))
+            .any(|idx| self.net.occupancy().is_vacant(idx) && self.hole_is_actionable(idx))
     }
 }
 
@@ -727,7 +729,7 @@ mod tests {
         let p = protocol_with_holes(4, 4, &[hole], 2, 1);
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_initiated, 1);
         assert_eq!(p.metrics().processes_converged, 1);
         assert_eq!(p.metrics().processes_failed, 0);
@@ -759,7 +761,7 @@ mod tests {
         let p = SrProtocol::new(net, topo, SrConfig::default().with_seed(3));
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_converged, 1);
         let s = &p.process_summaries()[0];
         assert_eq!(s.moves, s.hops);
@@ -780,7 +782,7 @@ mod tests {
         let p = protocol_with_holes(4, 4, &holes, 2, 7);
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty(), "all holes filled");
+        assert_eq!(p.network().vacant_count(), 0, "all holes filled");
         assert_eq!(p.metrics().processes_failed, 0);
         assert_eq!(p.metrics().success_rate_percent(), 100.0);
         p.network().debug_invariants();
@@ -805,7 +807,7 @@ mod tests {
         let p = SrProtocol::new(net, topo, SrConfig::default().with_seed(9));
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_failed, 0);
         p.network().debug_invariants();
     }
@@ -821,7 +823,7 @@ mod tests {
         // chain exhausted L hops).
         assert!(p.metrics().processes_failed >= 1);
         assert_eq!(p.metrics().processes_converged, 0);
-        assert_eq!(p.network().vacant_cells().len(), 1);
+        assert_eq!(p.network().vacant_count(), 1);
         p.network().debug_invariants();
     }
 
@@ -851,10 +853,7 @@ mod tests {
             let p = protocol_with_holes(5, 5, &[hole], 2, 17 + i as u64);
             let (p, report) = run_protocol(p);
             assert!(report.is_quiescent(), "hole {hole}");
-            assert!(
-                p.network().vacant_cells().is_empty(),
-                "hole {hole} not filled"
-            );
+            assert_eq!(p.network().vacant_count(), 0, "hole {hole} not filled");
             assert_eq!(p.metrics().processes_failed, 0, "hole {hole}");
             p.network().debug_invariants();
         }
@@ -883,7 +882,7 @@ mod tests {
         let p = SrProtocol::new(net, topo, SrConfig::default().with_seed(23));
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_failed, 0);
         p.network().debug_invariants();
     }
@@ -904,7 +903,7 @@ mod tests {
         let p = SrProtocol::new(net, topo, cfg);
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_converged, 1);
         p.network().debug_invariants();
     }
@@ -926,7 +925,7 @@ mod tests {
         assert!(report.is_quiescent());
         assert_eq!(p.metrics().processes_initiated, 0);
         assert_eq!(p.metrics().moves, 0);
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
     }
 
     #[test]
@@ -965,7 +964,7 @@ mod tests {
             let p = SrProtocol::new(net, topo, cfg);
             run_protocol(p).0
         };
-        assert!(async_run.network().vacant_cells().is_empty());
+        assert_eq!(async_run.network().vacant_count(), 0);
         assert_eq!(async_run.metrics().processes_failed, 0);
         assert_eq!(
             async_run.metrics().processes_converged,
@@ -1055,7 +1054,7 @@ mod tests {
         let p = SrProtocol::new(net, topo, cfg);
         let (p, report) = run_protocol(p);
         assert!(report.is_quiescent());
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         assert_eq!(p.metrics().processes_failed, 0);
     }
 
@@ -1122,7 +1121,7 @@ mod tests {
             .with_battery_dynamics(true);
         let p = SrProtocol::new(net, topo, cfg);
         let (p, _) = run_protocol(p);
-        assert!(p.network().vacant_cells().is_empty());
+        assert_eq!(p.network().vacant_count(), 0);
         // Exactly one node paid a movement's worth of energy (heads also
         // pay idle duty, but that is orders of magnitude smaller).
         let movers = p

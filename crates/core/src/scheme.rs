@@ -66,7 +66,7 @@
 //!         let initial_stats = net.stats();
 //!         let mut metrics = Metrics::new();
 //!         let sys = *net.system();
-//!         for hole in net.vacant_cells() {
+//!         for hole in net.vacant_iter().collect::<Vec<_>>() {
 //!             let Some(donor) = sys.iter_coords().find(|&c| {
 //!                 net.spare_count(c).is_ok_and(|n| n > 0)
 //!             }) else {

@@ -113,8 +113,9 @@ pub struct ShortcutProtocol {
     summaries: Vec<ProcessSummary>,
     failed_holes: std::collections::HashSet<GridCoord>,
     /// Current holes (dense indices, row-major), maintained from the
-    /// occupancy change journal — same O(changed) detection as SR.
-    pending_holes: std::collections::BTreeSet<usize>,
+    /// occupancy change journal — same word-level O(changed) detection
+    /// as SR ([`wsn_grid::HoleSet`]).
+    pending_holes: wsn_grid::HoleSet,
     /// Scratch buffer reused by detection sweeps.
     detect_buf: Vec<usize>,
 }
@@ -130,8 +131,8 @@ impl ShortcutProtocol {
             TraceLog::disabled()
         };
         let cells = net.system().cell_count();
-        let pending_holes: std::collections::BTreeSet<usize> =
-            net.occupancy().iter_vacant().collect();
+        let mut pending_holes = wsn_grid::HoleSet::new(cells);
+        pending_holes.assign_vacant(net.occupancy());
         net.clear_changed_cells();
         ShortcutProtocol {
             net,
@@ -324,10 +325,10 @@ impl ShortcutProtocol {
     }
 
     fn detect_and_initiate(&mut self, round: u64) -> usize {
-        self.net.drain_changed_cells_into(&mut self.pending_holes);
+        self.net.fold_changed_cells_into(&mut self.pending_holes);
         let mut buf = std::mem::take(&mut self.detect_buf);
         buf.clear();
-        buf.extend(self.pending_holes.iter().copied());
+        buf.extend(self.pending_holes.iter());
         let mut initiated = 0;
         for &idx in &buf {
             let g = self.net.system().coord_of(idx);

@@ -40,7 +40,7 @@ proptest! {
             }
         }
         let spares_before = net.total_spares();
-        let holes_before = net.vacant_cells().len();
+        let holes_before = net.vacant_count();
         prop_assume!(spares_before >= holes_before);
 
         let mut rec = Recovery::new(net, SrConfig::default().with_seed(seed)).unwrap();

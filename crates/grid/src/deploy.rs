@@ -343,7 +343,10 @@ mod tests {
         let holes = [GridCoord::new(0, 0), GridCoord::new(7, 7)]; // (7,7) disabled
         let pos = with_holes_masked(&s, &mask, &holes, 1, &mut rng);
         let net = GridNetwork::with_mask(s, mask.clone(), &pos).unwrap();
-        assert_eq!(net.vacant_cells(), vec![GridCoord::new(0, 0)]);
+        assert_eq!(
+            net.vacant_iter().collect::<Vec<_>>(),
+            vec![GridCoord::new(0, 0)]
+        );
         net.debug_invariants();
     }
 
@@ -354,7 +357,7 @@ mod tests {
         let holes = [GridCoord::new(2, 2), GridCoord::new(5, 7)];
         let pos = with_holes(&s, &holes, 2, &mut rng);
         let net = GridNetwork::new(s, &pos);
-        assert_eq!(net.vacant_cells(), holes.to_vec());
+        assert_eq!(net.vacant_iter().collect::<Vec<_>>(), holes.to_vec());
         assert_eq!(net.enabled_count(), (64 - 2) * 2);
     }
 }

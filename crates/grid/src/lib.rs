@@ -33,7 +33,7 @@
 //! let positions = deploy::uniform(&system, 600, &mut rng);
 //! let mut net = GridNetwork::new(system, &positions);
 //! net.elect_all_heads(wsn_grid::HeadElection::FirstId, &mut rng);
-//! assert_eq!(net.occupied_cells() + net.vacant_cells().len(), 256);
+//! assert_eq!(net.occupied_cells() + net.vacant_count(), 256);
 //! # Ok::<(), wsn_grid::GridError>(())
 //! ```
 
@@ -45,7 +45,9 @@ pub mod coverage;
 pub mod deploy;
 pub mod election;
 mod error;
+pub mod kernel;
 pub mod mask;
+mod members;
 mod network;
 pub mod occupancy;
 pub mod render;
@@ -55,6 +57,7 @@ pub use coord::{Direction, GridCoord};
 pub use coverage::{connectivity_verdict, coverage_verdict, k_coverage_fraction, CoverageVerdict};
 pub use election::HeadElection;
 pub use error::GridError;
+pub use kernel::HoleSet;
 pub use mask::{RegionMask, RegionShape};
 pub use network::{GridNetwork, MoveOutcome, NetworkStats};
 pub use occupancy::VacancySet;

@@ -81,6 +81,28 @@ impl VacancySet {
         v
     }
 
+    /// Resets the set to the all-vacant, clean-journal state of
+    /// [`VacancySet::new`], reusing the existing word buffers. Used by
+    /// the per-trial arena ([`GridNetwork::reset_into`]) to avoid
+    /// reallocating on every campaign trial.
+    ///
+    /// [`GridNetwork::reset_into`]: crate::GridNetwork::reset_into
+    pub fn reset(&mut self, cells: usize) {
+        let words = cells.div_ceil(WORD_BITS);
+        self.words.clear();
+        self.words.resize(words, !0u64);
+        self.journaled.clear();
+        self.journaled.resize(words, 0u64);
+        self.journal.clear();
+        self.cells = cells;
+        self.vacant = cells;
+        if !cells.is_multiple_of(WORD_BITS) {
+            if let Some(last) = self.words.last_mut() {
+                *last = (1u64 << (cells % WORD_BITS)) - 1;
+            }
+        }
+    }
+
     /// Number of cells tracked.
     #[inline]
     pub fn len(&self) -> usize {
@@ -159,6 +181,17 @@ impl VacancySet {
             self.journaled[i as usize / WORD_BITS] &= !(1u64 << (i as usize % WORD_BITS));
         }
         self.journal.clear();
+    }
+
+    /// The raw vacancy words: one bit per cell, set ⇔ vacant, cell `i`
+    /// at bit `i % 64` of word `i / 64`, trailing bits of the last word
+    /// clear. This is the input surface of the word-level kernels
+    /// ([`crate::HoleSet`]): hole detection and masked filtering run as
+    /// `AND`/`popcount` loops over these blocks instead of per-cell
+    /// iteration.
+    #[inline]
+    pub fn vacant_words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates the vacant cell indices in ascending (row-major) order,

@@ -1,8 +1,11 @@
 //! Property-based tests for the virtual-grid substrate.
 
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 use wsn_geometry::Point2;
-use wsn_grid::{deploy, GridCoord, GridNetwork, GridSystem, HeadElection, RegionMask, RegionShape};
+use wsn_grid::{
+    deploy, GridCoord, GridNetwork, GridSystem, HeadElection, HoleSet, RegionMask, RegionShape,
+};
 use wsn_simcore::{FaultEvent, NodeId, SimRng};
 
 fn dims() -> impl Strategy<Value = (u16, u16)> {
@@ -67,7 +70,7 @@ proptest! {
         for c in net.vacant_iter() {
             prop_assert!(mask.is_enabled(c));
         }
-        prop_assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+        prop_assert_eq!(net.vacant_iter().collect::<Vec<_>>(), net.vacant_cells_scan());
     }
 
     #[test]
@@ -216,7 +219,7 @@ proptest! {
                 }
             }
             // Index vs oracle, every step.
-            prop_assert_eq!(net.vacant_cells(), net.vacant_cells_scan());
+            prop_assert_eq!(net.vacant_iter().collect::<Vec<_>>(), net.vacant_cells_scan());
             prop_assert_eq!(
                 net.vacant_iter().count(), net.vacant_count()
             );
@@ -229,10 +232,7 @@ proptest! {
                 occupied_scan += usize::from(members > 0);
                 spares_scan += members.saturating_sub(1);
                 prop_assert_eq!(net.spare_count(c).unwrap(), members.saturating_sub(1));
-                prop_assert_eq!(
-                    net.spare_iter(c).unwrap().collect::<Vec<_>>(),
-                    net.spares(c).unwrap()
-                );
+                prop_assert_eq!(net.spare_iter(c).unwrap().count(), net.spare_count(c).unwrap());
             }
             prop_assert_eq!(net.enabled_count(), enabled_scan);
             prop_assert_eq!(net.occupied_cells(), occupied_scan);
@@ -249,6 +249,148 @@ proptest! {
         // matching reality.
         net.clear_changed_cells();
         prop_assert!(net.changed_cells().is_empty());
+    }
+
+    #[test]
+    fn word_kernel_matches_journal_fold_and_scan_oracle(
+        (cols, rows) in (2u16..12, 2u16..12), count in 0usize..250,
+        seed in 0u64..1000, steps in 1usize..40, shape_idx in 0usize..5,
+    ) {
+        // The PR 7 kernel contract: after ANY sequence of deploys,
+        // faults, and moves — on full and masked regions alike — the
+        // word-level pending set (journal folds into a HoleSet), the
+        // PR 2 journal fold (BTreeSet), the bulk word-detection kernels,
+        // and the vacant_cells_scan() member-table oracle all agree.
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        // shape_idx 0 = the full rectangular region; 1..5 = the
+        // irregular presets.
+        let mask = if shape_idx == 0 {
+            RegionMask::full(cols, rows)
+        } else {
+            RegionShape::IRREGULAR[shape_idx - 1].build_mask(cols, rows)
+        };
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos = deploy::uniform_masked(&sys, &mask, count, &mut rng);
+        let mut net = GridNetwork::with_mask(sys, mask, &pos).unwrap();
+        // Seed both pending representations from the initial vacancies
+        // (the same baseline every protocol takes).
+        let mut kernel = HoleSet::new(sys.cell_count());
+        kernel.assign_vacant(net.occupancy());
+        let mut btree: BTreeSet<usize> = net.occupancy().iter_vacant().collect();
+        let enabled_cells: Vec<GridCoord> = net.mask().iter_enabled().collect();
+        for _ in 0..steps {
+            match rng.range_u32(3) {
+                0 => {
+                    if count > 0 {
+                        let id = NodeId::new(rng.range_u32(count as u32));
+                        let _ = net.disable_node(id);
+                    }
+                }
+                1 => {
+                    if count > 0 {
+                        let id = NodeId::new(rng.range_u32(count as u32));
+                        let cell = enabled_cells[rng.range_usize(enabled_cells.len())];
+                        let rect = sys.cell_rect(cell).unwrap();
+                        let target = wsn_geometry::sample::point_in_rect(
+                            &rect, rng.uniform_f64(), rng.uniform_f64());
+                        let _ = net.move_node(id, target);
+                    }
+                }
+                _ => {
+                    let _ = net.apply_fault(
+                        &FaultEvent::KillRandomEnabled { count: rng.range_usize(5) },
+                        &mut rng,
+                    );
+                }
+            }
+            // Fold the same journal into both representations, then
+            // clear it once.
+            kernel.fold_changes(net.occupancy());
+            for &c in net.changed_cells() {
+                if net.occupancy().is_vacant(c as usize) {
+                    btree.insert(c as usize);
+                } else {
+                    btree.remove(&(c as usize));
+                }
+            }
+            net.clear_changed_cells();
+            // kernel fold == BTreeSet fold, same ascending sweep order.
+            prop_assert_eq!(
+                kernel.iter().collect::<Vec<_>>(),
+                btree.iter().copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(kernel.len(), btree.len());
+            // Both == the member-table scan oracle.
+            let scan: Vec<usize> = net
+                .vacant_cells_scan()
+                .into_iter()
+                .map(|c| sys.index_of(c).unwrap())
+                .collect();
+            prop_assert_eq!(kernel.iter().collect::<Vec<_>>(), scan.clone());
+            // Bulk word-detection kernels agree too (the vacancy words
+            // already read disabled cells as occupied, so the masked
+            // variant must coincide).
+            let mut bulk = HoleSet::new(sys.cell_count());
+            bulk.assign_vacant(net.occupancy());
+            prop_assert_eq!(&bulk, &kernel);
+            bulk.assign_vacant_masked(net.occupancy(), net.mask());
+            prop_assert_eq!(bulk.iter().collect::<Vec<_>>(), scan);
+            // Word-level spare scan == per-cell member-count probe.
+            let spareful: Vec<GridCoord> = net.spareful_iter().collect();
+            let spareful_scan: Vec<GridCoord> = sys
+                .iter_coords()
+                .filter(|&c| net.members(c).unwrap().len() >= 2)
+                .collect();
+            prop_assert_eq!(spareful, spareful_scan);
+        }
+    }
+
+    #[test]
+    fn reset_into_equals_freshly_built(
+        (cols, rows) in (2u16..10, 2u16..10), count_a in 0usize..150,
+        count_b in 0usize..150, seed in 0u64..1000, steps in 0usize..25,
+        shape_idx in 0usize..5,
+    ) {
+        // The per-trial arena contract: however dirty the network is,
+        // reset_into(positions) is indistinguishable from building a
+        // fresh network over the same system/mask/positions.
+        let sys = GridSystem::new(cols, rows, 2.0).unwrap();
+        let mask = if shape_idx == 0 {
+            RegionMask::full(cols, rows)
+        } else {
+            RegionShape::IRREGULAR[shape_idx - 1].build_mask(cols, rows)
+        };
+        let mut rng = SimRng::seed_from_u64(seed);
+        let pos_a = deploy::uniform_masked(&sys, &mask, count_a, &mut rng);
+        let pos_b = deploy::uniform_masked(&sys, &mask, count_b, &mut rng);
+        let mut net = GridNetwork::with_mask(sys, mask.clone(), &pos_a).unwrap();
+        net.elect_all_heads(HeadElection::FirstId, &mut rng);
+        let enabled_cells: Vec<GridCoord> = mask.iter_enabled().collect();
+        for _ in 0..steps {
+            match rng.range_u32(2) {
+                0 => {
+                    let _ = net.apply_fault(
+                        &FaultEvent::KillRandomEnabled { count: rng.range_usize(4) },
+                        &mut rng,
+                    );
+                }
+                _ => {
+                    if count_a > 0 {
+                        let id = NodeId::new(rng.range_u32(count_a as u32));
+                        let cell = enabled_cells[rng.range_usize(enabled_cells.len())];
+                        let rect = sys.cell_rect(cell).unwrap();
+                        let target = wsn_geometry::sample::point_in_rect(
+                            &rect, rng.uniform_f64(), rng.uniform_f64());
+                        let _ = net.move_node(id, target);
+                    }
+                }
+            }
+        }
+        net.reset_into(&pos_b).unwrap();
+        let fresh = GridNetwork::with_mask(sys, mask, &pos_b).unwrap();
+        prop_assert_eq!(&net, &fresh);
+        prop_assert!(net.changed_cells().is_empty());
+        net.debug_invariants();
     }
 
     #[test]
@@ -295,7 +437,7 @@ fn with_holes_matches_requested_holes_exactly() {
     ];
     let pos = deploy::with_holes(&sys, &holes, 3, &mut rng);
     let net = GridNetwork::new(sys, &pos);
-    let mut vacant = net.vacant_cells();
+    let mut vacant: Vec<GridCoord> = net.vacant_iter().collect();
     vacant.sort();
     let mut expect = holes;
     expect.sort();

@@ -68,6 +68,14 @@ pub struct MaskedCycle {
     /// 4-adjacent; between segments (and around the wrap) the link is a
     /// virtual connector.
     segments: Vec<(u32, u32)>,
+    /// Dense row-major cell index of each cell's ring successor;
+    /// `u32::MAX` for disabled cells. Precomputed so the hot
+    /// [`MaskedCycle::successor`] query is one indexed load instead of a
+    /// position lookup plus modular arithmetic.
+    succ: Vec<u32>,
+    /// Dense row-major cell index of each cell's ring predecessor;
+    /// `u32::MAX` for disabled cells.
+    pred: Vec<u32>,
 }
 
 impl MaskedCycle {
@@ -136,9 +144,19 @@ impl MaskedCycle {
             order.extend_from_slice(p);
             segments.push((start, order.len() as u32));
         }
-        let mut position = vec![u32::MAX; cols as usize * rows as usize];
+        let cells = cols as usize * rows as usize;
+        let mut position = vec![u32::MAX; cells];
         for (k, c) in order.iter().enumerate() {
             position[c.y as usize * cols as usize + c.x as usize] = k as u32;
+        }
+        let dense = |c: &GridCoord| c.y as usize * cols as usize + c.x as usize;
+        let mut succ = vec![u32::MAX; cells];
+        let mut pred = vec![u32::MAX; cells];
+        let n = order.len();
+        for (k, c) in order.iter().enumerate() {
+            let next = &order[(k + 1) % n];
+            succ[dense(c)] = dense(next) as u32;
+            pred[dense(next)] = dense(c) as u32;
         }
         Ok(MaskedCycle {
             cols,
@@ -146,6 +164,8 @@ impl MaskedCycle {
             order,
             position,
             segments,
+            succ,
+            pred,
         })
     }
 
@@ -222,24 +242,41 @@ impl MaskedCycle {
         p as usize
     }
 
+    /// Dense row-major index of `cell`, panicking with the same messages
+    /// as [`MaskedCycle::position`] when it is outside the grid.
+    #[inline]
+    fn dense_index(&self, cell: GridCoord) -> usize {
+        assert!(
+            cell.x < self.cols && cell.y < self.rows,
+            "cell {cell} outside {}x{} masked ring",
+            self.cols,
+            self.rows
+        );
+        cell.y as usize * self.cols as usize + cell.x as usize
+    }
+
     /// The cell the head of `cell` monitors (next along the ring).
+    /// A single load from the precomputed flat successor table.
     ///
     /// # Panics
     ///
     /// As for [`MaskedCycle::position`].
     pub fn successor(&self, cell: GridCoord) -> GridCoord {
-        let k = self.position(cell);
-        self.order[(k + 1) % self.order.len()]
+        let s = self.succ[self.dense_index(cell)];
+        assert!(s != u32::MAX, "cell {cell} is disabled (not on the ring)");
+        GridCoord::new((s % self.cols as u32) as u16, (s / self.cols as u32) as u16)
     }
 
     /// The cell whose head monitors `cell` (previous along the ring).
+    /// A single load from the precomputed flat predecessor table.
     ///
     /// # Panics
     ///
     /// As for [`MaskedCycle::position`].
     pub fn predecessor(&self, cell: GridCoord) -> GridCoord {
-        let k = self.position(cell);
-        self.order[(k + self.order.len() - 1) % self.order.len()]
+        let p = self.pred[self.dense_index(cell)];
+        assert!(p != u32::MAX, "cell {cell} is disabled (not on the ring)");
+        GridCoord::new((p % self.cols as u32) as u16, (p / self.cols as u32) as u16)
     }
 
     /// Theorem 2's `L` on the masked ring: a replacement walk can
@@ -322,6 +359,24 @@ mod tests {
             assert_eq!(ring.successor(ring.predecessor(c)), c);
         }
         assert_eq!(ring.max_walk_hops(), ring.len() - 1);
+    }
+
+    #[test]
+    fn flat_tables_match_ring_order() {
+        use wsn_grid::RegionShape;
+        for shape in RegionShape::ALL {
+            let mask = shape.build_mask(16, 16);
+            let ring = MaskedCycle::build(&mask).unwrap();
+            let n = ring.len();
+            for (k, &c) in ring.order().iter().enumerate() {
+                assert_eq!(ring.successor(c), ring.order()[(k + 1) % n], "{shape}");
+                assert_eq!(
+                    ring.predecessor(c),
+                    ring.order()[(k + n - 1) % n],
+                    "{shape}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,14 @@
-//! Minimal JSON emission (hand-rolled, like [`crate::csv`] — the sweep
-//! results are flat numeric records, so a serializer dependency would
-//! buy nothing, and the offline `serde` stand-in has no `serde_json`).
+//! Minimal JSON emission and parsing (hand-rolled, like [`crate::csv`]
+//! — the sweep results are flat numeric records, so a serializer
+//! dependency would buy nothing, and the offline `serde` stand-in has
+//! no `serde_json`).
 //!
 //! Construction is by value tree; [`JsonValue`]'s `Display` renders
 //! RFC 8259-conformant text with escaped strings and finite numbers
 //! (non-finite floats render as `null`, the interoperable convention).
+//! [`JsonValue::parse`] is the inverse — a recursive-descent reader for
+//! the artifacts this workspace itself writes (the perf ledger compares
+//! fresh `BENCH_*.json` runs against checked-in baselines).
 
 use std::fmt;
 
@@ -34,6 +38,294 @@ impl JsonValue {
     /// Renders with a trailing newline — the shape result files want.
     pub fn to_file_string(&self) -> String {
         format!("{self}\n")
+    }
+
+    /// Parses RFC 8259 JSON text into a value tree.
+    ///
+    /// Supports everything this workspace's writers emit (and standard
+    /// JSON generally): the five escape shorthands plus `\u` (including
+    /// surrogate pairs), scientific-notation numbers, and arbitrarily
+    /// nested containers. Object key order is preserved as read.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonParseError`] with the byte offset of the first violation —
+    /// including trailing non-whitespace after the top-level value.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for absent keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset of the first offending character.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", JsonValue::Null),
+            Some(b't') => self.expect_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.expect_literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(JsonValue::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected a string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(JsonValue::Obj(pairs));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            continue; // hex4 already advanced past the escape
+                        }
+                        _ => return Err(self.err("bad escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences arrive
+                    // from a &str, so they are valid by construction).
+                    let start = self.pos;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty by match");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| JsonParseError {
+                offset: start,
+                message: format!("bad number {text:?}"),
+            })
     }
 }
 
@@ -173,5 +465,72 @@ mod tests {
     fn empty_containers() {
         assert_eq!(JsonValue::Arr(vec![]).to_string(), "[]");
         assert_eq!(JsonValue::Obj(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::from("bench \"perf\"\n")),
+            ("targets", JsonValue::from(vec![10u64, 55])),
+            ("min_ns", JsonValue::from(1234.5)),
+            ("exp", JsonValue::from(2.5e-3)),
+            ("neg", JsonValue::from(-7.0)),
+            ("flag", JsonValue::from(true)),
+            ("gap", JsonValue::Null),
+            (
+                "nested",
+                JsonValue::Arr(vec![JsonValue::Obj(vec![]), JsonValue::Arr(vec![])]),
+            ),
+        ]);
+        let parsed = JsonValue::parse(&v.to_file_string()).unwrap();
+        assert_eq!(parsed, v);
+        // Accessors walk the tree.
+        assert_eq!(
+            parsed.get("min_ns").and_then(JsonValue::as_f64),
+            Some(1234.5)
+        );
+        assert_eq!(
+            parsed.get("name").and_then(JsonValue::as_str),
+            Some("bench \"perf\"\n")
+        );
+        assert_eq!(
+            parsed
+                .get("targets")
+                .and_then(JsonValue::as_arr)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(parsed.get("absent"), None);
+        assert_eq!(JsonValue::Null.get("x"), None);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        let parsed = JsonValue::parse(r#""a\u0041\n\t\/\u00e9 \ud83d\ude00""#).unwrap();
+        assert_eq!(parsed, JsonValue::from("aA\n\t/é 😀"));
+        // Raw multi-byte UTF-8 passes through unescaped.
+        assert_eq!(
+            JsonValue::parse("\"héllo\"").unwrap(),
+            JsonValue::from("héllo")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for (text, what) in [
+            ("", "end of input"),
+            ("{\"a\":1,}", "string key"),
+            ("[1,2", "',' or ']'"),
+            ("{\"a\" 1}", "':'"),
+            ("truth", "'true'"),
+            ("\"abc", "unterminated"),
+            ("\"\\q\"", "bad escape"),
+            ("\"\\ud800x\"", "surrogate"),
+            ("1 2", "trailing"),
+            ("@", "expected a JSON value"),
+        ] {
+            let err = JsonValue::parse(text).unwrap_err();
+            assert!(err.to_string().contains(what), "{text:?}: {err}");
+        }
     }
 }

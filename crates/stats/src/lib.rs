@@ -31,7 +31,7 @@ pub mod table;
 
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
-pub use json::JsonValue;
+pub use json::{JsonParseError, JsonValue};
 pub use series::Series;
 pub use stream::StreamingStat;
 pub use summary::{percentile_sorted, Summary};
