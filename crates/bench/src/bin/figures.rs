@@ -7,6 +7,7 @@
 //! cargo run -p wsn-bench --bin figures --release -- --smoke    # CI smoke: tiny grid, seconds
 //! cargo run -p wsn-bench --bin figures --release -- --campaign # Figures 6-8 with CI whiskers
 //! cargo run -p wsn-bench --bin figures --release -- --campaign --masked # irregular-region axis
+//! cargo run -p wsn-bench --bin figures --release -- --avail    # steady-state availability
 //! cargo run -p wsn-bench --bin figures --release -- --schemes sr,ar,vf,smart # scheme axis
 //! ```
 //!
@@ -126,6 +127,7 @@ fn main() -> ExitCode {
     // --masked and --schemes are campaign axes; passing either alone
     // implies --campaign.
     let masked = args.iter().any(|a| a == "--masked");
+    let avail = args.iter().any(|a| a == "--avail");
     let campaign = masked || schemes.is_some() || args.iter().any(|a| a == "--campaign");
     let wanted: Vec<&str> = args
         .iter()
@@ -142,6 +144,7 @@ fn main() -> ExitCode {
         "figpmf",
         "figsc",
         "figmasked",
+        "figavail",
     ];
     for w in &wanted {
         if !known.iter().any(|k| w.starts_with(k)) {
@@ -426,6 +429,69 @@ fn main() -> ExitCode {
                 &figures::fig8(&results),
             );
         }
+    }
+
+    if avail && want("figavail") {
+        // The open-system availability axis: all five schemes under
+        // Poisson faults, Poisson arrivals and recurring jammer weather.
+        let mut cfg = if smoke {
+            CampaignConfig::avail_smoke()
+        } else if quick {
+            CampaignConfig::avail().with_seeds_per_cell(1)
+        } else {
+            CampaignConfig::avail()
+        };
+        if let Some(ids) = schemes.clone() {
+            cfg.schemes = ids;
+        }
+        eprintln!(
+            "running steady-state campaign '{}': {} cells x {} seeds x {} ticks ...",
+            cfg.name,
+            cfg.cell_count(),
+            cfg.seeds_per_cell,
+            cfg.steady.ticks
+        );
+        let result = match run_campaign(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("steady-state campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result.save(&dir) {
+            Ok((json_path, csv_path)) => eprintln!(
+                "campaign artifacts: {} + {}",
+                json_path.display(),
+                csv_path.display()
+            ),
+            Err(e) => eprintln!("failed to write campaign artifacts: {e}"),
+        }
+        let (cols, rows) = cfg.grids[0];
+        let pct = (cfg.ci_level * 100.0).round();
+        let sla = cfg.steady.coverage_sla * 100.0;
+        emit(
+            "figavail_availability",
+            &format!(
+                "Steady state: coverage availability at the {sla}% SLA ({cols}x{rows}, {pct}% CI whiskers)"
+            ),
+            "# of spare nodes in the initial deployment (N)",
+            "availability (fraction of ticks)",
+            &figures::figavail_availability(&result),
+        );
+        emit(
+            "figavail_holelife",
+            &format!("Steady state: hole-lifetime percentiles ({cols}x{rows})"),
+            "# of spare nodes in the initial deployment (N)",
+            "hole lifetime (ticks)",
+            &figures::figavail_holelife(&result),
+        );
+        emit(
+            "figavail_energy",
+            &format!("Steady state: energy burn rate ({cols}x{rows}, {pct}% CI whiskers)"),
+            "# of spare nodes in the initial deployment (N)",
+            "joules per tick",
+            &figures::figavail_energy(&result),
+        );
     }
 
     // Extension figures (not in the paper; see EXPERIMENTS.md).

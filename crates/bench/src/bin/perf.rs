@@ -6,9 +6,10 @@
 //!     [--results DIR] [--threshold PCT]
 //! ```
 //!
-//! * `run` executes the core (word kernel + arena) and campaign
-//!   (end-to-end throughput) benchmarks and writes `BENCH_core.json` and
-//!   `BENCH_campaign.json` into `results/` (or `--out`/`$WSN_RESULTS_DIR`).
+//! * `run` executes the core (word kernel + arena), campaign
+//!   (end-to-end throughput) and steady-state availability benchmarks
+//!   and writes `BENCH_core.json`, `BENCH_campaign.json` and
+//!   `BENCH_avail.json` into `results/` (or `--out`/`$WSN_RESULTS_DIR`).
 //!   `--smoke` is the CI profile: seconds, 64×64 only. The full run also
 //!   asserts the kernel acceptance ratio (word fold ≥ 5× the `BTreeSet`
 //!   fold on the 256×256 mass-failure journal).
@@ -23,7 +24,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use wsn_bench::perf::{bench_campaign, bench_core, compare_dirs, DEFAULT_THRESHOLD_PERCENT};
+use wsn_bench::perf::{
+    bench_avail, bench_campaign, bench_core, compare_dirs, DEFAULT_THRESHOLD_PERCENT,
+};
 use wsn_stats::JsonValue;
 
 fn out_dir() -> PathBuf {
@@ -88,22 +91,26 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
         ));
     }
 
-    let campaign = bench_campaign(smoke);
-    let campaign_path = dir.join("BENCH_campaign.json");
-    std::fs::write(&campaign_path, campaign.to_file_string()).map_err(|e| e.to_string())?;
-    for entry in campaign
-        .get("benchmarks")
-        .and_then(JsonValue::as_arr)
-        .unwrap_or_default()
-    {
-        let name = entry.get("name").and_then(JsonValue::as_str).unwrap_or("?");
-        let tps = entry
-            .get("trials_per_sec")
-            .and_then(JsonValue::as_f64)
-            .unwrap_or(0.0);
-        println!("{name}: {tps:.2} trials/sec");
-    }
-    println!("-> {}", campaign_path.display());
+    let write_throughput = |file: &str, doc: &JsonValue| -> Result<(), String> {
+        let path = dir.join(file);
+        std::fs::write(&path, doc.to_file_string()).map_err(|e| e.to_string())?;
+        for entry in doc
+            .get("benchmarks")
+            .and_then(JsonValue::as_arr)
+            .unwrap_or_default()
+        {
+            let name = entry.get("name").and_then(JsonValue::as_str).unwrap_or("?");
+            let tps = entry
+                .get("trials_per_sec")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            println!("{name}: {tps:.2} trials/sec");
+        }
+        println!("-> {}", path.display());
+        Ok(())
+    };
+    write_throughput("BENCH_campaign.json", &bench_campaign(smoke))?;
+    write_throughput("BENCH_avail.json", &bench_avail(smoke))?;
     Ok(())
 }
 
@@ -132,6 +139,11 @@ fn cmd_compare(mut args: Vec<String>) -> Result<bool, String> {
         }
         for name in &report.missing {
             println!("  skipped {name}: not in this run (baseline-only entry)");
+        }
+        for name in &report.fresh_only {
+            println!(
+                "  warning {name}: no baseline entry — refresh the checked-in ledger to gate it"
+            );
         }
         ok &= report.is_ok();
     }

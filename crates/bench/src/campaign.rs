@@ -100,6 +100,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
+use crate::steady::{run_steady_trial, SteadyOutcome, SteadyParams, SteadySummary};
 use wsn_baselines::builtins;
 use wsn_coverage::scheme::{DriveMode, NetworkSpec, ReplacementScheme, SchemeId, SchemeRegistry};
 use wsn_grid::{deploy, GridNetwork, GridSystem, RegionMask, RegionShape};
@@ -115,6 +116,12 @@ pub enum CampaignMode {
     /// Theorem 2's exact setting: one node per non-hole cell, exactly
     /// `N` spares, one hole, one replacement (Figures 3/5; SR only).
     SingleReplacement,
+    /// The open-system availability workload ([`crate::steady`]): the
+    /// §5 deployment evolves under Poisson faults, Poisson arrivals and
+    /// recurring jammer weather for [`SteadyParams::ticks`] ticks, the
+    /// scheme repairing each tick; trials report SLA availability, hole
+    /// lifetimes, MTTR and energy burn (`figavail_*` figures).
+    SteadyState,
 }
 
 impl CampaignMode {
@@ -122,6 +129,7 @@ impl CampaignMode {
         match self {
             CampaignMode::FullRecovery => "full_recovery",
             CampaignMode::SingleReplacement => "single_replacement",
+            CampaignMode::SteadyState => "steady_state",
         }
     }
 }
@@ -156,6 +164,10 @@ pub struct CampaignConfig {
     pub master_seed: u64,
     /// What each trial measures.
     pub mode: CampaignMode,
+    /// Open-system workload knobs, read only under
+    /// [`CampaignMode::SteadyState`] (and only then exported into the
+    /// artifact, so closed-mode artifacts are byte-stable).
+    pub steady: SteadyParams,
     /// Confidence level for exported intervals (0.90/0.95/0.99).
     pub ci_level: f64,
     /// Worker-thread override (`None` = available parallelism). Not part
@@ -185,6 +197,7 @@ impl CampaignConfig {
             seeds_per_cell: 30,
             master_seed: 20_080_617, // ICDCS 2008 began June 17.
             mode: CampaignMode::FullRecovery,
+            steady: SteadyParams::default(),
             ci_level: 0.95,
             workers: None,
         }
@@ -238,6 +251,48 @@ impl CampaignConfig {
             grids: vec![(8, 8)],
             targets: vec![10, 100],
             seeds_per_cell: 3,
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// The steady-state availability matrix behind `figures --avail`:
+    /// all five schemes on the 64×64 grid under Poisson faults and
+    /// arrivals plus a recurring jammer crossing, two spare budgets.
+    pub fn avail() -> CampaignConfig {
+        CampaignConfig {
+            name: "avail64".into(),
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc", "vf", "smart"]),
+            grids: vec![(64, 64)],
+            targets: vec![128, 512],
+            seeds_per_cell: 2,
+            mode: CampaignMode::SteadyState,
+            steady: SteadyParams {
+                ticks: 96,
+                fault_rate: 4.0,
+                arrival_rate: 4.0,
+                jammer_period: 48,
+                jammer_radius_cells: 2.5,
+                ..SteadyParams::default()
+            },
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// The seconds-long steady-state smoke matrix: all five schemes on
+    /// an 8×8 grid, short horizon, gentle rates.
+    pub fn avail_smoke() -> CampaignConfig {
+        CampaignConfig {
+            name: "avail8".into(),
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc", "vf", "smart"]),
+            grids: vec![(8, 8)],
+            targets: vec![10, 40],
+            seeds_per_cell: 2,
+            mode: CampaignMode::SteadyState,
+            steady: SteadyParams {
+                ticks: 48,
+                jammer_period: 16,
+                ..SteadyParams::default()
+            },
             ..CampaignConfig::paper()
         }
     }
@@ -310,6 +365,11 @@ impl CampaignConfig {
         {
             return Err(CampaignError::SingleReplacementNeedsSr);
         }
+        if self.mode == CampaignMode::SteadyState {
+            self.steady
+                .validate()
+                .map_err(CampaignError::BadSteadyParams)?;
+        }
         let supported = [0.90, 0.95, 0.99];
         if !supported.iter().any(|l| (l - self.ci_level).abs() < 1e-9) {
             return Err(CampaignError::UnsupportedCiLevel(self.ci_level));
@@ -349,7 +409,7 @@ impl CampaignConfig {
     /// `workers`: the artifact must be bit-identical however the
     /// campaign was scheduled.
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj([
+        let mut fields = vec![
             ("name", JsonValue::from(self.name.as_str())),
             ("mode", JsonValue::from(self.mode.json_name())),
             (
@@ -392,7 +452,14 @@ impl CampaignConfig {
             ("seeds_per_cell", JsonValue::from(self.seeds_per_cell)),
             ("master_seed", JsonValue::from(self.master_seed)),
             ("ci_level", JsonValue::from(self.ci_level)),
-        ])
+        ];
+        // Only steady-state artifacts carry the workload block: closed
+        // campaign artifacts (including the checked-in golden files)
+        // stay byte-identical.
+        if self.mode == CampaignMode::SteadyState {
+            fields.push(("steady", self.steady.to_json()));
+        }
+        JsonValue::obj(fields)
     }
 }
 
@@ -421,6 +488,8 @@ pub enum CampaignError {
     /// [`CampaignMode::SingleReplacement`] measures Theorem 2's SR
     /// setting; other schemes have no closed form to validate.
     SingleReplacementNeedsSr,
+    /// The [`SteadyParams`] of a steady-state campaign are out of range.
+    BadSteadyParams(String),
     /// `ci_level` must be 0.90, 0.95 or 0.99.
     UnsupportedCiLevel(f64),
     /// `comm_range` must be finite and positive.
@@ -457,6 +526,9 @@ impl fmt::Display for CampaignError {
                     "single-replacement campaigns support only the 'sr' scheme"
                 )
             }
+            CampaignError::BadSteadyParams(reason) => {
+                write!(f, "invalid steady-state parameters: {reason}")
+            }
             CampaignError::UnsupportedCiLevel(l) => {
                 write!(f, "unsupported ci_level {l}; use 0.90/0.95/0.99")
             }
@@ -473,12 +545,14 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {}
 
 /// What one trial observed (the unit that folds into a cell aggregate).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct TrialOutcome {
     holes: usize,
     spares: usize,
     covered: bool,
     metrics: Metrics,
+    /// Present only under [`CampaignMode::SteadyState`].
+    steady: Option<SteadyOutcome>,
 }
 
 /// Streaming aggregate of one matrix cell.
@@ -508,6 +582,9 @@ pub struct CellStats {
     /// One accumulator per [`Metrics::FIELD_NAMES`] entry; `moves` and
     /// `distance` carry online histograms (32 bins, tails clamped).
     metrics: Vec<StreamingStat>,
+    /// Steady-state SLA aggregate, present only under
+    /// [`CampaignMode::SteadyState`].
+    pub steady: Option<SteadySummary>,
 }
 
 impl CellStats {
@@ -517,12 +594,12 @@ impl CellStats {
         region: RegionShape,
         (cols, rows): (u16, u16),
         n_target: usize,
-        comm_range: f64,
+        cfg: &CampaignConfig,
     ) -> CellStats {
         // Histogram ranges scale with the population the trials can
         // actually touch: the enabled cells of the region.
         let cells = region.build_mask(cols, rows).enabled_count();
-        let side = comm_range / 5f64.sqrt();
+        let side = cfg.comm_range / 5f64.sqrt();
         let metrics = Metrics::FIELD_NAMES
             .iter()
             .map(|&name| match name {
@@ -548,6 +625,8 @@ impl CellStats {
             holes: StreamingStat::new(),
             spares: StreamingStat::new(),
             metrics,
+            steady: (cfg.mode == CampaignMode::SteadyState)
+                .then(|| SteadySummary::new(&cfg.steady)),
         }
     }
 
@@ -558,6 +637,9 @@ impl CellStats {
         self.spares.push(t.spares as f64);
         for (stat, value) in self.metrics.iter_mut().zip(t.metrics.field_values()) {
             stat.push(value);
+        }
+        if let (Some(summary), Some(outcome)) = (self.steady.as_mut(), t.steady.as_ref()) {
+            summary.push(outcome);
         }
     }
 
@@ -575,7 +657,7 @@ impl CellStats {
             .zip(&self.metrics)
             .map(|(&name, stat)| (name.to_owned(), stat.to_json(ci_level)))
             .collect();
-        JsonValue::obj([
+        let mut fields = vec![
             ("scheme", JsonValue::from(self.scheme.as_str())),
             ("region", JsonValue::from(self.region.label())),
             ("cols", JsonValue::from(usize::from(self.cols))),
@@ -586,7 +668,11 @@ impl CellStats {
             ("holes", self.holes.to_json(ci_level)),
             ("spares", self.spares.to_json(ci_level)),
             ("metrics", JsonValue::Obj(metric_fields)),
-        ])
+        ];
+        if let Some(summary) = &self.steady {
+            fields.push(("steady", summary.to_json(ci_level)));
+        }
+        JsonValue::obj(fields)
     }
 }
 
@@ -682,6 +768,21 @@ impl CampaignResult {
             header.push(format!("{m}_ci_low"));
             header.push(format!("{m}_ci_high"));
         }
+        let steady_mode = self.config.mode == CampaignMode::SteadyState;
+        if steady_mode {
+            for col in [
+                "availability_mean",
+                "availability_ci_low",
+                "availability_ci_high",
+                "hole_lifetime_p50",
+                "hole_lifetime_p99",
+                "hole_lifetime_p999",
+                "mttr_mean",
+                "energy_rate_mean",
+            ] {
+                header.push(col.to_owned());
+            }
+        }
         let mut rows: Vec<Vec<String>> = vec![header];
         for c in &self.cells {
             let mut row = vec![
@@ -699,6 +800,22 @@ impl CampaignResult {
                 row.push(ci.mean.to_string());
                 row.push(ci.low().to_string());
                 row.push(ci.high().to_string());
+            }
+            if steady_mode {
+                let s = c.steady.as_ref().expect("steady cells carry a summary");
+                let avail = s.availability.ci(level);
+                row.push(avail.mean.to_string());
+                row.push(avail.low().to_string());
+                row.push(avail.high().to_string());
+                for p in [50.0, 99.0, 99.9] {
+                    row.push(
+                        s.lifetime_percentile(p)
+                            .map(|v| v.to_string())
+                            .unwrap_or_default(),
+                    );
+                }
+                row.push(s.mttr.summary().mean().to_string());
+                row.push(s.energy_rate.summary().mean().to_string());
             }
             rows.push(row);
         }
@@ -773,7 +890,9 @@ pub(crate) fn trial_positions(
 ) -> Vec<wsn_geometry::Point2> {
     let mut rng = SimRng::seed_from_u64(seed);
     match mode {
-        CampaignMode::FullRecovery => {
+        // Steady state opens from the same §5 deployment the closed
+        // full-recovery trials use; the workload then evolves it.
+        CampaignMode::FullRecovery | CampaignMode::SteadyState => {
             // §5: "(N + m x n) enabled nodes", uniform — with m·n read
             // as the enabled-cell count of the region.
             deploy::uniform_masked(sys, mask, n_target + mask.enabled_count(), &mut rng)
@@ -889,6 +1008,18 @@ fn run_matrix_trial(
         seed,
     );
     let stats = net.stats();
+    if cfg.mode == CampaignMode::SteadyState {
+        // Open-system workload: the scheme repairs every tick while
+        // faults, arrivals and weather evolve the deployment.
+        let outcome = run_steady_trial(&cfg.steady, scheme, net, seed);
+        return TrialOutcome {
+            holes: stats.vacant,
+            spares: stats.spares,
+            covered: net.vacant_count() == 0,
+            metrics: outcome.metrics,
+            steady: Some(outcome),
+        };
+    }
     // One uniform dispatch for every scheme in the registry — this is
     // the line the closed `match scheme` used to be.
     let report = scheme
@@ -899,6 +1030,7 @@ fn run_matrix_trial(
         spares: stats.spares,
         covered: report.fully_covered,
         metrics: report.metrics,
+        steady: None,
     }
 }
 
@@ -988,7 +1120,7 @@ impl Folder {
                     .expect("validated ids")
                     .label()
                     .to_owned();
-                CellStats::new(scheme.clone(), label, region, grid, n, cfg.comm_range)
+                CellStats::new(scheme.clone(), label, region, grid, n, cfg)
             })
             .collect();
         let n = cells.len();
@@ -1320,6 +1452,92 @@ mod tests {
         let parallel = run_campaign(&tiny().with_workers(7)).unwrap();
         assert_eq!(base.to_json().to_string(), parallel.to_json().to_string());
         assert_eq!(base.to_csv(), parallel.to_csv());
+    }
+
+    fn steady_tiny() -> CampaignConfig {
+        CampaignConfig {
+            name: "steady-tiny".into(),
+            steady: crate::steady::SteadyParams {
+                ticks: 12,
+                fault_rate: 2.0,
+                ..CampaignConfig::avail_smoke().steady
+            },
+            targets: vec![10, 40],
+            ..CampaignConfig::avail_smoke()
+        }
+    }
+
+    #[test]
+    fn steady_campaign_runs_all_five_schemes() {
+        let result = run_campaign(&steady_tiny()).unwrap();
+        assert_eq!(result.cells.len(), 10);
+        for cell in &result.cells {
+            assert_eq!(cell.trials, 2, "{}", cell.scheme);
+            let s = cell.steady.as_ref().expect("steady mode fills summaries");
+            assert_eq!(s.availability.summary().count(), 2);
+            assert!(
+                s.failures > 0,
+                "{}: poisson faults must strike",
+                cell.scheme
+            );
+            // `rounds` is accumulated across ticks, not maxed per run.
+            assert!(cell.metric("rounds").unwrap().summary().mean() >= 12.0);
+        }
+        // Paired processes: every scheme saw the same initial deployment
+        // and the same arrival counts (fault kill counts may diverge
+        // once repairs shift occupancy).
+        for &n in &[10usize, 40] {
+            let sr = result.cell("sr", 8, 8, n).unwrap();
+            for other in ["ar", "sr-sc", "vf", "smart"] {
+                let cell = result.cell(other, 8, 8, n).unwrap();
+                assert_eq!(sr.holes, cell.holes, "{other} N={n}");
+                assert_eq!(
+                    sr.steady.as_ref().unwrap().arrivals,
+                    cell.steady.as_ref().unwrap().arrivals,
+                    "{other} N={n}"
+                );
+            }
+        }
+        // The artifact carries the workload config and the per-cell SLA
+        // block; closed-mode artifacts carry neither.
+        let json = result.to_json().to_string();
+        assert!(json.contains("\"mode\":\"steady_state\""));
+        assert!(json.contains("\"steady\":{\"ticks\":12"));
+        assert!(json.contains("\"availability\""));
+        assert!(json.contains("\"hole_lifetime_p999\""));
+        let csv = result.to_csv();
+        assert!(csv.lines().next().unwrap().contains("availability_mean"));
+        let closed = run_campaign(&tiny()).unwrap();
+        let closed_json = closed.to_json().to_string();
+        assert!(!closed_json.contains("\"steady\""));
+        assert!(!closed.to_csv().contains("availability_mean"));
+    }
+
+    #[test]
+    fn steady_artifact_is_worker_count_invariant() {
+        let base = run_campaign(&steady_tiny().with_workers(1)).unwrap();
+        for workers in [2, 8] {
+            let parallel = run_campaign(&steady_tiny().with_workers(workers)).unwrap();
+            assert_eq!(
+                base.to_json().to_string(),
+                parallel.to_json().to_string(),
+                "workers={workers}"
+            );
+            assert_eq!(base.to_csv(), parallel.to_csv(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn steady_validation_checks_workload_params() {
+        let mut cfg = steady_tiny();
+        cfg.steady.ticks = 0;
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(matches!(err, CampaignError::BadSteadyParams(_)));
+        assert!(err.to_string().contains("ticks"), "{err}");
+        // Closed modes never read (or reject) the steady knobs.
+        let mut cfg = tiny();
+        cfg.steady.ticks = 0;
+        assert!(run_campaign(&cfg).is_ok());
     }
 
     #[test]

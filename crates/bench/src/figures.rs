@@ -7,7 +7,9 @@ use wsn_coverage::analysis;
 use wsn_stats::{csv, plot::AsciiPlot, Series};
 
 use crate::campaign::CampaignResult;
+use crate::steady::SteadySummary;
 use crate::sweep::TrialResult;
+use wsn_stats::StreamingStat;
 
 /// `L` for the paper's 4×5 grid (Figure 3(a)).
 pub const L_4X5: usize = 19;
@@ -244,6 +246,99 @@ pub fn fig8_campaign(res: &CampaignResult) -> Vec<Series> {
         )
     }));
     series
+}
+
+/// One mean curve (plus CI whiskers) per scheme over the spare targets,
+/// reading a per-trial [`StreamingStat`] out of each cell's
+/// [`SteadySummary`] — the steady-state analog of [`campaign_series`].
+///
+/// # Panics
+///
+/// Panics when the campaign was not run under
+/// [`CampaignMode::SteadyState`](crate::campaign::CampaignMode) (no
+/// cell carries a summary).
+fn steady_stat_series(
+    res: &CampaignResult,
+    pick: impl Fn(&SteadySummary) -> &StreamingStat,
+) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    let level_pct = (res.config.ci_level * 100.0).round() as u32;
+    let mut out = Vec::new();
+    for scheme in &res.config.schemes {
+        let label = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == *scheme)
+            .expect("campaign contains every configured scheme")
+            .label
+            .clone();
+        let mut mean = Series::new(label.clone());
+        let mut lo = Series::new(format!("{label} lo{level_pct}"));
+        let mut hi = Series::new(format!("{label} hi{level_pct}"));
+        for &n in &res.config.targets {
+            let cell = res
+                .cell(scheme.as_str(), cols, rows, n)
+                .expect("campaign contains the requested grid");
+            let summary = cell
+                .steady
+                .as_ref()
+                .expect("steady figures need a steady-state campaign");
+            let ci = pick(summary).ci(res.config.ci_level);
+            mean.push(n as f64, ci.mean);
+            lo.push(n as f64, ci.low());
+            hi.push(n as f64, ci.high());
+        }
+        out.push(mean);
+        out.push(lo);
+        out.push(hi);
+    }
+    out
+}
+
+/// Steady-state coverage availability per scheme vs spare target `N`,
+/// with CI whiskers: the fraction of ticks whose post-repair coverage
+/// met the SLA of the campaign's [`crate::steady::SteadyParams`].
+pub fn figavail_availability(res: &CampaignResult) -> Vec<Series> {
+    steady_stat_series(res, |s| &s.availability)
+}
+
+/// Hole-lifetime tail percentiles per scheme vs spare target `N`: p50
+/// and p99 from the merged per-cell histograms (`"<label> p50"` /
+/// `"<label> p99"`; cells with no repaired hole plot at 0).
+pub fn figavail_holelife(res: &CampaignResult) -> Vec<Series> {
+    let (cols, rows) = res.config.grids[0];
+    let mut out = Vec::new();
+    for scheme in &res.config.schemes {
+        let label = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == *scheme)
+            .expect("campaign contains every configured scheme")
+            .label
+            .clone();
+        let mut p50 = Series::new(format!("{label} p50"));
+        let mut p99 = Series::new(format!("{label} p99"));
+        for &n in &res.config.targets {
+            let cell = res
+                .cell(scheme.as_str(), cols, rows, n)
+                .expect("campaign contains the requested grid");
+            let summary = cell
+                .steady
+                .as_ref()
+                .expect("steady figures need a steady-state campaign");
+            p50.push(n as f64, summary.lifetime_percentile(50.0).unwrap_or(0.0));
+            p99.push(n as f64, summary.lifetime_percentile(99.0).unwrap_or(0.0));
+        }
+        out.push(p50);
+        out.push(p99);
+    }
+    out
+}
+
+/// Energy burn rate (joules per tick, movement + messages + idle) per
+/// scheme vs spare target `N`, with CI whiskers.
+pub fn figavail_energy(res: &CampaignResult) -> Vec<Series> {
+    steady_stat_series(res, |s| &s.energy_rate)
 }
 
 /// Irregular-region comparison from a multi-region campaign: one mean
@@ -551,6 +646,49 @@ mod tests {
         for s in success.iter().filter(|s| s.label().starts_with("SR@")) {
             for p in s.points() {
                 assert_eq!(p.1, 100.0, "{}", s.label());
+            }
+        }
+    }
+
+    #[test]
+    fn avail_figures_cover_every_scheme() {
+        use crate::campaign::{run_campaign, CampaignConfig};
+        use crate::steady::SteadyParams;
+        let cfg = CampaignConfig {
+            steady: SteadyParams {
+                ticks: 12,
+                fault_rate: 2.0,
+                ..CampaignConfig::avail_smoke().steady
+            },
+            ..CampaignConfig::avail_smoke()
+        };
+        let res = run_campaign(&cfg).unwrap();
+        // Availability/energy: mean + lo + hi per scheme.
+        let avail = figavail_availability(&res);
+        assert_eq!(avail.len(), cfg.schemes.len() * 3);
+        assert_eq!(avail[0].label(), "AR");
+        assert_eq!(avail[1].label(), "AR lo95");
+        for s in 0..cfg.schemes.len() {
+            for ((m, lo), hi) in avail[3 * s]
+                .points()
+                .iter()
+                .zip(avail[3 * s + 1].points())
+                .zip(avail[3 * s + 2].points())
+            {
+                assert!(lo.1 <= m.1 && m.1 <= hi.1);
+                assert!((0.0..=1.0).contains(&m.1));
+            }
+        }
+        let energy = figavail_energy(&res);
+        assert_eq!(energy.len(), cfg.schemes.len() * 3);
+        assert!(energy[0].points().iter().all(|p| p.1 > 0.0));
+        // Hole lifetimes: p50 + p99 per scheme, p50 <= p99.
+        let life = figavail_holelife(&res);
+        assert_eq!(life.len(), cfg.schemes.len() * 2);
+        for s in 0..cfg.schemes.len() {
+            assert!(life[2 * s].label().ends_with(" p50"));
+            for (p50, p99) in life[2 * s].points().iter().zip(life[2 * s + 1].points()) {
+                assert!(p50.1 <= p99.1);
             }
         }
     }

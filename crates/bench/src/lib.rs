@@ -38,6 +38,7 @@ pub mod figures;
 pub mod perf;
 pub mod replay;
 pub mod scenarios;
+pub mod steady;
 pub mod sweep;
 
 pub use campaign::{
@@ -48,4 +49,5 @@ pub use replay::{
     record, scheme_with_plan, shrink_between, Recording, ReplayArtifact, ReplayError, ReplaySpec,
 };
 pub use scenarios::{run_greedy_repair, OccupancyMode, RepairOutcome, Scenario};
+pub use steady::{run_steady_trial, SpareRotation, SteadyOutcome, SteadyParams, SteadySummary};
 pub use sweep::{run_sweep, SweepConfig, TrialResult};

@@ -46,12 +46,14 @@ use crate::campaign::{
 pub const DEFAULT_THRESHOLD_PERCENT: f64 = 25.0;
 
 /// The ledger files `perf run` writes and `perf compare` checks. The
-/// replay bench (`replay bench`) contributes the third ledger file,
-/// `BENCH_replay.json`, in the same shape.
-pub const LEDGER_FILES: [&str; 3] = [
+/// replay bench (`replay bench`) contributes `BENCH_replay.json` in the
+/// same shape; `BENCH_avail.json` carries the steady-state availability
+/// throughput.
+pub const LEDGER_FILES: [&str; 4] = [
     "BENCH_core.json",
     "BENCH_campaign.json",
     "BENCH_replay.json",
+    "BENCH_avail.json",
 ];
 
 /// Times one closure `samples` times and returns (min, mean, max) in
@@ -300,6 +302,61 @@ pub fn bench_campaign(smoke: bool) -> JsonValue {
     ])
 }
 
+/// Runs the steady-state availability throughput benchmarks
+/// (`BENCH_avail.json`): the open-system workload (Poisson faults +
+/// arrivals + jammer, per-tick repair) driven through the campaign
+/// engine. The 8×8 SR matrix always runs; the full ledger adds the
+/// 64×64 matrix of the `avail` preset's workload.
+pub fn bench_avail(smoke: bool) -> JsonValue {
+    use crate::steady::SteadyParams;
+    let base = CampaignConfig {
+        name: "perf-avail".into(),
+        schemes: wsn_coverage::scheme::SchemeId::list(&["sr"]),
+        regions: vec![RegionShape::Full],
+        grids: vec![(8, 8)],
+        targets: vec![40],
+        seeds_per_cell: 2,
+        workers: Some(2),
+        mode: CampaignMode::SteadyState,
+        steady: SteadyParams {
+            ticks: 32,
+            jammer_period: 16,
+            ..SteadyParams::default()
+        },
+        ..CampaignConfig::paper()
+    };
+    let mut entries = vec![campaign_entry(
+        "steady_sr_8x8_32ticks",
+        if smoke { 3 } else { 5 },
+        &base,
+    )];
+    if !smoke {
+        let big = CampaignConfig {
+            grids: vec![(64, 64)],
+            targets: vec![256],
+            seeds_per_cell: 1,
+            steady: SteadyParams {
+                ticks: 32,
+                fault_rate: 4.0,
+                arrival_rate: 4.0,
+                jammer_period: 16,
+                jammer_radius_cells: 2.5,
+                ..SteadyParams::default()
+            },
+            ..base.clone()
+        };
+        entries.push(campaign_entry("steady_sr_64x64_32ticks", 2, &big));
+    }
+    JsonValue::obj([
+        ("schema", JsonValue::from("wsn-bench-avail/1")),
+        (
+            "mode",
+            JsonValue::from(if smoke { "smoke" } else { "full" }),
+        ),
+        ("benchmarks", JsonValue::Arr(entries)),
+    ])
+}
+
 /// One benchmark's baseline-vs-fresh verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
@@ -339,6 +396,10 @@ pub struct CompareReport {
     /// Baseline benchmarks the fresh run did not produce (smoke runs
     /// legitimately skip the heavy grids — reported, never failing).
     pub missing: Vec<String>,
+    /// Fresh benchmarks with no baseline counterpart. A new benchmark
+    /// is ungated until its baseline is checked in, so these are
+    /// surfaced as warnings rather than silently dropped.
+    pub fresh_only: Vec<String>,
 }
 
 impl CompareReport {
@@ -372,17 +433,19 @@ fn benchmarks_of(doc: &JsonValue) -> Vec<(&str, f64)> {
 /// Compares one fresh ledger document against its baseline, flagging
 /// every benchmark whose `min_ns` regressed by more than
 /// `threshold_percent`. Matching is by benchmark name; entries only in
-/// the baseline land in [`CompareReport::missing`].
+/// the baseline land in [`CompareReport::missing`], entries only in the
+/// fresh run in [`CompareReport::fresh_only`].
 pub fn compare_docs(
     file: &str,
     baseline: &JsonValue,
     fresh: &JsonValue,
     threshold_percent: f64,
 ) -> CompareReport {
+    let base_entries = benchmarks_of(baseline);
     let fresh_entries = benchmarks_of(fresh);
     let mut comparisons = Vec::new();
     let mut missing = Vec::new();
-    for (name, base_min) in benchmarks_of(baseline) {
+    for &(name, base_min) in &base_entries {
         match fresh_entries.iter().find(|(n, _)| *n == name) {
             Some(&(_, fresh_min)) => {
                 let delta_percent = if base_min > 0.0 {
@@ -401,10 +464,16 @@ pub fn compare_docs(
             None => missing.push(name.to_owned()),
         }
     }
+    let fresh_only = fresh_entries
+        .iter()
+        .filter(|(name, _)| !base_entries.iter().any(|(b, _)| b == name))
+        .map(|&(name, _)| name.to_owned())
+        .collect();
     CompareReport {
         file: file.to_owned(),
         comparisons,
         missing,
+        fresh_only,
     }
 }
 
@@ -471,19 +540,38 @@ mod tests {
     #[test]
     fn compare_flags_only_regressions_over_threshold() {
         let base = ledger(&[("a", 1000.0), ("b", 1000.0), ("c", 1000.0), ("gone", 5.0)]);
-        let fresh = ledger(&[("a", 1200.0), ("b", 1300.0), ("c", 400.0)]);
+        let fresh = ledger(&[("a", 1200.0), ("b", 1300.0), ("c", 400.0), ("new", 7.0)]);
         let report = compare_docs("BENCH_core.json", &base, &fresh, 25.0);
         assert_eq!(report.comparisons.len(), 3);
         assert_eq!(report.regressions(), vec!["b"]);
         assert!(!report.is_ok());
         // Smoke-skipped entries are reported, not failed.
         assert_eq!(report.missing, vec!["gone".to_owned()]);
+        // A benchmark without a baseline is surfaced, not silently
+        // dropped — and never gates.
+        assert_eq!(report.fresh_only, vec!["new".to_owned()]);
         let b = &report.comparisons[1];
         assert!((b.delta_percent - 30.0).abs() < 1e-9);
         assert!(b.to_string().starts_with("REGRESSED b:"), "{b}");
         // Exactly at threshold passes; the gate is strict-greater.
         let fresh = ledger(&[("a", 1250.0), ("b", 1000.0), ("c", 1000.0)]);
         assert!(compare_docs("x", &base, &fresh, 25.0).is_ok());
+    }
+
+    #[test]
+    fn compare_reports_every_fresh_only_entry() {
+        let base = ledger(&[("a", 1000.0)]);
+        let fresh = ledger(&[("a", 1000.0), ("x", 1.0), ("y", 2.0)]);
+        let report = compare_docs("BENCH_avail.json", &base, &fresh, 25.0);
+        assert!(report.is_ok());
+        assert_eq!(
+            report.fresh_only,
+            vec!["x".to_owned(), "y".to_owned()],
+            "fresh-only entries must be warned about, in ledger order"
+        );
+        // Identical documents report nothing on either side.
+        let clean = compare_docs("BENCH_avail.json", &base, &base, 25.0);
+        assert!(clean.missing.is_empty() && clean.fresh_only.is_empty());
     }
 
     #[test]
@@ -512,6 +600,22 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert!(reports[0].is_ok());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn smoke_avail_ledger_round_trips() {
+        let doc = bench_avail(true);
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some("wsn-bench-avail/1")
+        );
+        let names: Vec<_> = benchmarks_of(&doc)
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
+        assert_eq!(names, vec!["steady_sr_8x8_32ticks".to_owned()]);
+        let parsed = JsonValue::parse(&doc.to_file_string()).unwrap();
+        assert_eq!(parsed, doc);
     }
 
     #[test]

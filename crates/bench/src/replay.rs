@@ -570,6 +570,7 @@ impl ReplayArtifact {
                     Deployment::Matrix(CampaignMode::SingleReplacement) => {
                         "single-replacement".into()
                     }
+                    Deployment::Matrix(CampaignMode::SteadyState) => "steady-state".into(),
                     Deployment::Scenario { holes, per_cell } => {
                         format!("scenario:{holes}:{per_cell}")
                     }
@@ -616,6 +617,7 @@ impl ReplayArtifact {
         let deployment = match get("deployment")? {
             "full-recovery" => Deployment::Matrix(CampaignMode::FullRecovery),
             "single-replacement" => Deployment::Matrix(CampaignMode::SingleReplacement),
+            "steady-state" => Deployment::Matrix(CampaignMode::SteadyState),
             s if s.starts_with("scenario:") => {
                 let rest: Vec<&str> = s["scenario:".len()..].split(':').collect();
                 let [holes, per_cell] = rest[..] else {

@@ -1,0 +1,60 @@
+//! Steady-state availability campaign at production scale: all five
+//! registered schemes drive the open-system workload on the 64×64 grid
+//! under Poisson faults, Poisson arrivals and a moving jammer — the
+//! acceptance scenario of the availability workloads.
+
+use wsn_bench::campaign::{run_campaign, CampaignConfig, CampaignMode};
+use wsn_bench::steady::SteadyParams;
+
+#[test]
+#[ignore = "~4 min in release, far longer in debug; CI's release suite runs it via --include-ignored"]
+fn five_schemes_complete_steady_state_on_64x64() {
+    let cfg = CampaignConfig {
+        name: "steady64-test".into(),
+        targets: vec![256],
+        seeds_per_cell: 1,
+        steady: SteadyParams {
+            ticks: 16,
+            fault_rate: 4.0,
+            arrival_rate: 4.0,
+            jammer_period: 8,
+            jammer_radius_cells: 2.5,
+            ..CampaignConfig::avail().steady
+        },
+        ..CampaignConfig::avail()
+    };
+    assert_eq!(cfg.mode, CampaignMode::SteadyState);
+    assert_eq!(cfg.grids, vec![(64, 64)]);
+    assert_eq!(cfg.schemes.len(), 5);
+
+    let result = run_campaign(&cfg).expect("the avail matrix validates");
+    assert_eq!(result.cells.len(), 5);
+    for cell in &result.cells {
+        assert_eq!(cell.trials, 1, "{}", cell.scheme);
+        let s = cell.steady.as_ref().expect("steady cells carry summaries");
+        // Poisson faults and two jammer crossings must both strike a
+        // 4096-cell deployment.
+        assert!(s.failures > 16, "{}: faults {}", cell.scheme, s.failures);
+        assert!(s.arrivals > 0, "{}", cell.scheme);
+        let avail = s.availability.summary().mean();
+        assert!((0.0..=1.0).contains(&avail), "{}: {avail}", cell.scheme);
+        // Every tick billed energy (4096+ nodes idling is never free).
+        assert!(s.energy_rate.summary().mean() > 0.0, "{}", cell.scheme);
+    }
+    // Paired workloads: every scheme opened from the same deployment and
+    // saw the same arrival sequence.
+    let sr = result.cell("sr", 64, 64, 256).unwrap();
+    for other in ["ar", "sr-sc", "vf", "smart"] {
+        let cell = result.cell(other, 64, 64, 256).unwrap();
+        assert_eq!(sr.holes, cell.holes, "{other}");
+        assert_eq!(
+            sr.steady.as_ref().unwrap().arrivals,
+            cell.steady.as_ref().unwrap().arrivals,
+            "{other}"
+        );
+    }
+    // The artifact round-trips with the steady block present.
+    let json = result.to_json().to_string();
+    assert!(json.contains("\"mode\":\"steady_state\""));
+    assert!(json.contains("\"steady\""));
+}

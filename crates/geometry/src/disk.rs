@@ -5,12 +5,19 @@ use crate::{GeometryError, Point2, Rect, Result};
 
 /// A closed disk: the sensing or communication footprint of a node.
 ///
-/// Used for two purposes in the reproduction:
+/// Used for three purposes in the reproduction:
 ///
 /// * communication reachability (`R = √5·r` between heads of neighboring
-///   grid cells, per the GAF model the paper builds on), and
+///   grid cells, per the GAF model the paper builds on),
 /// * geometric coverage checks (what fraction of the surveillance area is
-///   inside at least one sensing disk).
+///   inside at least one sensing disk), and
+/// * fault footprints (`FaultEvent::KillRegion` and the moving `Jammer`
+///   disable every node the disk [`Disk::contains`]).
+///
+/// **Boundary semantics are closed everywhere**: a point exactly on the
+/// radius is inside, tangent disks intersect, and a rectangle touching
+/// the circle is intersected. See [`Disk::contains`] for why this is
+/// load-bearing for fault injection.
 ///
 /// ```
 /// use wsn_geometry::{Disk, Point2};
@@ -66,7 +73,17 @@ impl Disk {
         std::f64::consts::PI * self.radius * self.radius
     }
 
-    /// Closed containment: points exactly on the boundary are inside.
+    /// Closed containment: points exactly on the boundary are **inside**
+    /// (`distance² <= radius²`, no square root, so exactly-representable
+    /// on-radius points compare without rounding slop).
+    ///
+    /// This edge inclusivity is part of the fault-model contract, not an
+    /// implementation accident: a node sitting exactly on a
+    /// `KillRegion`/`Jammer` radius is killed. A moving jammer whose
+    /// per-round displacement lands nodes exactly on its rim — easy to
+    /// construct with integer velocities on grid-aligned deployments —
+    /// must behave identically on every step, never flickering between
+    /// hit and miss by one ULP of an open-boundary comparison.
     #[inline]
     pub fn contains(&self, p: Point2) -> bool {
         self.center.distance_squared(p) <= self.radius * self.radius
@@ -152,6 +169,26 @@ mod tests {
         let d = Disk::new(Point2::ORIGIN, 1.0).unwrap();
         assert!(d.contains(Point2::new(1.0, 0.0)));
         assert!(!d.contains(Point2::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn containment_on_radius_under_jammer_stepping() {
+        // A jammer-style disk translated by an integer velocity each
+        // round: a node exactly on the rim must be contained at every
+        // step, on-axis and on 3-4-5 diagonals alike.
+        let radius = 5.0;
+        for round in 0..20 {
+            let center = Point2::new(round as f64 * 2.0, round as f64);
+            let d = Disk::new(center, radius).unwrap();
+            // On-axis rim points.
+            assert!(d.contains(Point2::new(center.x + radius, center.y)));
+            assert!(d.contains(Point2::new(center.x - radius, center.y)));
+            assert!(d.contains(Point2::new(center.x, center.y + radius)));
+            // Exact Pythagorean rim point (3² + 4² = 5²).
+            assert!(d.contains(Point2::new(center.x + 3.0, center.y + 4.0)));
+            // One ULP-scale nudge outward falls off the rim.
+            assert!(!d.contains(Point2::new(center.x + radius + 1e-9, center.y)));
+        }
     }
 
     #[test]

@@ -366,14 +366,6 @@ impl GridNetwork {
         Ok(self.occupancy.is_vacant(self.system.index_of(coord)?))
     }
 
-    /// All vacant cells, in row-major order.
-    #[deprecated(
-        note = "allocates a Vec per call; use vacant_iter() (or vacant_count() for sizes)"
-    )]
-    pub fn vacant_cells(&self) -> Vec<GridCoord> {
-        self.vacant_iter().collect()
-    }
-
     /// Iterates the vacant cells in row-major order without allocating,
     /// skipping fully-occupied 64-cell blocks via the vacancy bitset.
     pub fn vacant_iter(&self) -> impl Iterator<Item = GridCoord> + '_ {
@@ -422,20 +414,9 @@ impl GridNetwork {
         Ok(self.members(coord)?.len().saturating_sub(1))
     }
 
-    /// Ids of spare nodes in `coord` (members minus the head; when no
-    /// head is set, all but the first member).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`GridError::OutOfBounds`] for coordinates outside the
-    /// grid.
-    #[deprecated(note = "allocates a Vec per call; use spare_iter() (or spare_count() for sizes)")]
-    pub fn spares(&self, coord: GridCoord) -> Result<Vec<NodeId>> {
-        Ok(self.spare_iter(coord)?.collect())
-    }
-
     /// Iterates the spare nodes of `coord` without allocating, in member
-    /// order — the same ids [`GridNetwork::spares`] collects.
+    /// order (members minus the head; when no head is set, all but the
+    /// first member).
     ///
     /// # Errors
     ///
@@ -553,6 +534,53 @@ impl GridNetwork {
         }
         self.heads[idx] = Some(id);
         Ok(())
+    }
+
+    /// Deploys one fresh, fully-charged node at `raw` (clamped into the
+    /// surveillance area like [`GridNetwork::new`]) and returns its id.
+    /// This is the open-system arrival path of the steady-state
+    /// workloads: ids keep growing densely past the initial deployment,
+    /// and every incremental index (members, enabled bitset, occupancy,
+    /// change journal) is maintained in O(1).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::CellDisabled`] when the clamped position lands in a
+    /// masked-out cell; the network is left unchanged.
+    pub fn add_node(&mut self, raw: Point2) -> Result<NodeId> {
+        self.add_node_with_battery(raw, wsn_simcore::Battery::default())
+    }
+
+    /// [`GridNetwork::add_node`] with an explicit battery (arrivals in
+    /// depletion scenarios may come partially charged).
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::CellDisabled`] when the clamped position lands in a
+    /// masked-out cell; the network is left unchanged.
+    pub fn add_node_with_battery(
+        &mut self,
+        raw: Point2,
+        battery: wsn_simcore::Battery,
+    ) -> Result<NodeId> {
+        let (p, cell) = GridNetwork::clamp_position(&self.system, raw);
+        if !self.mask.is_enabled(cell) {
+            return Err(GridError::CellDisabled { coord: cell });
+        }
+        let id = NodeId::new(self.nodes.len() as u32);
+        let idx = self
+            .system
+            .index_of(cell)
+            .expect("clamped position cell is in bounds");
+        self.nodes.push(SensorNode::with_battery(id, p, battery));
+        self.members.push(idx, id);
+        if self.enabled_bits.len() * WORD_BITS < self.nodes.len() {
+            self.enabled_bits.push(0);
+        }
+        self.enabled_bits[id.index() / WORD_BITS] |= 1u64 << (id.index() % WORD_BITS);
+        self.enabled += 1;
+        self.occupancy.set_occupied(idx);
+        Ok(id)
     }
 
     /// Disables a node, removing it from its cell's member list (and from
@@ -991,6 +1019,67 @@ mod tests {
     }
 
     #[test]
+    fn kill_region_boundary_is_closed() {
+        // 2x2 grid of 4 m cells. Node 0 at (0.5, 0.5) sits at distance
+        // exactly 5 from the disk center (a 3-4-5 triangle, every
+        // coordinate exactly representable) — closed containment must
+        // kill it; node 1 is out of reach and survives.
+        let sys = GridSystem::new(2, 2, 4.0).unwrap();
+        let mut net = GridNetwork::new(sys, &[Point2::new(0.5, 0.5), Point2::new(7.75, 7.75)]);
+        let mut rng = SimRng::seed_from_u64(0);
+        let exact = Disk::new(Point2::new(3.5, 4.5), 5.0).unwrap();
+        let killed = net.apply_fault(&FaultEvent::KillRegion(exact), &mut rng);
+        assert_eq!(killed, vec![NodeId::new(0)]);
+        assert_eq!(net.enabled_count(), 1);
+        net.debug_invariants();
+        // An epsilon-smaller radius misses the same on-rim node.
+        let sys = GridSystem::new(2, 2, 4.0).unwrap();
+        let mut fresh = GridNetwork::new(sys, &[Point2::new(0.5, 0.5)]);
+        let shy = Disk::new(Point2::new(3.5, 4.5), 5.0 - 1e-9).unwrap();
+        assert!(fresh
+            .apply_fault(&FaultEvent::KillRegion(shy), &mut rng)
+            .is_empty());
+        fresh.debug_invariants();
+    }
+
+    #[test]
+    fn moving_jammer_kills_on_rim_nodes_every_step() {
+        use wsn_simcore::Jammer;
+        // 8x1 strip, one node per cell at x = 0.5, 1.5, ..., 7.5, all on
+        // y = 0.5. The jammer advances 1 m/round along the same line with
+        // radius 0.5: at round t its rim touches the nodes at x = t ± 0.5
+        // exactly. Closed containment ⇒ each node dies the first round
+        // the rim reaches it, with no off-by-epsilon skips as the disk
+        // translates.
+        let sys = GridSystem::new(8, 1, 1.0).unwrap();
+        let positions: Vec<Point2> = (0..8).map(|i| Point2::new(i as f64 + 0.5, 0.5)).collect();
+        let mut net = GridNetwork::new(sys, &positions);
+        let mut rng = SimRng::seed_from_u64(0);
+        let jammer = Jammer {
+            start: Point2::new(0.0, 0.5),
+            velocity: wsn_geometry::Vec2::new(1.0, 0.0),
+            radius: 0.5,
+        };
+        let plan = jammer.plan(0, 8).unwrap();
+        let mut first_killed_at = [None; 8];
+        for round in 0..8u64 {
+            for event in plan.events_at(round) {
+                for id in net.apply_fault(event, &mut rng) {
+                    first_killed_at[id.index()] = Some(round);
+                }
+            }
+            net.debug_invariants();
+        }
+        // Node i sits at x = i + 0.5; the rim first reaches it when the
+        // center is at x = i, i.e. round i (touching counts). With an
+        // open boundary every kill would slip a round late.
+        for (i, round) in first_killed_at.iter().enumerate() {
+            assert_eq!(*round, Some(i as u64), "node {i}");
+        }
+        assert_eq!(net.enabled_count(), 0);
+    }
+
+    #[test]
     fn fault_kill_random_saturates() {
         let (mut net, mut rng) = two_by_two();
         let killed = net.apply_fault(&FaultEvent::KillRandomEnabled { count: 100 }, &mut rng);
@@ -1046,26 +1135,93 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the deprecated wrappers to their iter twins until removal
-    fn spare_iter_matches_spares_with_and_without_head() {
+    fn spare_iter_with_and_without_head() {
         let (mut net, mut rng) = two_by_two();
-        assert_eq!(net.vacant_cells(), net.vacant_iter().collect::<Vec<_>>());
         let c = GridCoord::new(0, 0);
         // No head yet: all but the first member.
         assert_eq!(
             net.spare_iter(c).unwrap().collect::<Vec<_>>(),
-            net.spares(c).unwrap()
+            vec![NodeId::new(1)]
         );
         net.elect_all_heads(HeadElection::FirstId, &mut rng);
         assert_eq!(
             net.spare_iter(c).unwrap().collect::<Vec<_>>(),
-            net.spares(c).unwrap()
+            vec![NodeId::new(1)]
         );
         assert_eq!(
             net.spare_iter(c).unwrap().count(),
             net.spare_count(c).unwrap()
         );
         assert!(net.spare_iter(GridCoord::new(9, 9)).is_err());
+    }
+
+    #[test]
+    fn add_node_maintains_every_index() {
+        let (mut net, _) = two_by_two();
+        // Arrival into the vacant cell (0,1) fills the hole.
+        let id = net.add_node(Point2::new(0.5, 1.5)).unwrap();
+        assert_eq!(id, NodeId::new(3));
+        assert_eq!(net.node_count(), 4);
+        assert_eq!(net.enabled_count(), 4);
+        assert!(!net.is_vacant(GridCoord::new(0, 1)).unwrap());
+        assert_eq!(net.members(GridCoord::new(0, 1)).unwrap(), &[id]);
+        // The journal records the fill for change-driven consumers.
+        let idx_01 = net.system().index_of(GridCoord::new(0, 1)).unwrap() as u32;
+        assert!(net.changed_cells().contains(&idx_01));
+        net.debug_invariants();
+        // Arrival into an occupied cell adds a spare.
+        let spare = net.add_node(Point2::new(0.4, 0.4)).unwrap();
+        assert_eq!(spare, NodeId::new(4));
+        assert_eq!(net.spare_count(GridCoord::new(0, 0)).unwrap(), 2);
+        net.debug_invariants();
+        // Out-of-area positions clamp like the deployment path.
+        let clamped = net.add_node(Point2::new(99.0, -5.0)).unwrap();
+        assert_eq!(net.cell_of_node(clamped), Some(GridCoord::new(1, 0)));
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn add_node_crosses_word_boundary() {
+        // Push the node count past 64 so the enabled bitset must grow.
+        let sys = GridSystem::new(2, 2, 1.0).unwrap();
+        let mut net = GridNetwork::new(sys, &[Point2::new(0.5, 0.5)]);
+        for i in 0..70 {
+            let x = 0.1 + 1.8 * (i as f64 / 70.0);
+            net.add_node(Point2::new(x, 1.5)).unwrap();
+        }
+        assert_eq!(net.enabled_count(), 71);
+        net.debug_invariants();
+        // Disable one arrival past the boundary; the bitset stays in sync.
+        net.disable_node(NodeId::new(66)).unwrap();
+        assert_eq!(net.enabled_count(), 70);
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn add_node_rejects_masked_cells_and_leaves_state_intact() {
+        use crate::RegionMask;
+        let sys = GridSystem::new(4, 4, 1.0).unwrap();
+        let mask = RegionMask::full(4, 4).difference_rect(2, 0, 3, 3);
+        let mut net = GridNetwork::with_mask(sys, mask, &[Point2::new(0.5, 0.5)]).unwrap();
+        assert!(matches!(
+            net.add_node(Point2::new(3.5, 0.5)),
+            Err(GridError::CellDisabled { .. })
+        ));
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(net.enabled_count(), 1);
+        net.debug_invariants();
+    }
+
+    #[test]
+    fn add_node_with_battery_keeps_charge() {
+        let (mut net, _) = two_by_two();
+        let weak = wsn_simcore::Battery::new(5.0);
+        let id = net
+            .add_node_with_battery(Point2::new(0.5, 1.5), weak)
+            .unwrap();
+        assert_eq!(net.node(id).unwrap().battery().capacity(), 5.0);
+        assert!(net.draw_battery(id, 10.0).unwrap());
+        net.debug_invariants();
     }
 
     #[test]

@@ -34,6 +34,28 @@ impl EnergyModel {
     pub fn movement(&self, distance: f64) -> f64 {
         self.move_cost_per_meter * distance
     }
+
+    /// Cost of sending `messages` messages.
+    #[inline]
+    pub fn messaging(&self, messages: u64) -> f64 {
+        self.message_cost * messages as f64
+    }
+
+    /// Cost of `node_rounds` node-rounds of idle surveillance duty.
+    #[inline]
+    pub fn idle(&self, node_rounds: u64) -> f64 {
+        self.idle_cost_per_round * node_rounds as f64
+    }
+
+    /// Total bill for an episode: movement over `distance` meters plus
+    /// `messages` messages plus `node_rounds` node-rounds of idling.
+    ///
+    /// This is the per-tick billing entry point of the steady-state
+    /// workloads: the bench feeds in the tick's [`crate::Metrics`] deltas
+    /// (distance, messages) and the enabled-node-count × rounds product.
+    pub fn bill(&self, distance: f64, messages: u64, node_rounds: u64) -> f64 {
+        self.movement(distance) + self.messaging(messages) + self.idle(node_rounds)
+    }
 }
 
 impl Default for EnergyModel {
@@ -149,6 +171,16 @@ mod tests {
             ..EnergyModel::default()
         };
         assert_eq!(custom.movement(4.0), 10.0);
+    }
+
+    #[test]
+    fn bill_sums_the_three_tariffs() {
+        let m = EnergyModel::default();
+        assert_eq!(m.messaging(1000), 1.0);
+        assert_eq!(m.idle(10_000), 1.0);
+        let bill = m.bill(3.0, 500, 5000);
+        assert!((bill - (3.0 + 0.5 + 0.5)).abs() < 1e-12);
+        assert_eq!(m.bill(0.0, 0, 0), 0.0);
     }
 
     #[test]

@@ -160,6 +160,45 @@ impl SimRng {
         reservoir
     }
 
+    /// Poisson-distributed event count with mean `lambda`.
+    ///
+    /// Drives the open-system steady-state workloads: per-tick fault and
+    /// node-arrival counts are `poisson(rate)` draws off a coordinate-
+    /// addressed stream, so the whole process is a deterministic thinning
+    /// of the trial's substream. Non-finite or non-positive rates yield 0
+    /// (the total-API convention of [`SimRng::range_usize`]).
+    ///
+    /// Uses Knuth's product-of-uniforms method; rates above 32 are split
+    /// into chunks via Poisson additivity so `e^-λ` never underflows.
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return 0;
+        }
+        const CHUNK: f64 = 32.0;
+        let mut remaining = lambda;
+        let mut total = 0u64;
+        while remaining > CHUNK {
+            total += self.poisson_knuth(CHUNK);
+            remaining -= CHUNK;
+        }
+        total + self.poisson_knuth(remaining)
+    }
+
+    /// Knuth's method for a rate small enough that `e^-λ` is comfortably
+    /// above the subnormal range.
+    fn poisson_knuth(&mut self, lambda: f64) -> u64 {
+        let limit = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.uniform_f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
     /// Derives an independent child generator. The child's seed is drawn
     /// from the parent stream, so repeated forks from the same parent
     /// state produce distinct, reproducible children.
@@ -324,6 +363,38 @@ mod tests {
         // k >= n returns everything.
         let all = rng.sample_indices(5, 9);
         assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn poisson_matches_mean_and_variance() {
+        let mut rng = SimRng::seed_from_u64(21);
+        for &lambda in &[0.3, 2.0, 9.5, 100.0] {
+            let n = 20_000;
+            let draws: Vec<f64> = (0..n).map(|_| rng.poisson(lambda) as f64).collect();
+            let mean = draws.iter().sum::<f64>() / n as f64;
+            let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            // Poisson: mean = variance = λ. Loose 10%+ band for MC noise.
+            let tol = (lambda * 0.1).max(0.05);
+            assert!((mean - lambda).abs() < tol, "λ={lambda} mean {mean}");
+            assert!((var - lambda).abs() < 4.0 * tol, "λ={lambda} var {var}");
+        }
+    }
+
+    #[test]
+    fn poisson_degenerate_rates_are_zero() {
+        let mut rng = SimRng::seed_from_u64(22);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(rng.poisson(bad), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_is_deterministic() {
+        let mut a = SimRng::seed_from_u64(23);
+        let mut b = SimRng::seed_from_u64(23);
+        for _ in 0..200 {
+            assert_eq!(a.poisson(3.7), b.poisson(3.7));
+        }
     }
 
     #[test]

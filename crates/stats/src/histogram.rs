@@ -97,6 +97,47 @@ impl Histogram {
         }
     }
 
+    /// Percentile estimate from the binned counts, `p ∈ [0, 100]`
+    /// (clamped). `None` when no observation has been recorded.
+    ///
+    /// The estimate interpolates linearly *within* the bin containing
+    /// the target rank, so its resolution is one bin width — good enough
+    /// for SLA-style p50/p99/p999 reporting when the range is chosen to
+    /// cover the observable, and exact for [`Histogram::merge`]d shards
+    /// because it depends only on counts. Degenerate inputs are
+    /// well-defined: a single sample reports from its bin at every `p`,
+    /// and all-identical samples always report from the one occupied bin
+    /// (never an empty neighbor). Clamped out-of-range recordings
+    /// ([`Histogram::record`] puts them in the edge bins) are read back
+    /// as edge-bin values: the estimate never leaves `[min, max)`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        // Target rank in [0, total], the count-domain analog of
+        // percentile_sorted's index rank.
+        let target = p.clamp(0.0, 100.0) / 100.0 * total as f64;
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = acc + c;
+            if next as f64 >= target {
+                let lo = self.min + i as f64 * width;
+                let frac = ((target - acc as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + frac * width);
+            }
+            acc = next;
+        }
+        // p = 100 with floating-point slack: the top of the last
+        // occupied bin.
+        let last = self.counts.iter().rposition(|&c| c > 0)?;
+        Some(self.min + (last as f64 + 1.0) * width)
+    }
+
     /// Center of bin `i`.
     ///
     /// # Panics
@@ -186,6 +227,68 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bin_center_out_of_range_panics() {
         Histogram::new(0.0, 1.0, 2).unwrap().bin_center(2);
+    }
+
+    #[test]
+    fn percentile_edge_inputs_are_well_defined() {
+        // Empty: no observation, no estimate.
+        let empty = Histogram::new(0.0, 10.0, 5).unwrap();
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(empty.percentile(p), None);
+        }
+        // Single sample: every p reads from its bin [4, 6).
+        let mut one = Histogram::new(0.0, 10.0, 5).unwrap();
+        one.record(4.7);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            let v = one.percentile(p).unwrap();
+            assert!((4.0..=6.0).contains(&v), "p={p} -> {v}");
+        }
+        // All-identical: every p reads from the one occupied bin, never
+        // an empty neighbor.
+        let mut flat = Histogram::new(0.0, 10.0, 5).unwrap();
+        for _ in 0..1000 {
+            flat.record(2.5);
+        }
+        for p in [0.0, 12.5, 50.0, 99.0, 99.9, 100.0] {
+            let v = flat.percentile(p).unwrap();
+            assert!((2.0..=4.0).contains(&v), "p={p} -> {v}");
+        }
+        // Out-of-range p clamps; out-of-range samples clamp to edge bins.
+        let mut edges = Histogram::new(0.0, 10.0, 5).unwrap();
+        edges.record(-100.0);
+        edges.record(100.0);
+        assert_eq!(edges.percentile(-5.0), edges.percentile(0.0));
+        assert_eq!(edges.percentile(140.0), edges.percentile(100.0));
+        let lo = edges.percentile(0.0).unwrap();
+        let hi = edges.percentile(100.0).unwrap();
+        assert!((0.0..=2.0).contains(&lo));
+        assert!((8.0..=10.0).contains(&hi));
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_merge_invariant() {
+        let mut a = Histogram::new(0.0, 100.0, 50).unwrap();
+        let mut b = Histogram::new(0.0, 100.0, 50).unwrap();
+        let mut whole = Histogram::new(0.0, 100.0, 50).unwrap();
+        for i in 0..500 {
+            let x = (i as f64 * 37.0) % 100.0;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = whole.percentile(p).unwrap();
+            assert!(v >= prev, "percentile must be monotone in p");
+            prev = v;
+            // Percentiles depend only on counts, so merged shards agree
+            // exactly with the sequential fold.
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
     }
 
     #[test]

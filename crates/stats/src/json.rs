@@ -44,8 +44,13 @@ impl JsonValue {
     ///
     /// Supports everything this workspace's writers emit (and standard
     /// JSON generally): the five escape shorthands plus `\u` (including
-    /// surrogate pairs), scientific-notation numbers, and arbitrarily
-    /// nested containers. Object key order is preserved as read.
+    /// surrogate pairs), scientific-notation numbers, and nested
+    /// containers up to [`JsonValue::MAX_PARSE_DEPTH`] levels — the
+    /// explicit cap turns a `[[[[…` stack-overflow crash on adversarial
+    /// input into an ordinary parse error. Numbers follow the strict RFC
+    /// grammar: leading zeros (`01`), bare fractions (`.5`, `1.`), and
+    /// empty exponents are rejected rather than passed to `f64::parse`'s
+    /// looser rules. Object key order is preserved as read.
     ///
     /// # Errors
     ///
@@ -55,6 +60,7 @@ impl JsonValue {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -64,6 +70,12 @@ impl JsonValue {
         }
         Ok(value)
     }
+
+    /// Maximum container nesting [`JsonValue::parse`] accepts. Every
+    /// artifact this workspace writes nests a handful of levels; 128
+    /// leaves two orders of magnitude of headroom while keeping the
+    /// recursive-descent parser's stack usage bounded.
+    pub const MAX_PARSE_DEPTH: usize = 128;
 
     /// Object field lookup (`None` for absent keys and non-objects).
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
@@ -122,6 +134,9 @@ impl std::error::Error for JsonParseError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, checked against
+    /// [`JsonValue::MAX_PARSE_DEPTH`] on every `[` / `{`.
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -174,11 +189,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the container depth on `[` / `{`, erroring past the cap.
+    /// The matching decrement happens in the container's success path,
+    /// so sibling containers at the same level do not accumulate.
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        if self.depth >= JsonValue::MAX_PARSE_DEPTH {
+            return Err(self.err("containers nested deeper than the 128-level cap"));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.enter()?;
         self.pos += 1; // '['
         let mut items = Vec::new();
         self.skip_ws();
         if self.eat(b']') {
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -186,6 +214,7 @@ impl Parser<'_> {
             items.push(self.value()?);
             self.skip_ws();
             if self.eat(b']') {
+                self.depth -= 1;
                 return Ok(JsonValue::Arr(items));
             }
             if !self.eat(b',') {
@@ -195,10 +224,12 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.enter()?;
         self.pos += 1; // '{'
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.eat(b'}') {
+            self.depth -= 1;
             return Ok(JsonValue::Obj(pairs));
         }
         loop {
@@ -216,6 +247,7 @@ impl Parser<'_> {
             pairs.push((key, value));
             self.skip_ws();
             if self.eat(b'}') {
+                self.depth -= 1;
                 return Ok(JsonValue::Obj(pairs));
             }
             if !self.eat(b',') {
@@ -298,25 +330,46 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
-        let start = self.pos;
-        self.eat(b'-');
+    /// Consumes a non-empty digit run; errors with `what` when the next
+    /// byte is not a digit.
+    fn digits(&mut self, what: &str) -> Result<(), JsonParseError> {
+        if !matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            return Err(self.err(what));
+        }
         while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        if self.eat(b'.') {
-            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        // Strict RFC 8259 grammar, enforced *before* f64::parse — Rust's
+        // float parser accepts "01", "1.", and ".5", all of which JSON
+        // forbids, and a lenient reader here would let a corrupted
+        // artifact slip through the perf-ledger gate.
+        let start = self.pos;
+        self.eat(b'-');
+        match self.bytes.get(self.pos) {
+            Some(b'0') => {
                 self.pos += 1;
+                if matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    return Err(self.err("leading zero in number"));
+                }
             }
+            Some(b'1'..=b'9') => {
+                self.digits("expected a digit")?;
+            }
+            _ => return Err(self.err("expected a digit")),
+        }
+        if self.eat(b'.') {
+            self.digits("expected a digit after the decimal point")?;
         }
         if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
             self.pos += 1;
             if !self.eat(b'+') {
                 let _ = self.eat(b'-');
             }
-            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.digits("expected a digit in the exponent")?;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("number bytes are ASCII by construction");
@@ -513,6 +566,71 @@ mod tests {
             JsonValue::parse("\"héllo\"").unwrap(),
             JsonValue::from("héllo")
         );
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth_instead_of_overflowing() {
+        // Well within the cap: fine both ways.
+        let deep_ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&deep_ok).is_ok());
+        // One past the cap: a parse error, not a stack overflow.
+        let over = JsonValue::MAX_PARSE_DEPTH + 1;
+        let arrs = format!("{}0{}", "[".repeat(over), "]".repeat(over));
+        let err = JsonValue::parse(&arrs).unwrap_err();
+        assert!(err.to_string().contains("128-level cap"), "{err}");
+        // Adversarial megabyte-scale nesting (the classic crash input)
+        // fails fast with the same error for arrays and objects alike.
+        let bomb = "[".repeat(1_000_000);
+        assert!(JsonValue::parse(&bomb).is_err());
+        let objs = "{\"k\":".repeat(1_000_000);
+        assert!(JsonValue::parse(&objs).is_err());
+        // Depth is nesting, not sibling count: wide documents at shallow
+        // depth parse fine (the success path releases each level).
+        let wide = format!("[{}]", vec!["[0]"; 500].join(","));
+        assert!(JsonValue::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn parse_enforces_strict_number_grammar() {
+        // Leading zeros and bare fractions are RFC violations that
+        // f64::parse would happily accept.
+        for bad in [
+            "01",
+            "-01",
+            "007",
+            "01.5",
+            "1.",
+            "-3.",
+            ".5",
+            "-.5",
+            "1e",
+            "1e+",
+            "2E-",
+            "-",
+            "--1",
+            "[01]",
+            "{\"a\":01}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // The strict grammar still admits everything JSON allows.
+        for (ok, want) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("-0.25", -0.25),
+            ("10", 10.0),
+            ("0e10", 0.0),
+            ("1e3", 1000.0),
+            ("2.5E-2", 0.025),
+            ("1e+2", 100.0),
+        ] {
+            assert_eq!(
+                JsonValue::parse(ok).unwrap().as_f64(),
+                Some(want),
+                "{ok:?} should parse"
+            );
+        }
     }
 
     #[test]

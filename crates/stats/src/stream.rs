@@ -122,6 +122,15 @@ impl StreamingStat {
         ConfidenceInterval::normal(&self.summary, level)
     }
 
+    /// Percentile estimate from the attached histogram, `p ∈ [0, 100]`
+    /// (clamped). `None` when no histogram was attached or nothing has
+    /// been recorded — see [`Histogram::percentile`] for resolution and
+    /// edge-case semantics. This is the p50/p99/p999 surface the
+    /// steady-state hole-lifetime reporting reads.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        self.histogram.as_ref()?.percentile(p)
+    }
+
     /// Serializes the accumulator for campaign artifacts: count, moments,
     /// extrema, the interval at `ci_level`, and the histogram counts when
     /// present. Field order is fixed, so identical aggregates render

@@ -161,21 +161,22 @@ impl fmt::Display for Summary {
 
 /// Percentile of pre-sorted data by linear interpolation, `p ∈ [0, 100]`.
 ///
-/// # Panics
-///
-/// Panics when `data` is empty or `p` is outside `[0, 100]`.
-pub fn percentile_sorted(data: &[f64], p: f64) -> f64 {
-    assert!(!data.is_empty(), "percentile of empty data");
-    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+/// Total over its inputs: an empty slice yields `None` (there is no
+/// observation to report — previously this panicked, which made p999
+/// reporting on sparse workloads a landmine), a single-sample slice
+/// yields that sample for every `p`, and all-identical data yields the
+/// common value. `p` outside `[0, 100]` is clamped.
+pub fn percentile_sorted(data: &[f64], p: f64) -> Option<f64> {
     debug_assert!(data.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
-    if data.len() == 1 {
-        return data[0];
+    let (first, rest) = data.split_first()?;
+    if rest.is_empty() {
+        return Some(*first);
     }
-    let rank = p / 100.0 * (data.len() - 1) as f64;
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (data.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    data[lo] + (data[hi] - data[lo]) * frac
+    Some(data[lo] + (data[hi] - data[lo]) * frac)
 }
 
 #[cfg(test)]
@@ -239,17 +240,31 @@ mod tests {
     #[test]
     fn percentiles() {
         let data = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
-        assert_eq!(percentile_sorted(&data, 100.0), 5.0);
-        assert_eq!(percentile_sorted(&data, 50.0), 3.0);
-        assert_eq!(percentile_sorted(&data, 25.0), 2.0);
-        assert_eq!(percentile_sorted(&[7.5], 40.0), 7.5);
+        assert_eq!(percentile_sorted(&data, 0.0), Some(1.0));
+        assert_eq!(percentile_sorted(&data, 100.0), Some(5.0));
+        assert_eq!(percentile_sorted(&data, 50.0), Some(3.0));
+        assert_eq!(percentile_sorted(&data, 25.0), Some(2.0));
+        assert_eq!(percentile_sorted(&[7.5], 40.0), Some(7.5));
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile_sorted(&[], 50.0);
+    fn percentile_edge_inputs_are_well_defined() {
+        // Empty: no observation, no panic.
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[], 99.9), None);
+        // Single sample: that sample at every p, including the extremes.
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile_sorted(&[3.25], p), Some(3.25));
+        }
+        // All-identical: the common value at every p.
+        let flat = [2.0; 17];
+        for p in [0.0, 12.5, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(percentile_sorted(&flat, p), Some(2.0));
+        }
+        // Out-of-range p clamps instead of panicking.
+        let data = [1.0, 2.0, 3.0];
+        assert_eq!(percentile_sorted(&data, -5.0), Some(1.0));
+        assert_eq!(percentile_sorted(&data, 140.0), Some(3.0));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property-based tests for percentile reporting, pinned against a
+//! sort-based oracle.
+//!
+//! The p50/p99/p999 surface of the steady-state availability reports
+//! runs through [`Histogram::percentile`] (binned, mergeable) and
+//! [`percentile_sorted`] (exact, in-memory). Both must stay total over
+//! degenerate inputs — empty, single-sample, all-identical — and the
+//! binned estimate must never drift more than one bin width from the
+//! exact answer.
+
+use proptest::prelude::*;
+use wsn_stats::{percentile_sorted, Histogram, StreamingStat};
+
+/// Exact sort-based oracle: linear interpolation over the order
+/// statistics, independent of the library implementation.
+fn oracle(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if sorted.len() == 1 {
+        return Some(sorted[0]);
+    }
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * (rank - lo as f64))
+}
+
+/// Sort-based nearest-rank oracle — the quantile definition the binned
+/// estimator rounds to: the smallest sample whose cumulative count
+/// reaches `p`% of the total. The histogram's estimate must stay within
+/// one bin width of this sample (interpolated definitions can differ by
+/// a whole rank, and adjacent order statistics may sit bins apart).
+fn nearest_rank(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let target = p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64;
+    let idx = (target.ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentile_sorted_matches_oracle(
+        mut samples in prop::collection::vec(-1000.0f64..1000.0, 0..200),
+        p in 0.0f64..100.0,
+    ) {
+        let want = oracle(&samples, p);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let got = percentile_sorted(&samples, p);
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9, "{g} vs {w}"),
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_within_one_bin_of_oracle(
+        samples in prop::collection::vec(0.0f64..100.0, 1..300),
+        bins in 1usize..64,
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins).unwrap();
+        for &x in &samples {
+            h.record(x);
+        }
+        let got = h.percentile(p).unwrap();
+        let want = nearest_rank(&samples, p).unwrap();
+        let bin_width = 100.0 / bins as f64;
+        prop_assert!(
+            (got - want).abs() <= bin_width + 1e-9,
+            "binned {got} vs nearest-rank {want} with bin width {bin_width}"
+        );
+    }
+
+    #[test]
+    fn histogram_percentile_total_and_bounded(
+        samples in prop::collection::vec(-50.0f64..150.0, 0..100),
+        p in -20.0f64..120.0,
+    ) {
+        // Samples beyond the range exercise the edge-bin clamp; p beyond
+        // [0, 100] exercises the percentile clamp.
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for &x in &samples {
+            h.record(x);
+        }
+        match h.percentile(p) {
+            None => prop_assert!(samples.is_empty()),
+            Some(v) => prop_assert!((0.0..=100.0).contains(&v), "estimate {v} left the range"),
+        }
+    }
+
+    #[test]
+    fn identical_samples_pin_every_percentile(
+        x in -100.0f64..100.0,
+        n in 1usize..500,
+        p in 0.0f64..100.0,
+    ) {
+        let flat = vec![x; n];
+        prop_assert_eq!(percentile_sorted(&flat, p), Some(x));
+        let mut s = StreamingStat::with_histogram(Histogram::new(-100.0, 100.0, 40).unwrap());
+        for &v in &flat {
+            s.push(v);
+        }
+        let est = s.percentile(p).unwrap();
+        prop_assert!((est - x).abs() <= 200.0 / 40.0, "estimate {est} vs {x}");
+    }
+}
+
+#[test]
+fn streaming_stat_without_histogram_has_no_percentile() {
+    let mut s = StreamingStat::new();
+    s.push(1.0);
+    assert_eq!(s.percentile(50.0), None);
+    let empty = StreamingStat::with_histogram(Histogram::new(0.0, 1.0, 2).unwrap());
+    assert_eq!(empty.percentile(99.9), None);
+}

@@ -37,7 +37,7 @@
 //! for id in victims {
 //!     network.disable_node(id)?;
 //! }
-//! assert_eq!(network.vacant_cells().len(), 1);
+//! assert_eq!(network.vacant_count(), 1);
 //!
 //! // SR recovery through the scheme API: exactly one replacement
 //! // process, hole filled, network recovered in place.
