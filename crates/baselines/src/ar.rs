@@ -29,10 +29,12 @@ use serde::{Deserialize, Serialize};
 use wsn_geometry::sample;
 use wsn_grid::{Direction, GridCoord, GridNetwork};
 use wsn_simcore::{
-    ChangeDrivenProtocol, EnergyModel, Metrics, NodeId, RoundOutcome, RoundProtocol, RoundRunner,
-    SimRng, TraceEvent, TraceLog,
+    derive_stream_seed, ChangeDrivenProtocol, Endpoint, EnergyModel, Fate, Metrics, NetLink,
+    NetModelSpec, NodeId, ProtocolHealth, RoundOutcome, RoundProtocol, RoundRunner, SimRng,
+    TraceEvent, TraceLog,
 };
 
+use wsn_coverage::actor::NET_STREAM_TAG;
 use wsn_coverage::scheme::{SchemeDetails, SchemeReport};
 use wsn_coverage::SpareSelection;
 
@@ -89,6 +91,10 @@ struct ArProcess {
     asked: GridCoord,
     visited: HashSet<GridCoord>,
     hops: usize,
+    /// First round in which the asked head may act — the in-flight ask's
+    /// arrival time under the event engine's network model. Always 0 in
+    /// classic mode (asks arrive by axiom).
+    ready_at: u64,
 }
 
 /// The AR protocol as a round-based state machine.
@@ -120,6 +126,10 @@ pub struct ArProtocol {
     pending_holes: wsn_grid::HoleSet,
     /// Scratch buffer reused by detection sweeps.
     detect_buf: Vec<usize>,
+    /// The network model, when driven by the event engine
+    /// ([`ArProtocol::with_net_model`]); `None` in classic mode, where
+    /// detection and asks are axiomatic.
+    link: Option<NetLink>,
 }
 
 impl ArProtocol {
@@ -154,7 +164,20 @@ impl ArProtocol {
             ttl,
             pending_holes,
             detect_buf: Vec::new(),
+            link: None,
         }
+    }
+
+    /// Like [`ArProtocol::new`] but with every monitor probe and cascade
+    /// ask routed through `spec`'s network model. The link draws from
+    /// its own [`derive_stream_seed`]ed stream (tag
+    /// [`NET_STREAM_TAG`], shared with the SR/SR-SC event engines), so
+    /// under [`NetModelSpec::Ideal`] runs are identical to classic runs.
+    pub fn with_net_model(net: GridNetwork, config: ArConfig, spec: NetModelSpec) -> ArProtocol {
+        let link = spec.link(derive_stream_seed(config.seed, &[NET_STREAM_TAG]));
+        let mut p = ArProtocol::new(net, config);
+        p.link = Some(link);
+        p
     }
 
     /// The network state.
@@ -172,11 +195,23 @@ impl ArProtocol {
         &self.trace
     }
 
+    /// The distributed-health ledger accumulated by the network model
+    /// (all-zero in classic mode).
+    pub fn health(&self) -> ProtocolHealth {
+        self.link.as_ref().map(|l| l.health).unwrap_or_default()
+    }
+
     /// Marks all still-active processes failed (driver calls this after
-    /// the run ends).
+    /// the run ends). Processes whose ask was still in flight count as
+    /// [`ProtocolHealth::stalled_repairs`].
     pub fn fail_remaining(&mut self, round: u64) {
         for p in self.active.drain(..) {
             self.metrics.processes_failed += 1;
+            if p.ready_at > round {
+                if let Some(link) = &mut self.link {
+                    link.health.stalled_repairs += 1;
+                }
+            }
             self.trace.record(
                 round,
                 TraceEvent::ProcessFailed {
@@ -185,6 +220,71 @@ impl ArProtocol {
                 },
             );
         }
+    }
+
+    fn endpoint(&self, cell: GridCoord) -> Endpoint {
+        let idx = self
+            .net
+            .system()
+            .index_of(cell)
+            .expect("cascade cells are in bounds");
+        let c = self
+            .net
+            .system()
+            .cell_center(cell)
+            .expect("cascade cells are in bounds");
+        Endpoint {
+            cell: idx as u64,
+            pos: (c.x, c.y),
+        }
+    }
+
+    /// Routes a cascade ask over the network model. Returns the round
+    /// the ask becomes actionable, or `None` when the network dropped it
+    /// (`0` — immediately actionable — in classic mode).
+    fn route_ask(&mut self, from: GridCoord, to: GridCoord, round: u64) -> Option<u64> {
+        let (ef, et) = (self.endpoint(from), self.endpoint(to));
+        let Some(link) = &mut self.link else {
+            return Some(0);
+        };
+        let fate = link.route(ef, et);
+        let deliver_at = match fate {
+            Fate::Deliver(extra) => Some(round + 1 + extra),
+            Fate::Drop => {
+                link.health.lost_cascades += 1;
+                None
+            }
+        };
+        self.trace.record(
+            round,
+            TraceEvent::NetMessage {
+                msg: "cascade_ask".into(),
+                from: from.into(),
+                to: to.into(),
+                deliver_at,
+            },
+        );
+        deliver_at
+    }
+
+    /// A monitor's same-tick occupancy probe of a watched hole. Always
+    /// succeeds in classic mode.
+    fn probe(&mut self, monitor: GridCoord, hole: GridCoord, round: u64) -> bool {
+        let (ef, et) = (self.endpoint(monitor), self.endpoint(hole));
+        let Some(link) = &mut self.link else {
+            return true;
+        };
+        let probed = link.sense(ef, et);
+        self.trace.record(
+            round,
+            TraceEvent::NetMessage {
+                msg: "monitor_probe".into(),
+                from: monitor.into(),
+                to: hole.into(),
+                deliver_at: probed.then_some(round),
+            },
+        );
+        probed
     }
 
     fn is_occupied(&self, cell: GridCoord) -> bool {
@@ -366,6 +466,12 @@ impl RoundProtocol for ArProtocol {
         let mut still_active = Vec::with_capacity(self.active.len());
         let processes = std::mem::take(&mut self.active);
         for mut p in processes {
+            if round < p.ready_at {
+                // The ask is still in flight; the asked head does not
+                // yet know it has been drafted.
+                still_active.push(p);
+                continue;
+            }
             if !self.is_occupied(p.asked) {
                 // No head to act and no synchronization to wait under:
                 // either the cell was a hole all along or a competing
@@ -396,6 +502,11 @@ impl RoundProtocol for ArProtocol {
                 Some(next) => {
                     self.metrics.record_message();
                     self.metrics.energy += self.energy.message_cost;
+                    let ask = self.route_ask(p.asked, next, round);
+                    // The relaying head committed when it sent the ask:
+                    // it moves whether or not the ask survives the
+                    // channel (the honest failure mode — a stranded
+                    // cascade, not a clairvoyant abort).
                     let head = self
                         .net
                         .head_of(p.asked)
@@ -406,7 +517,26 @@ impl RoundProtocol for ArProtocol {
                     p.current_target = p.asked;
                     p.asked = next;
                     p.hops += 1;
-                    still_active.push(p);
+                    match ask {
+                        Some(ready_at) => {
+                            p.ready_at = ready_at;
+                            still_active.push(p);
+                        }
+                        None => {
+                            // Dropped in transit. The hole the cascade
+                            // just created stays re-detectable: the loss
+                            // was weather, not structure, so it is not
+                            // blacklisted.
+                            self.metrics.processes_failed += 1;
+                            self.trace.record(
+                                round,
+                                TraceEvent::ProcessFailed {
+                                    process: p.id,
+                                    reason: "cascade ask lost in the network".into(),
+                                },
+                            );
+                        }
+                    }
                     progress = true;
                 }
                 None => {
@@ -440,11 +570,26 @@ impl RoundProtocol for ArProtocol {
             if self.failed_holes.contains(&g) {
                 continue; // a cascade already died here; see field docs
             }
+            let mut spawned_for_hole = 0u64;
             for w in self.net.system().neighbors(g) {
                 if !self.is_usable(w) || !self.is_occupied(w) || self.initiated.contains(&(w, g)) {
                     continue;
                 }
+                if !self.probe(w, g, round) {
+                    // The probe drowned; this monitor retries next round
+                    // (its (w, g) pair stays unfired).
+                    continue;
+                }
                 self.initiated.insert((w, g));
+                if spawned_for_hole > 0 {
+                    if let Some(link) = &mut self.link {
+                        // AR's defining defect, now measured: every
+                        // process past the first duplicates a repair
+                        // already underway.
+                        link.health.duplicate_initiations += 1;
+                    }
+                }
+                spawned_for_hole += 1;
                 let id = self.next_id;
                 self.next_id += 1;
                 self.metrics.processes_initiated += 1;
@@ -464,11 +609,17 @@ impl RoundProtocol for ArProtocol {
                     asked: w,
                     visited,
                     hops: 0,
+                    ready_at: 0,
                 });
                 progress = true;
             }
         }
         self.detect_buf = buf;
+
+        // An ask in flight is scheduled work: the run must not go
+        // quiescent while one is still traveling. Never fires in classic
+        // mode (ready_at stays 0).
+        progress |= self.active.iter().any(|p| p.ready_at > round);
 
         self.metrics.rounds = round + 1;
         if progress {
@@ -500,6 +651,25 @@ impl ArRecovery {
         })
     }
 
+    /// Like [`ArRecovery::new`] but driven through `spec`'s network
+    /// model ([`ArProtocol::with_net_model`]): probes and asks can be
+    /// lost or delayed, and [`SchemeReport::health`] reports the damage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`wsn_simcore::EngineError`] for a zero round cap.
+    pub fn new_event(
+        net: GridNetwork,
+        config: ArConfig,
+        spec: NetModelSpec,
+    ) -> Result<ArRecovery, wsn_simcore::EngineError> {
+        let runner = RoundRunner::with_quiescence(config.max_rounds.max(1), 2)?;
+        Ok(ArRecovery {
+            protocol: ArProtocol::with_net_model(net, config, spec),
+            runner,
+        })
+    }
+
     /// Runs to quiescence (or the cap) and reports.
     pub fn run(&mut self) -> SchemeReport {
         let initial_stats = self.protocol.network().stats();
@@ -513,6 +683,7 @@ impl ArRecovery {
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: Vec::new(),
+            health: self.protocol.health(),
             details: SchemeDetails::none(),
         }
     }
@@ -540,6 +711,7 @@ impl ArRecovery {
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: Vec::new(),
+            health: self.protocol.health(),
             details: SchemeDetails::none(),
         }
     }
@@ -724,6 +896,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn event_ideal_matches_classic() {
+        let mk = || network_with_holes(6, 6, &[GridCoord::new(2, 2), GridCoord::new(4, 4)], 2, 31);
+        let classic = ArRecovery::new(mk(), ArConfig::default().with_seed(31))
+            .unwrap()
+            .run();
+        let mut event =
+            ArRecovery::new_event(mk(), ArConfig::default().with_seed(31), NetModelSpec::Ideal)
+                .unwrap();
+        let report = event.run();
+        assert_eq!(report, classic);
+        assert_eq!(report.metrics, classic.metrics);
+        // AR's redundancy, measured: an interior hole spawns 4 processes,
+        // 3 of which duplicate a repair already underway.
+        assert!(report.health.duplicate_initiations >= 3);
+        assert_eq!(report.health.lost_cascades, 0);
+        event.network().debug_invariants();
+    }
+
+    #[test]
+    fn lossy_event_runs_lose_cascades() {
+        let spec = NetModelSpec::Bernoulli {
+            loss_ppm: 300_000,
+            latency: 1,
+        };
+        let mut lost = 0u64;
+        let mut dropped = 0u64;
+        for seed in 0..16 {
+            // One node per cell plus a lone corner spare: every repair
+            // must cascade across the grid, exposing asks to the weather.
+            let sys = GridSystem::new(6, 6, 4.4721).unwrap();
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut pos = deploy::with_holes(&sys, &[GridCoord::new(3, 3)], 1, &mut rng);
+            pos.push(sys.cell_rect(GridCoord::new(0, 0)).unwrap().center());
+            let net = GridNetwork::new(sys, &pos);
+            let mut rec =
+                ArRecovery::new_event(net, ArConfig::default().with_seed(seed), spec).unwrap();
+            let report = rec.run();
+            lost += report.health.lost_cascades;
+            dropped += report.health.messages_dropped;
+            assert!(report.run.is_quiescent(), "seed {seed}");
+            assert_eq!(
+                report.metrics.processes_initiated,
+                report.metrics.processes_converged + report.metrics.processes_failed,
+                "seed {seed}"
+            );
+            rec.network().debug_invariants();
+        }
+        assert!(dropped > 0, "30% loss must drop something across 16 runs");
+        assert!(lost > 0, "some dropped ask must strand a cascade");
     }
 
     #[test]

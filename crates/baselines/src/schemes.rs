@@ -162,6 +162,10 @@ impl ReplacementScheme for Ar {
         true
     }
 
+    fn supports_event_driven(&self) -> bool {
+        true
+    }
+
     fn run(
         &self,
         net: &mut GridNetwork,
@@ -172,10 +176,14 @@ impl ReplacementScheme for Ar {
         let owned = detach_network(net);
         let mut config = self.config.clone();
         config.seed = seed;
-        let mut recovery = ArRecovery::new(owned, config).expect("round cap pre-validated");
+        let mut recovery = match mode {
+            DriveMode::EventDriven { net: spec } => ArRecovery::new_event(owned, config, spec),
+            _ => ArRecovery::new(owned, config),
+        }
+        .expect("round cap pre-validated");
         let report = match mode {
-            DriveMode::Classic => recovery.run(),
             DriveMode::ChangeDriven => recovery.run_adaptive(),
+            _ => recovery.run(),
         };
         *net = recovery.into_network();
         Ok(report)
@@ -191,10 +199,14 @@ impl ReplacementScheme for Ar {
         let owned = detach_network(net);
         let mut config = self.config.clone().with_trace(true);
         config.seed = seed;
-        let mut recovery = ArRecovery::new(owned, config).expect("round cap pre-validated");
+        let mut recovery = match mode {
+            DriveMode::EventDriven { net: spec } => ArRecovery::new_event(owned, config, spec),
+            _ => ArRecovery::new(owned, config),
+        }
+        .expect("round cap pre-validated");
         let report = match mode {
-            DriveMode::Classic => recovery.run(),
             DriveMode::ChangeDriven => recovery.run_adaptive(),
+            _ => recovery.run(),
         };
         let trace = recovery.trace().clone();
         *net = recovery.into_network();
@@ -297,10 +309,10 @@ impl ReplacementScheme for Vf {
         seed: u64,
         mode: DriveMode,
     ) -> Result<SchemeReport, Unsupported> {
-        if mode == DriveMode::ChangeDriven {
+        if mode != DriveMode::Classic {
             return Err(Unsupported::new(
                 self.id(),
-                "VF has no change-driven driver (the force field is recomputed every round)",
+                "VF supports only the classic driver (the force field is global and recomputed every round)",
             ));
         }
         let mut config = self.config.clone();
@@ -314,10 +326,10 @@ impl ReplacementScheme for Vf {
         seed: u64,
         mode: DriveMode,
     ) -> Result<(SchemeReport, TraceLog), Unsupported> {
-        if mode == DriveMode::ChangeDriven {
+        if mode != DriveMode::Classic {
             return Err(Unsupported::new(
                 self.id(),
-                "VF has no change-driven driver (the force field is recomputed every round)",
+                "VF supports only the classic driver (the force field is global and recomputed every round)",
             ));
         }
         let mut config = self.config.clone();
@@ -371,10 +383,10 @@ impl ReplacementScheme for Smart {
         seed: u64,
         mode: DriveMode,
     ) -> Result<SchemeReport, Unsupported> {
-        if mode == DriveMode::ChangeDriven {
+        if mode != DriveMode::Classic {
             return Err(Unsupported::new(
                 self.id(),
-                "SMART has no change-driven driver (scans are one-shot and global)",
+                "SMART supports only the classic driver (scans are one-shot and global)",
             ));
         }
         let mut config = self.config.clone();
@@ -388,10 +400,10 @@ impl ReplacementScheme for Smart {
         seed: u64,
         mode: DriveMode,
     ) -> Result<(SchemeReport, TraceLog), Unsupported> {
-        if mode == DriveMode::ChangeDriven {
+        if mode != DriveMode::Classic {
             return Err(Unsupported::new(
                 self.id(),
-                "SMART has no change-driven driver (scans are one-shot and global)",
+                "SMART supports only the classic driver (scans are one-shot and global)",
             ));
         }
         let mut config = self.config.clone();
@@ -464,19 +476,58 @@ mod tests {
     }
 
     #[test]
-    fn vf_and_smart_reject_change_driven_without_touching_the_network() {
+    fn vf_and_smart_reject_non_classic_modes_without_touching_the_network() {
+        use wsn_simcore::NetModelSpec;
         let mut net = holed_network(7);
         let before = net.stats();
         for id in ["vf", "smart"] {
             let reg = builtins();
             let scheme = reg.get(id).unwrap();
             assert!(!scheme.supports_change_driven());
-            let err = scheme
-                .run(&mut net, 7, DriveMode::ChangeDriven)
-                .unwrap_err();
-            assert_eq!(err.scheme, id);
-            assert_eq!(net.stats(), before, "{id} must not touch the network");
+            assert!(!scheme.supports_event_driven());
+            for mode in [
+                DriveMode::ChangeDriven,
+                DriveMode::EventDriven {
+                    net: NetModelSpec::Ideal,
+                },
+            ] {
+                let err = scheme.run(&mut net, 7, mode).unwrap_err();
+                assert_eq!(err.scheme, id);
+                assert_eq!(net.stats(), before, "{id} must not touch the network");
+            }
         }
+    }
+
+    #[test]
+    fn ar_event_driven_matches_direct_event_driver() {
+        use wsn_simcore::NetModelSpec;
+        let ar = Ar::new();
+        assert!(ar.supports_event_driven());
+        let mut net = holed_network(5);
+        let via_trait = ar
+            .run(
+                &mut net,
+                5,
+                DriveMode::EventDriven {
+                    net: NetModelSpec::Ideal,
+                },
+            )
+            .unwrap();
+        let direct = ArRecovery::new_event(
+            holed_network(5),
+            ArConfig::default().with_seed(5),
+            NetModelSpec::Ideal,
+        )
+        .unwrap()
+        .run();
+        assert_eq!(via_trait, direct);
+        assert_eq!(via_trait.health, direct.health);
+        // And Ideal event runs match classic runs (same weather-free axioms).
+        let classic = ar
+            .run(&mut holed_network(5), 5, DriveMode::Classic)
+            .unwrap();
+        assert_eq!(via_trait, classic);
+        assert_eq!(via_trait.metrics, classic.metrics);
     }
 
     #[test]

@@ -174,6 +174,7 @@ fn run_with(net: &mut GridNetwork, config: &SmartConfig, trace: &mut TraceLog) -
         fully_covered: final_stats.vacant == 0,
         final_stats,
         processes: Vec::new(),
+        health: wsn_simcore::ProtocolHealth::default(),
         details: SchemeDetails::none(),
     }
 }

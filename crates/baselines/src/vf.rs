@@ -188,6 +188,7 @@ fn run_with(net: &mut GridNetwork, config: &VfConfig, trace: &mut TraceLog) -> S
         fully_covered: final_stats.vacant == 0,
         final_stats,
         processes: Vec::new(),
+        health: wsn_simcore::ProtocolHealth::default(),
         details: SchemeDetails::new(VfDetails { equilibrium }),
     }
 }

@@ -8,6 +8,7 @@
 //! cargo run -p wsn-bench --bin figures --release -- --campaign # Figures 6-8 with CI whiskers
 //! cargo run -p wsn-bench --bin figures --release -- --campaign --masked # irregular-region axis
 //! cargo run -p wsn-bench --bin figures --release -- --avail    # steady-state availability
+//! cargo run -p wsn-bench --bin figures --release -- --degraded # latency x loss weather sweep
 //! cargo run -p wsn-bench --bin figures --release -- --schemes sr,ar,vf,smart # scheme axis
 //! ```
 //!
@@ -128,6 +129,7 @@ fn main() -> ExitCode {
     // implies --campaign.
     let masked = args.iter().any(|a| a == "--masked");
     let avail = args.iter().any(|a| a == "--avail");
+    let degraded = args.iter().any(|a| a == "--degraded");
     let campaign = masked || schemes.is_some() || args.iter().any(|a| a == "--campaign");
     let wanted: Vec<&str> = args
         .iter()
@@ -145,6 +147,7 @@ fn main() -> ExitCode {
         "figsc",
         "figmasked",
         "figavail",
+        "figdeg",
     ];
     for w in &wanted {
         if !known.iter().any(|k| w.starts_with(k)) {
@@ -491,6 +494,65 @@ fn main() -> ExitCode {
             "# of spare nodes in the initial deployment (N)",
             "joules per tick",
             &figures::figavail_energy(&result),
+        );
+    }
+
+    if degraded && want("figdeg") {
+        // The degraded-network axis: the event-capable schemes driven
+        // through the latency x loss weather matrix.
+        let mut cfg = if smoke {
+            CampaignConfig::degraded_smoke()
+        } else if quick {
+            CampaignConfig::degraded().with_seeds_per_cell(3)
+        } else {
+            CampaignConfig::degraded()
+        };
+        if let Some(ids) = schemes.clone() {
+            cfg.schemes = ids;
+        }
+        eprintln!(
+            "running degraded campaign '{}': {} cells x {} seeds ({} trials) ...",
+            cfg.name,
+            cfg.cell_count(),
+            cfg.seeds_per_cell,
+            cfg.trial_count()
+        );
+        let result = match run_campaign(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("degraded campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match result.save(&dir) {
+            Ok((json_path, csv_path)) => eprintln!(
+                "campaign artifacts: {} + {}",
+                json_path.display(),
+                csv_path.display()
+            ),
+            Err(e) => eprintln!("failed to write campaign artifacts: {e}"),
+        }
+        let (cols, rows) = cfg.grids[0];
+        emit(
+            "figdeg_moves",
+            &format!("Degraded network: # of node movements by weather ({cols}x{rows})"),
+            "# of spare nodes left in networks (N)",
+            "# of node moves",
+            &figures::figdeg_moves(&result),
+        );
+        emit(
+            "figdeg_success",
+            &format!("Degraded network: success rate (%) by weather ({cols}x{rows})"),
+            "# of spare nodes left in networks (N)",
+            "percentage",
+            &figures::figdeg_success(&result),
+        );
+        emit(
+            "figdeg_health",
+            &format!("Degraded network: duplicate initiations and lost cascades ({cols}x{rows})"),
+            "# of spare nodes left in networks (N)",
+            "# of pathologies per run",
+            &figures::figdeg_health(&result),
         );
     }
 

@@ -7,9 +7,10 @@
 //! ```
 //!
 //! * `run` executes the core (word kernel + arena), campaign
-//!   (end-to-end throughput) and steady-state availability benchmarks
-//!   and writes `BENCH_core.json`, `BENCH_campaign.json` and
-//!   `BENCH_avail.json` into `results/` (or `--out`/`$WSN_RESULTS_DIR`).
+//!   (end-to-end throughput), steady-state availability and
+//!   event-engine benchmarks and writes `BENCH_core.json`,
+//!   `BENCH_campaign.json`, `BENCH_avail.json` and `BENCH_event.json`
+//!   into `results/` (or `--out`/`$WSN_RESULTS_DIR`).
 //!   `--smoke` is the CI profile: seconds, 64×64 only. The full run also
 //!   asserts the kernel acceptance ratio (word fold ≥ 5× the `BTreeSet`
 //!   fold on the 256×256 mass-failure journal).
@@ -25,7 +26,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wsn_bench::perf::{
-    bench_avail, bench_campaign, bench_core, compare_dirs, DEFAULT_THRESHOLD_PERCENT,
+    bench_avail, bench_campaign, bench_core, bench_event, compare_dirs, DEFAULT_THRESHOLD_PERCENT,
 };
 use wsn_stats::JsonValue;
 
@@ -111,6 +112,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     };
     write_throughput("BENCH_campaign.json", &bench_campaign(smoke))?;
     write_throughput("BENCH_avail.json", &bench_avail(smoke))?;
+    write_throughput("BENCH_event.json", &bench_event(smoke))?;
     Ok(())
 }
 

@@ -104,7 +104,7 @@ use crate::steady::{run_steady_trial, SteadyOutcome, SteadyParams, SteadySummary
 use wsn_baselines::builtins;
 use wsn_coverage::scheme::{DriveMode, NetworkSpec, ReplacementScheme, SchemeId, SchemeRegistry};
 use wsn_grid::{deploy, GridNetwork, GridSystem, RegionMask, RegionShape};
-use wsn_simcore::{derive_stream_seed, Metrics, SimRng};
+use wsn_simcore::{derive_stream_seed, Metrics, NetModelSpec, ProtocolHealth, SimRng};
 use wsn_stats::{Histogram, JsonValue, StreamingStat};
 
 /// What one campaign trial measures.
@@ -122,6 +122,14 @@ pub enum CampaignMode {
     /// scheme repairing each tick; trials report SLA availability, hole
     /// lifetimes, MTTR and energy burn (`figavail_*` figures).
     SteadyState,
+    /// The degraded-network sweep: the §5 full-recovery workload driven
+    /// through the event engine
+    /// ([`DriveMode::EventDriven`]) over a latency × loss grid
+    /// ([`DegradedParams`]), measuring what the synchronous model
+    /// assumes away — duplicate initiations, lost cascades, stalled
+    /// repairs (`figdeg_*` figures). The network axes join the matrix
+    /// innermost; deployments stay paired across schemes *and* weather.
+    Degraded,
 }
 
 impl CampaignMode {
@@ -130,7 +138,83 @@ impl CampaignMode {
             CampaignMode::FullRecovery => "full_recovery",
             CampaignMode::SingleReplacement => "single_replacement",
             CampaignMode::SteadyState => "steady_state",
+            CampaignMode::Degraded => "degraded",
         }
+    }
+}
+
+/// The network axes of a [`CampaignMode::Degraded`] sweep. Each
+/// `(latency, loss)` pair maps to one [`NetModelSpec`]:
+/// `(≤1, 0)` → `Ideal`, `(t, 0)` → `FixedLatency`, anything lossy →
+/// `Bernoulli`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedParams {
+    /// Delivery latencies in rounds (outer network axis; `1` = the
+    /// classic next-round cadence).
+    pub latencies: Vec<u32>,
+    /// Loss probabilities in parts-per-million (inner network axis; `0`
+    /// = lossless).
+    pub loss_ppms: Vec<u32>,
+}
+
+impl Default for DegradedParams {
+    fn default() -> Self {
+        DegradedParams {
+            latencies: vec![1],
+            loss_ppms: vec![0],
+        }
+    }
+}
+
+impl DegradedParams {
+    /// Number of `(latency, loss)` combinations in the sweep.
+    pub fn combo_count(&self) -> usize {
+        self.latencies.len() * self.loss_ppms.len()
+    }
+
+    /// The [`NetModelSpec`] of one combination (dense index, losses
+    /// innermost).
+    pub fn spec(&self, combo: usize) -> NetModelSpec {
+        let latency = self.latencies[combo / self.loss_ppms.len()];
+        let loss_ppm = self.loss_ppms[combo % self.loss_ppms.len()];
+        match (latency, loss_ppm) {
+            (0 | 1, 0) => NetModelSpec::Ideal,
+            (ticks, 0) => NetModelSpec::FixedLatency { ticks },
+            (latency, loss_ppm) => NetModelSpec::Bernoulli { loss_ppm, latency },
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.latencies.is_empty() || self.loss_ppms.is_empty() {
+            return Err("latency and loss axes must be non-empty".into());
+        }
+        if let Some(l) = self.loss_ppms.iter().find(|&&l| l > 1_000_000) {
+            return Err(format!("loss_ppm {l} exceeds 1_000_000 (certain loss)"));
+        }
+        Ok(())
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            (
+                "latencies",
+                JsonValue::Arr(
+                    self.latencies
+                        .iter()
+                        .map(|&l| JsonValue::from(l as usize))
+                        .collect(),
+                ),
+            ),
+            (
+                "loss_ppms",
+                JsonValue::Arr(
+                    self.loss_ppms
+                        .iter()
+                        .map(|&l| JsonValue::from(l as usize))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -168,6 +252,10 @@ pub struct CampaignConfig {
     /// [`CampaignMode::SteadyState`] (and only then exported into the
     /// artifact, so closed-mode artifacts are byte-stable).
     pub steady: SteadyParams,
+    /// Degraded-network axes, read only under
+    /// [`CampaignMode::Degraded`] (same byte-stability contract as
+    /// `steady`).
+    pub degraded: DegradedParams,
     /// Confidence level for exported intervals (0.90/0.95/0.99).
     pub ci_level: f64,
     /// Worker-thread override (`None` = available parallelism). Not part
@@ -198,6 +286,7 @@ impl CampaignConfig {
             master_seed: 20_080_617, // ICDCS 2008 began June 17.
             mode: CampaignMode::FullRecovery,
             steady: SteadyParams::default(),
+            degraded: DegradedParams::default(),
             ci_level: 0.95,
             workers: None,
         }
@@ -297,6 +386,45 @@ impl CampaignConfig {
         }
     }
 
+    /// The degraded-network sweep behind `figures --degraded`: the
+    /// event-capable schemes (AR, SR, SR-SC) on the 16×16 grid, driven
+    /// through a latency × loss matrix from the classic cadence up to
+    /// 4-round latency and 30% loss.
+    pub fn degraded() -> CampaignConfig {
+        CampaignConfig {
+            name: "degraded16".into(),
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc"]),
+            grids: vec![(16, 16)],
+            targets: vec![55, 200],
+            seeds_per_cell: 10,
+            mode: CampaignMode::Degraded,
+            degraded: DegradedParams {
+                latencies: vec![1, 2, 4],
+                loss_ppms: vec![0, 100_000, 300_000],
+            },
+            ..CampaignConfig::paper()
+        }
+    }
+
+    /// The seconds-long degraded smoke matrix: AR, SR and SR-SC on an
+    /// 8×8 grid over a 2×2 latency × loss grid. Also the fixture config
+    /// of the degraded golden-file test.
+    pub fn degraded_smoke() -> CampaignConfig {
+        CampaignConfig {
+            name: "event_smoke8".into(),
+            schemes: SchemeId::list(&["ar", "sr", "sr-sc"]),
+            grids: vec![(8, 8)],
+            targets: vec![10, 100],
+            seeds_per_cell: 3,
+            mode: CampaignMode::Degraded,
+            degraded: DegradedParams {
+                latencies: vec![1, 3],
+                loss_ppms: vec![0, 300_000],
+            },
+            ..CampaignConfig::paper()
+        }
+    }
+
     /// Sets the worker-thread count (testing and benchmarking knob).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> CampaignConfig {
@@ -311,9 +439,24 @@ impl CampaignConfig {
         self
     }
 
+    /// Network-model combinations per `(scheme, region, grid, target)`
+    /// coordinate: the degraded latency × loss grid, or 1 in every
+    /// other mode.
+    fn net_combo_count(&self) -> usize {
+        if self.mode == CampaignMode::Degraded {
+            self.degraded.combo_count()
+        } else {
+            1
+        }
+    }
+
     /// Number of matrix cells.
     pub fn cell_count(&self) -> usize {
-        self.schemes.len() * self.regions.len() * self.grids.len() * self.targets.len()
+        self.schemes.len()
+            * self.regions.len()
+            * self.grids.len()
+            * self.targets.len()
+            * self.net_combo_count()
     }
 
     /// Total trials the campaign will execute.
@@ -322,18 +465,31 @@ impl CampaignConfig {
     }
 
     /// Decodes a dense cell index into `(scheme, region, (cols, rows), n)`
-    /// — canonical order: schemes outermost, then regions, then grids,
-    /// targets innermost.
+    /// — canonical order: schemes outermost, then regions, grids,
+    /// targets, and (degraded mode only) the network combination
+    /// innermost ([`CampaignConfig::cell_net`]).
     pub(crate) fn cell_params(&self, cell: usize) -> (&SchemeId, RegionShape, (u16, u16), usize) {
-        let per_region = self.grids.len() * self.targets.len();
+        let nets = self.net_combo_count();
+        let per_target = nets;
+        let per_grid = self.targets.len() * per_target;
+        let per_region = self.grids.len() * per_grid;
         let per_scheme = self.regions.len() * per_region;
         let scheme = &self.schemes[cell / per_scheme];
         let rest = cell % per_scheme;
         let region = self.regions[rest / per_region];
         let rest = rest % per_region;
-        let grid = self.grids[rest / self.targets.len()];
-        let n = self.targets[rest % self.targets.len()];
+        let grid = self.grids[rest / per_grid];
+        let n = self.targets[(rest % per_grid) / per_target];
         (scheme, region, grid, n)
+    }
+
+    /// The network model of a dense cell index —
+    /// [`NetModelSpec::Ideal`] outside degraded mode.
+    pub(crate) fn cell_net(&self, cell: usize) -> NetModelSpec {
+        if self.mode != CampaignMode::Degraded {
+            return NetModelSpec::Ideal;
+        }
+        self.degraded.spec(cell % self.net_combo_count())
     }
 
     fn validate(&self, registry: &SchemeRegistry) -> Result<(), CampaignError> {
@@ -369,6 +525,17 @@ impl CampaignConfig {
             self.steady
                 .validate()
                 .map_err(CampaignError::BadSteadyParams)?;
+        }
+        if self.mode == CampaignMode::Degraded {
+            self.degraded
+                .validate()
+                .map_err(CampaignError::BadDegradedParams)?;
+            for id in &self.schemes {
+                let scheme = registry.get(id.as_str()).expect("ids checked above");
+                if !scheme.supports_event_driven() {
+                    return Err(CampaignError::SchemeNotEventDriven { id: id.to_string() });
+                }
+            }
         }
         let supported = [0.90, 0.95, 0.99];
         if !supported.iter().any(|l| (l - self.ci_level).abs() < 1e-9) {
@@ -459,6 +626,9 @@ impl CampaignConfig {
         if self.mode == CampaignMode::SteadyState {
             fields.push(("steady", self.steady.to_json()));
         }
+        if self.mode == CampaignMode::Degraded {
+            fields.push(("degraded", self.degraded.to_json()));
+        }
         JsonValue::obj(fields)
     }
 }
@@ -490,6 +660,14 @@ pub enum CampaignError {
     SingleReplacementNeedsSr,
     /// The [`SteadyParams`] of a steady-state campaign are out of range.
     BadSteadyParams(String),
+    /// The [`DegradedParams`] of a degraded campaign are out of range.
+    BadDegradedParams(String),
+    /// A scheme in a degraded campaign has no event-driven path
+    /// ([`ReplacementScheme::supports_event_driven`] is false).
+    SchemeNotEventDriven {
+        /// The scheme without an event-driven driver.
+        id: String,
+    },
     /// `ci_level` must be 0.90, 0.95 or 0.99.
     UnsupportedCiLevel(f64),
     /// `comm_range` must be finite and positive.
@@ -529,6 +707,16 @@ impl fmt::Display for CampaignError {
             CampaignError::BadSteadyParams(reason) => {
                 write!(f, "invalid steady-state parameters: {reason}")
             }
+            CampaignError::BadDegradedParams(reason) => {
+                write!(f, "invalid degraded-network parameters: {reason}")
+            }
+            CampaignError::SchemeNotEventDriven { id } => {
+                write!(
+                    f,
+                    "scheme '{id}' has no event-driven driver; degraded campaigns \
+                     need one for every scheme"
+                )
+            }
             CampaignError::UnsupportedCiLevel(l) => {
                 write!(f, "unsupported ci_level {l}; use 0.90/0.95/0.99")
             }
@@ -553,6 +741,68 @@ struct TrialOutcome {
     metrics: Metrics,
     /// Present only under [`CampaignMode::SteadyState`].
     steady: Option<SteadyOutcome>,
+    /// Present only under [`CampaignMode::Degraded`].
+    health: Option<ProtocolHealth>,
+}
+
+/// Streaming aggregate of the [`ProtocolHealth`] ledger, one accumulator
+/// per counter (degraded-mode cells only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSummary {
+    /// Inter-cell messages handed to the network, per trial.
+    pub messages_sent: StreamingStat,
+    /// Messages the network dropped, per trial.
+    pub messages_dropped: StreamingStat,
+    /// Repairs initiated for holes already owned by a live (but
+    /// unobservable) process, per trial.
+    pub duplicate_initiations: StreamingStat,
+    /// Cascade notifications lost in transit, per trial.
+    pub lost_cascades: StreamingStat,
+    /// Processes stranded in flight when the run ended, per trial.
+    pub stalled_repairs: StreamingStat,
+    /// Processes terminated because a duplicate beat them to the hole,
+    /// per trial.
+    pub superseded_repairs: StreamingStat,
+}
+
+impl HealthSummary {
+    fn new() -> HealthSummary {
+        HealthSummary {
+            messages_sent: StreamingStat::new(),
+            messages_dropped: StreamingStat::new(),
+            duplicate_initiations: StreamingStat::new(),
+            lost_cascades: StreamingStat::new(),
+            stalled_repairs: StreamingStat::new(),
+            superseded_repairs: StreamingStat::new(),
+        }
+    }
+
+    fn push(&mut self, h: &ProtocolHealth) {
+        self.messages_sent.push(h.messages_sent as f64);
+        self.messages_dropped.push(h.messages_dropped as f64);
+        self.duplicate_initiations
+            .push(h.duplicate_initiations as f64);
+        self.lost_cascades.push(h.lost_cascades as f64);
+        self.stalled_repairs.push(h.stalled_repairs as f64);
+        self.superseded_repairs.push(h.superseded_repairs as f64);
+    }
+
+    fn to_json(&self, ci_level: f64) -> JsonValue {
+        JsonValue::obj([
+            ("messages_sent", self.messages_sent.to_json(ci_level)),
+            ("messages_dropped", self.messages_dropped.to_json(ci_level)),
+            (
+                "duplicate_initiations",
+                self.duplicate_initiations.to_json(ci_level),
+            ),
+            ("lost_cascades", self.lost_cascades.to_json(ci_level)),
+            ("stalled_repairs", self.stalled_repairs.to_json(ci_level)),
+            (
+                "superseded_repairs",
+                self.superseded_repairs.to_json(ci_level),
+            ),
+        ])
+    }
 }
 
 /// Streaming aggregate of one matrix cell.
@@ -585,6 +835,12 @@ pub struct CellStats {
     /// Steady-state SLA aggregate, present only under
     /// [`CampaignMode::SteadyState`].
     pub steady: Option<SteadySummary>,
+    /// The cell's network model, present only under
+    /// [`CampaignMode::Degraded`].
+    pub net: Option<NetModelSpec>,
+    /// Distributed-health aggregate, present only under
+    /// [`CampaignMode::Degraded`].
+    pub health: Option<HealthSummary>,
 }
 
 impl CellStats {
@@ -594,6 +850,7 @@ impl CellStats {
         region: RegionShape,
         (cols, rows): (u16, u16),
         n_target: usize,
+        net: Option<NetModelSpec>,
         cfg: &CampaignConfig,
     ) -> CellStats {
         // Histogram ranges scale with the population the trials can
@@ -627,6 +884,8 @@ impl CellStats {
             metrics,
             steady: (cfg.mode == CampaignMode::SteadyState)
                 .then(|| SteadySummary::new(&cfg.steady)),
+            net,
+            health: (cfg.mode == CampaignMode::Degraded).then(HealthSummary::new),
         }
     }
 
@@ -640,6 +899,9 @@ impl CellStats {
         }
         if let (Some(summary), Some(outcome)) = (self.steady.as_mut(), t.steady.as_ref()) {
             summary.push(outcome);
+        }
+        if let (Some(summary), Some(h)) = (self.health.as_mut(), t.health.as_ref()) {
+            summary.push(h);
         }
     }
 
@@ -672,6 +934,12 @@ impl CellStats {
         if let Some(summary) = &self.steady {
             fields.push(("steady", summary.to_json(ci_level)));
         }
+        if let Some(spec) = &self.net {
+            fields.push(("net", JsonValue::from(spec.token().as_str())));
+        }
+        if let Some(summary) = &self.health {
+            fields.push(("health", summary.to_json(ci_level)));
+        }
         JsonValue::obj(fields)
     }
 }
@@ -698,6 +966,19 @@ impl CampaignResult {
                 && c.rows == rows
                 && c.n_target == n_target
         })
+    }
+
+    /// Looks up a degraded-mode cell by scheme, target and network
+    /// model (the first matching region/grid in matrix order wins).
+    pub fn cell_with_net(
+        &self,
+        scheme: &str,
+        n_target: usize,
+        net: NetModelSpec,
+    ) -> Option<&CellStats> {
+        self.cells
+            .iter()
+            .find(|c| c.scheme.as_str() == scheme && c.n_target == n_target && c.net == Some(net))
     }
 
     /// Looks up one cell's aggregate on the full four-axis key.
@@ -783,6 +1064,18 @@ impl CampaignResult {
                 header.push(col.to_owned());
             }
         }
+        let degraded_mode = self.config.mode == CampaignMode::Degraded;
+        if degraded_mode {
+            for col in [
+                "net",
+                "messages_dropped_mean",
+                "duplicate_initiations_mean",
+                "lost_cascades_mean",
+                "stalled_repairs_mean",
+            ] {
+                header.push(col.to_owned());
+            }
+        }
         let mut rows: Vec<Vec<String>> = vec![header];
         for c in &self.cells {
             let mut row = vec![
@@ -816,6 +1109,15 @@ impl CampaignResult {
                 }
                 row.push(s.mttr.summary().mean().to_string());
                 row.push(s.energy_rate.summary().mean().to_string());
+            }
+            if degraded_mode {
+                let spec = c.net.as_ref().expect("degraded cells carry a net model");
+                let h = c.health.as_ref().expect("degraded cells carry health");
+                row.push(spec.token());
+                row.push(h.messages_dropped.summary().mean().to_string());
+                row.push(h.duplicate_initiations.summary().mean().to_string());
+                row.push(h.lost_cascades.summary().mean().to_string());
+                row.push(h.stalled_repairs.summary().mean().to_string());
             }
             rows.push(row);
         }
@@ -890,9 +1192,11 @@ pub(crate) fn trial_positions(
 ) -> Vec<wsn_geometry::Point2> {
     let mut rng = SimRng::seed_from_u64(seed);
     match mode {
-        // Steady state opens from the same §5 deployment the closed
-        // full-recovery trials use; the workload then evolves it.
-        CampaignMode::FullRecovery | CampaignMode::SteadyState => {
+        // Steady state and the degraded sweep open from the same §5
+        // deployment the closed full-recovery trials use (degraded
+        // differs only in the drive, never the deployment — paired
+        // across weather conditions by construction).
+        CampaignMode::FullRecovery | CampaignMode::SteadyState | CampaignMode::Degraded => {
             // §5: "(N + m x n) enabled nodes", uniform — with m·n read
             // as the enabled-cell count of the region.
             deploy::uniform_masked(sys, mask, n_target + mask.enabled_count(), &mut rng)
@@ -993,11 +1297,12 @@ fn run_matrix_trial(
     cfg: &CampaignConfig,
     scheme: &dyn ReplacementScheme,
     arena: &mut TrialArena,
-    region: RegionShape,
-    (cols, rows): (u16, u16),
-    n_target: usize,
+    (region, (cols, rows), n_target, net_spec): (RegionShape, (u16, u16), usize, NetModelSpec),
     trial: u64,
 ) -> TrialOutcome {
+    // The network axes are deliberately absent from the stream seed:
+    // every weather condition (and every scheme) replays the identical
+    // deployment — the paired methodology, extended to the link layer.
     let seed = trial_stream_seed(cfg.master_seed, region, (cols, rows), n_target, trial);
     let net = arena.network(
         cfg.mode,
@@ -1018,12 +1323,19 @@ fn run_matrix_trial(
             covered: net.vacant_count() == 0,
             metrics: outcome.metrics,
             steady: Some(outcome),
+            health: None,
         };
     }
+    let degraded = cfg.mode == CampaignMode::Degraded;
+    let drive = if degraded {
+        DriveMode::EventDriven { net: net_spec }
+    } else {
+        DriveMode::Classic
+    };
     // One uniform dispatch for every scheme in the registry — this is
     // the line the closed `match scheme` used to be.
     let report = scheme
-        .run(net, seed, DriveMode::Classic)
+        .run(net, seed, drive)
         .expect("validation proved every scheme supports every matrix cell");
     TrialOutcome {
         holes: stats.vacant,
@@ -1031,6 +1343,7 @@ fn run_matrix_trial(
         covered: report.fully_covered,
         metrics: report.metrics,
         steady: None,
+        health: degraded.then_some(report.health),
     }
 }
 
@@ -1115,12 +1428,13 @@ impl Folder {
         let cells: Vec<CellStats> = (0..cfg.cell_count())
             .map(|c| {
                 let (scheme, region, grid, n) = cfg.cell_params(c);
+                let net = (cfg.mode == CampaignMode::Degraded).then(|| cfg.cell_net(c));
                 let label = registry
                     .get(scheme.as_str())
                     .expect("validated ids")
                     .label()
                     .to_owned();
-                CellStats::new(scheme.clone(), label, region, grid, n, cfg)
+                CellStats::new(scheme.clone(), label, region, grid, n, net, cfg)
             })
             .collect();
         let n = cells.len();
@@ -1191,8 +1505,15 @@ pub fn run_campaign_with(
                     let cell = (idx / cfg.seeds_per_cell) as usize;
                     let trial = idx % cfg.seeds_per_cell;
                     let (scheme, region, grid, n) = cfg.cell_params(cell);
+                    let net_spec = cfg.cell_net(cell);
                     let scheme = registry.get(scheme.as_str()).expect("validated ids");
-                    let outcome = run_matrix_trial(cfg, scheme, &mut arena, region, grid, n, trial);
+                    let outcome = run_matrix_trial(
+                        cfg,
+                        scheme,
+                        &mut arena,
+                        (region, grid, n, net_spec),
+                        trial,
+                    );
                     folder.lock().expect("no poisoned folds").fold(
                         idx,
                         cfg.seeds_per_cell,
@@ -1622,6 +1943,151 @@ mod tests {
             let any = reused.nodes().first().expect("nonempty deployment").id();
             reused.disable_node(any).unwrap();
         }
+    }
+
+    fn degraded_tiny() -> CampaignConfig {
+        CampaignConfig {
+            seeds_per_cell: 2,
+            ..CampaignConfig::degraded_smoke()
+        }
+    }
+
+    #[test]
+    fn degraded_campaign_sweeps_weather_and_reports_health() {
+        let cfg = degraded_tiny();
+        let result = run_campaign(&cfg).unwrap();
+        // 3 schemes x 2 targets x (2 latencies x 2 losses) = 24 cells.
+        assert_eq!(result.cells.len(), 24);
+        assert_eq!(result.cells.len(), cfg.cell_count());
+        for cell in &result.cells {
+            assert_eq!(cell.trials, 2, "{}", cell.scheme);
+            assert!(
+                cell.net.is_some(),
+                "{}: degraded cells carry the net",
+                cell.scheme
+            );
+            let health = cell.health.as_ref().expect("degraded cells carry health");
+            assert_eq!(health.messages_sent.summary().count(), 2);
+        }
+        // Deployments are paired across schemes AND weather: the trial
+        // stream seed has neither a scheme nor a network axis, so every
+        // cell at the same target saw identical holes and spares.
+        let reference = result.cell_with_net("sr", 10, NetModelSpec::Ideal).unwrap();
+        for cell in result.cells.iter().filter(|c| c.n_target == 10) {
+            assert_eq!(
+                reference.holes, cell.holes,
+                "{} {:?}",
+                cell.scheme, cell.net
+            );
+            assert_eq!(
+                reference.spares, cell.spares,
+                "{} {:?}",
+                cell.scheme, cell.net
+            );
+        }
+        // A 30%-loss cell must actually lose messages.
+        let lossy = NetModelSpec::Bernoulli {
+            loss_ppm: 300_000,
+            latency: 1,
+        };
+        let sr_lossy = result.cell_with_net("sr", 10, lossy).unwrap();
+        let dropped = &sr_lossy.health.as_ref().unwrap().messages_dropped;
+        assert!(dropped.summary().mean() > 0.0, "30% loss dropped nothing");
+        // The artifact carries the degraded axes plus per-cell net and
+        // health blocks.
+        let json = result.to_json().to_string();
+        assert!(json.contains("\"mode\":\"degraded\""));
+        assert!(json.contains("\"degraded\":{\"latencies\":[1,3],\"loss_ppms\":[0,300000]}"));
+        assert!(json.contains("\"net\":\"ideal\""));
+        assert!(json.contains("\"net\":\"lat3\""));
+        assert!(json.contains("\"net\":\"loss300000-lat3\""));
+        assert!(json.contains("\"health\":{\"messages_sent\""));
+        let csv = result.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.contains("net,messages_dropped_mean"), "{header}");
+        assert!(csv.contains(",loss300000-lat1,"));
+        // Closed-mode artifacts carry none of it.
+        let closed = run_campaign(&tiny()).unwrap();
+        let closed_json = closed.to_json().to_string();
+        assert!(!closed_json.contains("\"net\":"));
+        assert!(!closed_json.contains("\"degraded\""));
+        assert!(!closed.to_csv().lines().next().unwrap().contains("net,"));
+    }
+
+    #[test]
+    fn degraded_ideal_cells_reproduce_the_classic_campaign() {
+        // The conformance guarantee, observed at the aggregate level:
+        // the event engine under Ideal weather folds the exact same
+        // per-trial metrics the classic driver produces, so the Ideal
+        // slice of a degraded campaign equals a closed full-recovery
+        // campaign cell-for-cell.
+        let degraded = run_campaign(&degraded_tiny()).unwrap();
+        let classic_cfg = CampaignConfig {
+            mode: CampaignMode::FullRecovery,
+            degraded: DegradedParams::default(),
+            ..degraded_tiny()
+        };
+        let classic = run_campaign(&classic_cfg).unwrap();
+        for scheme in ["ar", "sr", "sr-sc"] {
+            for &n in &[10usize, 100] {
+                let ideal = degraded
+                    .cell_with_net(scheme, n, NetModelSpec::Ideal)
+                    .unwrap();
+                let closed = classic.cell(scheme, 8, 8, n).unwrap();
+                assert_eq!(
+                    ideal.covered_trials, closed.covered_trials,
+                    "{scheme} N={n}"
+                );
+                for field in Metrics::FIELD_NAMES {
+                    assert_eq!(
+                        ideal.metric(field).unwrap(),
+                        closed.metric(field).unwrap(),
+                        "{scheme} N={n} {field}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_artifact_is_worker_count_invariant() {
+        // Bernoulli loss draws come from coordinate-addressed streams,
+        // so the schedule interleaving across workers cannot change
+        // which messages die.
+        let base = run_campaign(&degraded_tiny().with_workers(1)).unwrap();
+        for workers in [2, 8] {
+            let parallel = run_campaign(&degraded_tiny().with_workers(workers)).unwrap();
+            assert_eq!(
+                base.to_json().to_string(),
+                parallel.to_json().to_string(),
+                "workers={workers}"
+            );
+            assert_eq!(base.to_csv(), parallel.to_csv(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn degraded_validation_rejects_bad_axes_and_classic_only_schemes() {
+        let mut cfg = degraded_tiny();
+        cfg.degraded.latencies.clear();
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(matches!(err, CampaignError::BadDegradedParams(_)));
+        assert!(err.to_string().contains("non-empty"), "{err}");
+        let mut cfg = degraded_tiny();
+        cfg.degraded.loss_ppms = vec![2_000_000];
+        let err = run_campaign(&cfg).unwrap_err();
+        assert!(matches!(err, CampaignError::BadDegradedParams(_)));
+        // VF and SMART have no event-driven path; the matrix must say so
+        // up front instead of panicking a worker.
+        let mut cfg = degraded_tiny();
+        cfg.schemes = SchemeId::list(&["sr", "vf"]);
+        let err = run_campaign(&cfg).unwrap_err();
+        assert_eq!(err, CampaignError::SchemeNotEventDriven { id: "vf".into() });
+        assert!(err.to_string().contains("event-driven"), "{err}");
+        // Closed modes never read the degraded knobs.
+        let mut cfg = tiny();
+        cfg.degraded.latencies.clear();
+        assert!(run_campaign(&cfg).is_ok());
     }
 
     #[test]

@@ -341,6 +341,99 @@ pub fn figavail_energy(res: &CampaignResult) -> Vec<Series> {
     steady_stat_series(res, |s| &s.energy_rate)
 }
 
+/// Degraded-network comparison from a [`CampaignMode::Degraded`]
+/// campaign: one mean curve per `(scheme, network model)` pair for
+/// `metric` over the spare targets. Labels read `"<label>@<net token>"`
+/// (e.g. `"SR@loss300000-lat1"`), so the figure shows at a glance how
+/// each scheme degrades as the weather worsens.
+///
+/// [`CampaignMode::Degraded`]: crate::campaign::CampaignMode::Degraded
+///
+/// # Panics
+///
+/// Panics when the campaign was not run in degraded mode or `metric`
+/// is not a [`wsn_simcore::Metrics::FIELD_NAMES`] entry.
+pub fn campaign_net_series(res: &CampaignResult, metric: &str) -> Vec<Series> {
+    let mut out = Vec::new();
+    for scheme in &res.config.schemes {
+        let label = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == *scheme)
+            .expect("campaign contains every configured scheme")
+            .label
+            .clone();
+        for combo in 0..res.config.degraded.combo_count() {
+            let net = res.config.degraded.spec(combo);
+            let mut series = Series::new(format!("{}@{}", label, net.token()));
+            for &n in &res.config.targets {
+                let cell = res
+                    .cell_with_net(scheme.as_str(), n, net)
+                    .expect("degraded campaign contains every weather cell");
+                let mean = cell
+                    .metric(metric)
+                    .expect("metric is a Metrics field")
+                    .summary()
+                    .mean();
+                series.push(n as f64, mean);
+            }
+            out.push(series);
+        }
+    }
+    out
+}
+
+/// Degraded sweep: total node movements per `(scheme, network model)`.
+pub fn figdeg_moves(res: &CampaignResult) -> Vec<Series> {
+    campaign_net_series(res, "moves")
+}
+
+/// Degraded sweep: success rate (%) per `(scheme, network model)`.
+pub fn figdeg_success(res: &CampaignResult) -> Vec<Series> {
+    campaign_net_series(res, "success_rate_percent")
+}
+
+/// Degraded sweep: the distributed-health ledger — mean duplicate
+/// initiations (`"<label>@<net> dup"`) and lost cascades
+/// (`"<label>@<net> lost"`) per `(scheme, network model)` over the
+/// spare targets. Under ideal weather every curve sits at zero; the
+/// figure is the cost of weather in protocol pathologies rather than
+/// raw coverage.
+///
+/// # Panics
+///
+/// Panics when the campaign was not run in degraded mode.
+pub fn figdeg_health(res: &CampaignResult) -> Vec<Series> {
+    let mut out = Vec::new();
+    for scheme in &res.config.schemes {
+        let label = res
+            .cells
+            .iter()
+            .find(|c| c.scheme == *scheme)
+            .expect("campaign contains every configured scheme")
+            .label
+            .clone();
+        for combo in 0..res.config.degraded.combo_count() {
+            let net = res.config.degraded.spec(combo);
+            let mut dup = Series::new(format!("{}@{} dup", label, net.token()));
+            let mut lost = Series::new(format!("{}@{} lost", label, net.token()));
+            for &n in &res.config.targets {
+                let health = res
+                    .cell_with_net(scheme.as_str(), n, net)
+                    .expect("degraded campaign contains every weather cell")
+                    .health
+                    .as_ref()
+                    .expect("degraded cells carry health aggregates");
+                dup.push(n as f64, health.duplicate_initiations.summary().mean());
+                lost.push(n as f64, health.lost_cascades.summary().mean());
+            }
+            out.push(dup);
+            out.push(lost);
+        }
+    }
+    out
+}
+
 /// Irregular-region comparison from a multi-region campaign: one mean
 /// curve per `(scheme, region)` pair for `metric` over the spare
 /// targets, on the campaign's first grid. Labels read

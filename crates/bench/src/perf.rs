@@ -49,11 +49,12 @@ pub const DEFAULT_THRESHOLD_PERCENT: f64 = 25.0;
 /// replay bench (`replay bench`) contributes `BENCH_replay.json` in the
 /// same shape; `BENCH_avail.json` carries the steady-state availability
 /// throughput.
-pub const LEDGER_FILES: [&str; 4] = [
+pub const LEDGER_FILES: [&str; 5] = [
     "BENCH_core.json",
     "BENCH_campaign.json",
     "BENCH_replay.json",
     "BENCH_avail.json",
+    "BENCH_event.json",
 ];
 
 /// Times one closure `samples` times and returns (min, mean, max) in
@@ -349,6 +350,65 @@ pub fn bench_avail(smoke: bool) -> JsonValue {
     }
     JsonValue::obj([
         ("schema", JsonValue::from("wsn-bench-avail/1")),
+        (
+            "mode",
+            JsonValue::from(if smoke { "smoke" } else { "full" }),
+        ),
+        ("benchmarks", JsonValue::Arr(entries)),
+    ])
+}
+
+/// Runs the event-engine throughput benchmarks (`BENCH_event.json`):
+/// degraded-mode campaigns driven through the message-passing engine.
+/// The 8×8 four-weather SR matrix always runs; the full ledger adds a
+/// 16×16 matrix over the same weather grid plus a lossy three-scheme
+/// matrix (the queue-drain and RNG-stream cost at AR's fan-out).
+pub fn bench_event(smoke: bool) -> JsonValue {
+    use crate::campaign::DegradedParams;
+    let base = CampaignConfig {
+        name: "perf-event".into(),
+        schemes: wsn_coverage::scheme::SchemeId::list(&["sr"]),
+        regions: vec![RegionShape::Full],
+        grids: vec![(8, 8)],
+        targets: vec![40],
+        seeds_per_cell: 2,
+        workers: Some(2),
+        mode: CampaignMode::Degraded,
+        degraded: DegradedParams {
+            latencies: vec![1, 3],
+            loss_ppms: vec![0, 300_000],
+        },
+        ..CampaignConfig::paper()
+    };
+    let mut entries = vec![campaign_entry(
+        "degraded_sr_8x8_4weather",
+        if smoke { 5 } else { 7 },
+        &base,
+    )];
+    if !smoke {
+        let big = CampaignConfig {
+            grids: vec![(16, 16)],
+            targets: vec![128],
+            seeds_per_cell: 1,
+            ..base.clone()
+        };
+        entries.push(campaign_entry("degraded_sr_16x16_4weather", 2, &big));
+        let lossy = CampaignConfig {
+            schemes: wsn_coverage::scheme::SchemeId::list(&["ar", "sr", "sr-sc"]),
+            degraded: DegradedParams {
+                latencies: vec![2],
+                loss_ppms: vec![300_000],
+            },
+            ..base.clone()
+        };
+        entries.push(campaign_entry(
+            "degraded_three_schemes_8x8_lossy",
+            2,
+            &lossy,
+        ));
+    }
+    JsonValue::obj([
+        ("schema", JsonValue::from("wsn-bench-event/1")),
         (
             "mode",
             JsonValue::from(if smoke { "smoke" } else { "full" }),

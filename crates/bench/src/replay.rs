@@ -42,7 +42,7 @@ use wsn_coverage::SrConfig;
 use wsn_grid::{deploy, GridNetwork, GridSystem, RegionShape};
 use wsn_simcore::replay::{diff_logs, shrink_fault_plan, ShrinkReport, TraceDiff};
 use wsn_simcore::trace::binary;
-use wsn_simcore::{FaultEvent, FaultPlan, NodeId, SimRng, TraceEvent, TraceLog};
+use wsn_simcore::{FaultEvent, FaultPlan, NetModelSpec, NodeId, SimRng, TraceEvent, TraceLog};
 
 use crate::campaign::{build_trial_network, trial_stream_seed, CampaignConfig, CampaignMode};
 
@@ -197,6 +197,9 @@ impl ReplaySpec {
 
     /// The spec of campaign trial `(cell, trial)` of `cfg` — the bridge
     /// from a failed campaign coordinate to a replayable artifact.
+    /// Degraded-mode cells resolve to the event-driven drive with the
+    /// cell's network model, so the spec re-runs exactly what the
+    /// campaign worker ran.
     ///
     /// # Errors
     ///
@@ -206,14 +209,21 @@ impl ReplaySpec {
         cell: usize,
         trial: u64,
     ) -> Result<ReplaySpec, ReplayError> {
-        let cells = cfg.schemes.len() * cfg.regions.len() * cfg.grids.len() * cfg.targets.len();
+        let cells = cfg.cell_count();
         if cell >= cells {
             return Err(ReplayError::BadCell { cell, cells });
         }
         let (scheme, region, grid, n_target) = cfg.cell_params(cell);
+        let drive = if cfg.mode == CampaignMode::Degraded {
+            DriveMode::EventDriven {
+                net: cfg.cell_net(cell),
+            }
+        } else {
+            DriveMode::Classic
+        };
         Ok(ReplaySpec {
             scheme: scheme.to_string(),
-            drive: DriveMode::Classic,
+            drive,
             region,
             grid,
             n_target,
@@ -318,14 +328,21 @@ impl ReplaySpec {
     }
 }
 
-fn drive_str(drive: DriveMode) -> &'static str {
+fn drive_str(drive: DriveMode) -> String {
     match drive {
-        DriveMode::Classic => "classic",
-        DriveMode::ChangeDriven => "change-driven",
+        DriveMode::Classic => "classic".into(),
+        DriveMode::ChangeDriven => "change-driven".into(),
+        DriveMode::EventDriven { net } => format!("event-{}", net.token()),
     }
 }
 
 fn parse_drive(s: &str) -> Result<DriveMode, ReplayError> {
+    if let Some(token) = s.strip_prefix("event-") {
+        let net = NetModelSpec::parse_token(token).ok_or_else(|| {
+            ReplayError::BadArtifact(format!("unknown network model token {token:?}"))
+        })?;
+        return Ok(DriveMode::EventDriven { net });
+    }
     match s {
         "classic" => Ok(DriveMode::Classic),
         "change-driven" => Ok(DriveMode::ChangeDriven),
@@ -555,7 +572,7 @@ impl ReplayArtifact {
         let mut meta: Vec<(String, String)> = vec![
             ("schema".into(), ARTIFACT_SCHEMA.into()),
             ("scheme".into(), self.spec.scheme.clone()),
-            ("drive".into(), drive_str(self.spec.drive).into()),
+            ("drive".into(), drive_str(self.spec.drive)),
             ("region".into(), self.spec.region.label().into()),
             ("cols".into(), cols.to_string()),
             ("rows".into(), rows.to_string()),
@@ -571,6 +588,7 @@ impl ReplayArtifact {
                         "single-replacement".into()
                     }
                     Deployment::Matrix(CampaignMode::SteadyState) => "steady-state".into(),
+                    Deployment::Matrix(CampaignMode::Degraded) => "degraded".into(),
                     Deployment::Scenario { holes, per_cell } => {
                         format!("scenario:{holes}:{per_cell}")
                     }
@@ -583,7 +601,7 @@ impl ReplayArtifact {
         ];
         if let Some((scheme, drive)) = &self.baseline {
             meta.push(("baseline".into(), scheme.clone()));
-            meta.push(("baseline_drive".into(), drive_str(*drive).into()));
+            meta.push(("baseline_drive".into(), drive_str(*drive)));
         }
         binary::encode(&meta, &self.trace)
     }
@@ -618,6 +636,7 @@ impl ReplayArtifact {
             "full-recovery" => Deployment::Matrix(CampaignMode::FullRecovery),
             "single-replacement" => Deployment::Matrix(CampaignMode::SingleReplacement),
             "steady-state" => Deployment::Matrix(CampaignMode::SteadyState),
+            "degraded" => Deployment::Matrix(CampaignMode::Degraded),
             s if s.starts_with("scenario:") => {
                 let rest: Vec<&str> = s["scenario:".len()..].split(':').collect();
                 let [holes, per_cell] = rest[..] else {

@@ -18,6 +18,12 @@
 //!   five schemes on the 8×8 L-shape and annulus), pinning the region
 //!   axis end to end: masked deployment, masked replacement rings, and
 //!   the `region` fields of the artifact.
+//! * `event_smoke8.json` — the degraded-mode smoke campaign (AR, SR and
+//!   SR-SC on the 8×8 grid over a 2×2 latency × loss weather matrix),
+//!   pinning the event-driven engine end to end: the scheduler, the
+//!   network models' coordinate-addressed RNG streams, the per-cell
+//!   `net` and `health` blocks, and the Ideal-weather cells'
+//!   byte-equality with the classic engine.
 //!
 //! When a change is *intentional* (new metric field, schema bump),
 //! regenerate the fixture and say so in the commit: the diff is the
@@ -29,6 +35,7 @@ use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
 const SWEEP_GOLDEN: &str = include_str!("golden/sweep_16x16.json");
 const CAMPAIGN_GOLDEN: &str = include_str!("golden/campaign_smoke8.json");
 const MASKED_GOLDEN: &str = include_str!("golden/campaign_masked8.json");
+const EVENT_GOLDEN: &str = include_str!("golden/event_smoke8.json");
 
 #[test]
 fn quick_sweep_reproduces_the_checked_in_artifact() {
@@ -59,6 +66,46 @@ fn masked_campaign_reproduces_the_checked_in_artifact() {
         rendered, MASKED_GOLDEN,
         "campaign_masked8.json drifted; regenerate the fixture if intentional"
     );
+}
+
+#[test]
+fn degraded_campaign_reproduces_the_checked_in_artifact() {
+    let result = run_campaign(&CampaignConfig::degraded_smoke()).expect("degraded matrix is valid");
+    let rendered = result.to_json().to_file_string();
+    assert_eq!(
+        rendered, EVENT_GOLDEN,
+        "event_smoke8.json drifted; regenerate the fixture if intentional"
+    );
+}
+
+#[test]
+fn degraded_schema_has_the_advertised_shape() {
+    assert!(EVENT_GOLDEN.starts_with("{\"schema\":\"wsn-campaign/3\""));
+    for key in [
+        "\"mode\":\"degraded\"",
+        "\"degraded\":{\"latencies\":[1,3],\"loss_ppms\":[0,300000]}",
+        "\"schemes\":[\"ar\",\"sr\",\"sr-sc\"]",
+        "\"net\":\"ideal\"",
+        "\"net\":\"lat3\"",
+        "\"net\":\"loss300000-lat1\"",
+        "\"net\":\"loss300000-lat3\"",
+        "\"health\":{\"messages_sent\"",
+        "\"duplicate_initiations\"",
+        "\"lost_cascades\"",
+        "\"stalled_repairs\"",
+    ] {
+        assert!(EVENT_GOLDEN.contains(key), "missing {key}");
+    }
+    assert!(!EVENT_GOLDEN.contains("NaN"));
+    assert!(!EVENT_GOLDEN.contains("inf"));
+    assert!(EVENT_GOLDEN.ends_with("}\n"));
+    // The closed-mode fixtures are untouched by the degraded axis: no
+    // net or health fields anywhere.
+    for golden in [CAMPAIGN_GOLDEN, MASKED_GOLDEN] {
+        assert!(!golden.contains("\"net\":"));
+        assert!(!golden.contains("\"health\":"));
+        assert!(!golden.contains("\"degraded\""));
+    }
 }
 
 #[test]

@@ -16,7 +16,7 @@ use wsn_bench::replay::{
 use wsn_coverage::scheme::DriveMode;
 use wsn_geometry::{Disk, Point2};
 use wsn_simcore::replay::diff_logs;
-use wsn_simcore::{FaultEvent, FaultPlan, NodeId, TraceEvent};
+use wsn_simcore::{FaultEvent, FaultPlan, NetModelSpec, NodeId, TraceEvent};
 
 fn ids(raw: &[u32]) -> Vec<NodeId> {
     raw.iter().copied().map(NodeId::new).collect()
@@ -114,6 +114,70 @@ fn campaign_coordinates_are_re_executable() {
         );
         trace_matches_metrics(&rec).unwrap_or_else(|e| panic!("cell {cell}: {e}"));
         // Same coordinate, same record — order and repetition free.
+        let again = record(&spec).expect("re-records");
+        assert_eq!(rec.trace, again.trace, "cell {cell}");
+    }
+    assert!(matches!(
+        ReplaySpec::for_campaign_trial(&cfg, cells, 0),
+        Err(ReplayError::BadCell { .. })
+    ));
+}
+
+#[test]
+fn event_drive_specs_round_trip_and_replay_clean() {
+    // Every network-model token survives the artifact codec, and a
+    // recorded event-driven run re-executes byte-identically from its
+    // own metadata — lossy weather included, because the link RNG is
+    // seeded from the spec, not the wall clock.
+    let nets = [
+        NetModelSpec::Ideal,
+        NetModelSpec::FixedLatency { ticks: 3 },
+        NetModelSpec::Bernoulli {
+            loss_ppm: 300_000,
+            latency: 2,
+        },
+        NetModelSpec::Jammer {
+            x_mm: 2_500,
+            y_mm: 2_500,
+            radius_mm: 1_200,
+        },
+    ];
+    for net in nets {
+        let spec =
+            ReplaySpec::scenario("sr", (6, 6), 2, 2, 47).with_drive(DriveMode::EventDriven { net });
+        let rec = record(&spec).unwrap_or_else(|e| panic!("{}: {e}", net.token()));
+        let artifact = ReplayArtifact::from_recording(&rec, None);
+        let back = ReplayArtifact::from_bytes(&artifact.to_bytes()).expect("artifact parses");
+        assert_eq!(back, artifact, "{}", net.token());
+        assert_eq!(back.spec.drive, DriveMode::EventDriven { net });
+        assert!(
+            artifact.verify().expect("replays").is_clean(),
+            "{}",
+            net.token()
+        );
+    }
+}
+
+#[test]
+fn degraded_campaign_coordinates_resolve_to_the_cells_weather() {
+    // A degraded-mode coordinate must reproduce what the worker ran:
+    // the event-driven drive carrying that cell's network model. The
+    // smoke config's net axis is 2 latencies x 2 losses with losses
+    // innermost, so consecutive cells walk the weather matrix.
+    let cfg = CampaignConfig::degraded_smoke();
+    let combos = cfg.degraded.combo_count();
+    let cells =
+        cfg.schemes.len() * cfg.regions.len() * cfg.grids.len() * cfg.targets.len() * combos;
+    for cell in [0, 1, combos - 1, cells - 1] {
+        let spec = ReplaySpec::for_campaign_trial(&cfg, cell, 0).expect("in range");
+        assert_eq!(
+            spec.drive,
+            DriveMode::EventDriven {
+                net: cfg.degraded.spec(cell % combos)
+            },
+            "cell {cell}"
+        );
+        let rec = record(&spec).unwrap_or_else(|e| panic!("cell {cell}: {e}"));
         let again = record(&spec).expect("re-records");
         assert_eq!(rec.trace, again.trace, "cell {cell}");
     }

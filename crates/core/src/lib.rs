@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actor;
 pub mod analysis;
 mod config;
 pub mod movement;
@@ -54,6 +55,7 @@ mod recovery;
 pub mod scheme;
 pub mod shortcut;
 
+pub use actor::{EventScRecovery, EventSrProtocol, EventSrRecovery};
 pub use config::{SpareSelection, SrConfig};
 pub use process::{ProcessId, ProcessStatus, ProcessSummary};
 pub use protocol::{DetectionOutcome, SrProtocol};

@@ -135,6 +135,7 @@ impl Recovery {
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            health: wsn_simcore::ProtocolHealth::default(),
             details: SchemeDetails::none(),
         }
     }
@@ -164,6 +165,7 @@ impl Recovery {
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            health: wsn_simcore::ProtocolHealth::default(),
             details: SchemeDetails::none(),
         }
     }

@@ -60,8 +60,8 @@
 //!         _seed: u64,
 //!         mode: DriveMode,
 //!     ) -> Result<SchemeReport, Unsupported> {
-//!         if mode == DriveMode::ChangeDriven {
-//!             return Err(Unsupported::new(self.id(), "no change-driven driver"));
+//!         if mode != DriveMode::Classic {
+//!             return Err(Unsupported::new(self.id(), "only the classic driver exists"));
 //!         }
 //!         let initial_stats = net.stats();
 //!         let mut metrics = Metrics::new();
@@ -86,6 +86,7 @@
 //!             fully_covered: final_stats.vacant == 0,
 //!             final_stats,
 //!             processes: Vec::new(),
+//!             health: wsn_simcore::ProtocolHealth::default(),
 //!             details: SchemeDetails::none(),
 //!         })
 //!     }
@@ -117,8 +118,9 @@ use serde::{Deserialize, Serialize};
 
 use wsn_grid::{GridNetwork, GridSystem, NetworkStats, RegionMask};
 use wsn_hamilton::CycleTopology;
-use wsn_simcore::{Metrics, RunReport, TraceLog};
+use wsn_simcore::{Metrics, NetModelSpec, ProtocolHealth, RunReport, TraceLog};
 
+use crate::actor::{EventScRecovery, EventSrRecovery};
 use crate::process::ProcessSummary;
 use crate::recovery::{Recovery, SrError};
 use crate::shortcut::ShortcutRecovery;
@@ -142,14 +144,28 @@ pub enum DriveMode {
     /// rounds. Only available where
     /// [`ReplacementScheme::supports_change_driven`] reports `true`.
     ChangeDriven,
+    /// The discrete-event engine: heads and spares are actors
+    /// exchanging typed messages through the given network model
+    /// ([`wsn_simcore::net`]), so latency and loss become protocol
+    /// inputs instead of axioms. Under [`NetModelSpec::Ideal`] the
+    /// engine reproduces the classic runner's `Metrics` exactly (the
+    /// conformance contract); degraded models surface duplicate
+    /// initiations, lost cascades and stalled repairs in
+    /// [`SchemeReport::health`]. Only available where
+    /// [`ReplacementScheme::supports_event_driven`] reports `true`.
+    EventDriven {
+        /// The network model messages are routed through.
+        net: NetModelSpec,
+    },
 }
 
 impl fmt::Display for DriveMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            DriveMode::Classic => "classic",
-            DriveMode::ChangeDriven => "change-driven",
-        })
+        match self {
+            DriveMode::Classic => f.write_str("classic"),
+            DriveMode::ChangeDriven => f.write_str("change-driven"),
+            DriveMode::EventDriven { net } => write!(f, "event-{net}"),
+        }
     }
 }
 
@@ -331,6 +347,13 @@ pub struct SchemeReport {
     /// Per-process details, for schemes with a replacement-process
     /// notion (SR, SR-SC); empty otherwise.
     pub processes: Vec<ProcessSummary>,
+    /// Distributed-protocol health counters. All-zero for classic and
+    /// change-driven runs (the synchronous model has no network to
+    /// lose messages in); populated by [`DriveMode::EventDriven`].
+    /// Excluded from equality, like `details`: conformance compares
+    /// the classic engine (no envelope accounting) against the event
+    /// engine (full accounting) on everything the paper measures.
+    pub health: ProtocolHealth,
     /// Scheme-specific extras (excluded from equality).
     pub details: SchemeDetails,
 }
@@ -395,6 +418,11 @@ pub trait ReplacementScheme: fmt::Debug + Send + Sync {
 
     /// Whether [`DriveMode::ChangeDriven`] is implemented.
     fn supports_change_driven(&self) -> bool {
+        false
+    }
+
+    /// Whether [`DriveMode::EventDriven`] is implemented.
+    fn supports_event_driven(&self) -> bool {
         false
     }
 
@@ -847,6 +875,10 @@ impl ReplacementScheme for Sr {
         true
     }
 
+    fn supports_event_driven(&self) -> bool {
+        true
+    }
+
     fn run(
         &self,
         net: &mut GridNetwork,
@@ -887,11 +919,20 @@ impl Sr {
         if traced {
             config = config.with_trace(true);
         }
+        if let DriveMode::EventDriven { net: spec } = mode {
+            let mut recovery = EventSrRecovery::with_topology(owned, topo, config, spec)
+                .expect("round caps pre-validated");
+            let report = recovery.run();
+            let trace = recovery.trace().clone();
+            *net = recovery.into_network();
+            return Ok((report, trace));
+        }
         let mut recovery =
             Recovery::with_topology(owned, topo, config).expect("round caps pre-validated");
         let report = match mode {
             DriveMode::Classic => recovery.run(),
             DriveMode::ChangeDriven => recovery.run_adaptive(),
+            DriveMode::EventDriven { .. } => unreachable!("routed above"),
         };
         let trace = recovery.trace().clone();
         *net = recovery.into_network();
@@ -959,34 +1000,17 @@ impl ReplacementScheme for SrSc {
         }
     }
 
+    fn supports_event_driven(&self) -> bool {
+        true
+    }
+
     fn run(
         &self,
         net: &mut GridNetwork,
         seed: u64,
         mode: DriveMode,
     ) -> Result<SchemeReport, Unsupported> {
-        if mode == DriveMode::ChangeDriven {
-            return Err(Unsupported::new(
-                self.id(),
-                "SR-SC has no change-driven driver (the gossip gradient needs every round)",
-            ));
-        }
-        let topo = CycleTopology::build_masked(net.mask())
-            .map_err(|e| Unsupported::new(self.id(), e.to_string()))?;
-        if matches!(topo, CycleTopology::Dual(_)) {
-            return Err(Unsupported::new(
-                self.id(),
-                "SR-SC requires a single Hamilton cycle (one even side)",
-            ));
-        }
-        validate_runner_config(self.id(), &self.config)?;
-        let owned = detach_network(net);
-        let mut recovery =
-            ShortcutRecovery::with_topology(owned, topo, self.config.clone().with_seed(seed))
-                .expect("pre-validated ring and round caps");
-        let report = recovery.run();
-        *net = recovery.into_network();
-        Ok(report)
+        self.drive(net, seed, mode, false).map(|(report, _)| report)
     }
 
     fn run_traced(
@@ -994,6 +1018,20 @@ impl ReplacementScheme for SrSc {
         net: &mut GridNetwork,
         seed: u64,
         mode: DriveMode,
+    ) -> Result<(SchemeReport, TraceLog), Unsupported> {
+        self.drive(net, seed, mode, true)
+    }
+}
+
+impl SrSc {
+    /// The shared driver behind `run` and `run_traced`, mirroring
+    /// [`Sr::drive`].
+    fn drive(
+        &self,
+        net: &mut GridNetwork,
+        seed: u64,
+        mode: DriveMode,
+        traced: bool,
     ) -> Result<(SchemeReport, TraceLog), Unsupported> {
         if mode == DriveMode::ChangeDriven {
             return Err(Unsupported::new(
@@ -1011,7 +1049,18 @@ impl ReplacementScheme for SrSc {
         }
         validate_runner_config(self.id(), &self.config)?;
         let owned = detach_network(net);
-        let config = self.config.clone().with_seed(seed).with_trace(true);
+        let mut config = self.config.clone().with_seed(seed);
+        if traced {
+            config = config.with_trace(true);
+        }
+        if let DriveMode::EventDriven { net: spec } = mode {
+            let mut recovery = EventScRecovery::with_topology(owned, topo, config, spec)
+                .expect("pre-validated ring and round caps");
+            let report = recovery.run();
+            let trace = recovery.trace().clone();
+            *net = recovery.into_network();
+            return Ok((report, trace));
+        }
         let mut recovery = ShortcutRecovery::with_topology(owned, topo, config)
             .expect("pre-validated ring and round caps");
         let report = recovery.run();

@@ -61,7 +61,7 @@ pub(crate) enum ScRing {
 }
 
 impl ScRing {
-    fn predecessor(&self, cell: GridCoord) -> GridCoord {
+    pub(crate) fn predecessor(&self, cell: GridCoord) -> GridCoord {
         match self {
             ScRing::Cycle(c) => c.predecessor(cell),
             ScRing::Masked(m) => m.predecessor(cell),
@@ -70,7 +70,7 @@ impl ScRing {
 
     /// Cells on the ring (all cells for a cycle, enabled cells for a
     /// masked ring).
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             ScRing::Cycle(c) => c.len(),
             ScRing::Masked(m) => m.len(),
@@ -78,7 +78,7 @@ impl ScRing {
     }
 
     /// The walk bound `L` (Theorem 2's parameter on the structure).
-    fn max_hops(&self) -> usize {
+    pub(crate) fn max_hops(&self) -> usize {
         match self {
             ScRing::Cycle(c) => c.deduced_path_hops(),
             ScRing::Masked(m) => m.max_walk_hops(),
@@ -472,6 +472,7 @@ impl ShortcutRecovery {
             final_stats,
             fully_covered: final_stats.vacant == 0,
             processes: self.protocol.process_summaries().to_vec(),
+            health: wsn_simcore::ProtocolHealth::default(),
             details: SchemeDetails::none(),
         }
     }

@@ -15,6 +15,12 @@
 //! * [`node`] — sensor nodes with positions, enabled/disabled status and
 //!   battery state.
 //! * [`engine`] — the synchronous round loop with quiescence detection.
+//! * [`event`] — the virtual-clock binary-heap scheduler behind the
+//!   event-driven engine, with deterministic `(time, seq)` FIFO
+//!   tie-breaking.
+//! * [`net`] — network models (ideal, fixed-latency, Bernoulli loss,
+//!   jammer disk) with coordinate-addressed RNG streams, plus the
+//!   [`net::ProtocolHealth`] outcome block.
 //! * [`fault`] — fault injection: random kills, targeted kills and a
 //!   moving-jammer region model (after Xu et al., *Jamming sensor
 //!   networks*, cited as \[8\] by the paper).
@@ -43,8 +49,10 @@
 
 pub mod energy;
 pub mod engine;
+pub mod event;
 pub mod fault;
 pub mod metrics;
+pub mod net;
 pub mod node;
 pub mod replay;
 pub mod rng;
@@ -55,8 +63,10 @@ pub use engine::{
     ChangeDrivenProtocol, EngineError, Quiescence, RoundOutcome, RoundProtocol, RoundRunner,
     RunReport,
 };
+pub use event::{EventQueue, Scheduled};
 pub use fault::{FaultEvent, FaultPlan, Jammer};
 pub use metrics::Metrics;
+pub use net::{Endpoint, Fate, NetLink, NetModelSpec, ProtocolHealth};
 pub use node::{NodeId, NodeStatus, SensorNode};
 pub use replay::{diff_logs, shrink_fault_plan, Divergence, ShrinkReport, TraceDiff};
 pub use rng::{derive_stream_seed, SimRng};

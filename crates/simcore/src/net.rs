@@ -1,0 +1,503 @@
+//! Network models for the event-driven engine: configurable latency,
+//! loss and interference between cell-level actors.
+//!
+//! The classic round loop bills a message the instant a head decides to
+//! send it — delivery is an axiom. The event engine routes every
+//! inter-cell envelope through a [`NetLink`] instead, and the link's
+//! [`NetModelSpec`] decides its fate: delivered after some delay, or
+//! dropped. Three properties are load-bearing:
+//!
+//! * **Coordinate-addressed weather.** A message's fate is a pure
+//!   function of `(net_seed, from_cell, to_cell, n)` where `n` counts
+//!   messages on that directed link — never of global draw order. Two
+//!   schemes replaying the same trial seed therefore face the identical
+//!   loss pattern on every link ("the weather is scheme-invariant"),
+//!   and campaign workers can route in any order without perturbing
+//!   fates.
+//! * **Separate streams.** Link randomness never touches the
+//!   protocol's run RNG: under [`NetModelSpec::Ideal`] a run draws the
+//!   byte-identical random sequence as the classic round loop, which is
+//!   what makes the engine's conformance contract provable.
+//! * **Integer specs.** [`NetModelSpec`] carries only integers
+//!   (parts-per-million loss, tick latency, millimeter geometry) so it
+//!   stays `Copy + Eq + Hash` and can ride inside
+//!   `DriveMode::EventDriven` as a campaign axis.
+//!
+//! [`ProtocolHealth`] is the observable outcome block: the event engine
+//! counts what the synchronous model defines away — duplicate
+//! initiations, lost cascades, stalled repairs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::rng::SimRng;
+
+/// The fate of one routed envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered after `extra` ticks beyond the engine's one-tick base
+    /// latency (0 = next tick, the classic round cadence).
+    Deliver(u64),
+    /// Lost in transit; the receiver never learns it existed.
+    Drop,
+}
+
+/// Declarative network-model selection — the `net` payload of
+/// `DriveMode::EventDriven` and the latency×loss axes of degraded
+/// campaigns. All fields are integers so the spec is `Copy + Eq + Hash`
+/// and serializes into stable artifact tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NetModelSpec {
+    /// Every message delivered next tick — the conformance baseline
+    /// that must reproduce the classic runner byte-for-byte.
+    #[default]
+    Ideal,
+    /// Every message delivered after a fixed number of ticks (≥ 1; a
+    /// configured 0 is read as 1, the minimum physical latency).
+    FixedLatency {
+        /// Delivery latency in ticks.
+        ticks: u32,
+    },
+    /// Independent per-message loss with probability
+    /// `loss_ppm / 1_000_000`, surviving messages delivered after
+    /// `latency` ticks (≥ 1).
+    Bernoulli {
+        /// Loss probability in parts per million (clamped to 10^6).
+        loss_ppm: u32,
+        /// Delivery latency of surviving messages, in ticks.
+        latency: u32,
+    },
+    /// A jamming disk: any message with an endpoint strictly inside the
+    /// disk is dropped; everything else is delivered next tick.
+    /// Geometry is in millimeters so the spec stays integral.
+    Jammer {
+        /// Disk center x in millimeters.
+        x_mm: u32,
+        /// Disk center y in millimeters.
+        y_mm: u32,
+        /// Disk radius in millimeters.
+        radius_mm: u32,
+    },
+}
+
+impl NetModelSpec {
+    /// Effective delivery latency in ticks (always ≥ 1).
+    pub fn latency_ticks(&self) -> u32 {
+        match *self {
+            NetModelSpec::Ideal | NetModelSpec::Jammer { .. } => 1,
+            NetModelSpec::FixedLatency { ticks } => ticks.max(1),
+            NetModelSpec::Bernoulli { latency, .. } => latency.max(1),
+        }
+    }
+
+    /// Loss probability in parts per million (0 for loss-free models).
+    pub fn loss_ppm(&self) -> u32 {
+        match *self {
+            NetModelSpec::Bernoulli { loss_ppm, .. } => loss_ppm.min(1_000_000),
+            _ => 0,
+        }
+    }
+
+    /// Stable, filesystem-safe token for artifact names and replay
+    /// metadata; [`NetModelSpec::parse_token`] inverts it.
+    pub fn token(&self) -> String {
+        match *self {
+            NetModelSpec::Ideal => "ideal".into(),
+            NetModelSpec::FixedLatency { ticks } => format!("lat{ticks}"),
+            NetModelSpec::Bernoulli { loss_ppm, latency } => {
+                format!("loss{loss_ppm}-lat{latency}")
+            }
+            NetModelSpec::Jammer {
+                x_mm,
+                y_mm,
+                radius_mm,
+            } => format!("jam{x_mm}x{y_mm}r{radius_mm}"),
+        }
+    }
+
+    /// Parses a [`NetModelSpec::token`] back into the spec.
+    pub fn parse_token(s: &str) -> Option<NetModelSpec> {
+        if s == "ideal" {
+            return Some(NetModelSpec::Ideal);
+        }
+        if let Some(rest) = s.strip_prefix("loss") {
+            let (loss, lat) = rest.split_once("-lat")?;
+            return Some(NetModelSpec::Bernoulli {
+                loss_ppm: loss.parse().ok()?,
+                latency: lat.parse().ok()?,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("lat") {
+            return Some(NetModelSpec::FixedLatency {
+                ticks: rest.parse().ok()?,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("jam") {
+            let (x, rest) = rest.split_once('x')?;
+            let (y, r) = rest.split_once('r')?;
+            return Some(NetModelSpec::Jammer {
+                x_mm: x.parse().ok()?,
+                y_mm: y.parse().ok()?,
+                radius_mm: r.parse().ok()?,
+            });
+        }
+        None
+    }
+
+    /// Builds the stateful link for one run. `seed` addresses the
+    /// link's RNG streams; derive it from the trial seed so it is
+    /// independent of the protocol's run RNG.
+    pub fn link(self, seed: u64) -> NetLink {
+        NetLink {
+            spec: self,
+            seed,
+            pair_counts: HashMap::new(),
+            health: ProtocolHealth::default(),
+        }
+    }
+}
+
+impl fmt::Display for NetModelSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// One endpoint of a routed envelope: the dense cell index (the RNG
+/// stream coordinate) plus the cell-center position in meters (the
+/// geometry the jammer model tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Endpoint {
+    /// Dense row-major cell index.
+    pub cell: u64,
+    /// Cell-center position in meters.
+    pub pos: (f64, f64),
+}
+
+/// A live network link: the model plus its per-directed-pair message
+/// counters and the health ledger. One per run.
+#[derive(Debug, Clone)]
+pub struct NetLink {
+    spec: NetModelSpec,
+    seed: u64,
+    /// Messages routed so far on each directed `(from, to)` pair — the
+    /// `n` of the coordinate-addressed fate function.
+    pair_counts: HashMap<(u64, u64), u64>,
+    /// Counters the run's `SchemeReport` surfaces as `ProtocolHealth`.
+    pub health: ProtocolHealth,
+}
+
+impl NetLink {
+    /// The spec this link was built from.
+    pub fn spec(&self) -> NetModelSpec {
+        self.spec
+    }
+
+    /// Whether this link is the loss-free, unit-latency baseline.
+    pub fn is_ideal(&self) -> bool {
+        self.spec == NetModelSpec::Ideal
+    }
+
+    /// The fate of the `n`-th message on a directed pair — pure in
+    /// `(seed, from, to, n)`, independent of routing order elsewhere.
+    fn fate_at(&self, from: Endpoint, to: Endpoint, n: u64) -> Fate {
+        let extra = u64::from(self.spec.latency_ticks()) - 1;
+        match self.spec {
+            NetModelSpec::Ideal | NetModelSpec::FixedLatency { .. } => Fate::Deliver(extra),
+            NetModelSpec::Bernoulli { loss_ppm, .. } => {
+                let mut rng = SimRng::for_stream(self.seed, &[from.cell, to.cell, n]);
+                if rng.next_u64() % 1_000_000 < u64::from(loss_ppm.min(1_000_000)) {
+                    Fate::Drop
+                } else {
+                    Fate::Deliver(extra)
+                }
+            }
+            NetModelSpec::Jammer {
+                x_mm,
+                y_mm,
+                radius_mm,
+            } => {
+                let c = (f64::from(x_mm) / 1000.0, f64::from(y_mm) / 1000.0);
+                let r = f64::from(radius_mm) / 1000.0;
+                let inside = |p: (f64, f64)| {
+                    let (dx, dy) = (p.0 - c.0, p.1 - c.1);
+                    dx * dx + dy * dy < r * r
+                };
+                if inside(from.pos) || inside(to.pos) {
+                    Fate::Drop
+                } else {
+                    Fate::Deliver(extra)
+                }
+            }
+        }
+    }
+
+    /// Routes one inter-cell envelope, advancing the pair counter and
+    /// the health ledger.
+    pub fn route(&mut self, from: Endpoint, to: Endpoint) -> Fate {
+        let n = *self.pair_counts.get(&(from.cell, to.cell)).unwrap_or(&0);
+        let fate = self.fate_at(from, to, n);
+        self.pair_counts.insert((from.cell, to.cell), n + 1);
+        self.health.messages_sent += 1;
+        if fate == Fate::Drop {
+            self.health.messages_dropped += 1;
+        }
+        fate
+    }
+
+    /// Routes a same-tick sense (a 1-hop occupancy probe): the carrier
+    /// either comes back clean or is jammed/lost — there is no latency
+    /// to a failed carrier sense. Returns `true` when the probe got
+    /// through.
+    pub fn sense(&mut self, from: Endpoint, to: Endpoint) -> bool {
+        self.route(from, to) != Fate::Drop
+    }
+
+    /// Accounts an intra-cell message (head ↔ co-located spare). The
+    /// cell is a single radio neighborhood, so these never traverse the
+    /// lossy inter-cell channel: always delivered, still counted.
+    pub fn local(&mut self) {
+        self.health.messages_sent += 1;
+    }
+}
+
+/// Observable protocol-health outcomes of one event-driven run — the
+/// failure modes the synchronous round model defines away, counted
+/// instead of assumed impossible. All counters are zero for classic
+/// runs and for event runs under [`NetModelSpec::Ideal`] (except the
+/// message tallies, which count real envelopes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProtocolHealth {
+    /// Envelopes handed to the network (probes and acks included —
+    /// a superset of the billed `Metrics::messages`).
+    pub messages_sent: u64,
+    /// Envelopes the network dropped.
+    pub messages_dropped: u64,
+    /// Initiations for a hole that already had a live owner the
+    /// monitor could not know about — the paper's "one and only one
+    /// initiation per hole" failing observably.
+    pub duplicate_initiations: u64,
+    /// Cascade-carrying notifications the network lost: the backward
+    /// walk's baton vanished in transit.
+    pub lost_cascades: u64,
+    /// Processes that ended the run still waiting on a baton that
+    /// never arrived.
+    pub stalled_repairs: u64,
+    /// Cascades whose target vacancy had already been refilled (by a
+    /// duplicate) when their baton finally arrived.
+    pub superseded_repairs: u64,
+}
+
+impl ProtocolHealth {
+    /// `true` when no degraded-network failure mode was observed
+    /// (messages may still have been counted).
+    pub fn is_clean(&self) -> bool {
+        self.messages_dropped == 0
+            && self.duplicate_initiations == 0
+            && self.lost_cascades == 0
+            && self.stalled_repairs == 0
+            && self.superseded_repairs == 0
+    }
+
+    /// Folds another run's counters into this one (campaign cells).
+    pub fn merge(&mut self, other: &ProtocolHealth) {
+        self.messages_sent += other.messages_sent;
+        self.messages_dropped += other.messages_dropped;
+        self.duplicate_initiations += other.duplicate_initiations;
+        self.lost_cascades += other.lost_cascades;
+        self.stalled_repairs += other.stalled_repairs;
+        self.superseded_repairs += other.superseded_repairs;
+    }
+}
+
+impl fmt::Display for ProtocolHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} dropped {} duplicates {} lost {} stalled {} superseded {}",
+            self.messages_sent,
+            self.messages_dropped,
+            self.duplicate_initiations,
+            self.lost_cascades,
+            self.stalled_repairs,
+            self.superseded_repairs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(cell: u64) -> Endpoint {
+        Endpoint {
+            cell,
+            pos: (cell as f64, 0.0),
+        }
+    }
+
+    #[test]
+    fn ideal_and_fixed_latency_never_drop() {
+        let mut ideal = NetModelSpec::Ideal.link(1);
+        let mut fixed = NetModelSpec::FixedLatency { ticks: 4 }.link(1);
+        for i in 0..100 {
+            assert_eq!(ideal.route(ep(i), ep(i + 1)), Fate::Deliver(0));
+            assert_eq!(fixed.route(ep(i), ep(i + 1)), Fate::Deliver(3));
+        }
+        assert_eq!(ideal.health.messages_dropped, 0);
+        assert_eq!(fixed.health.messages_sent, 100);
+    }
+
+    #[test]
+    fn zero_latency_is_clamped_to_the_physical_minimum() {
+        assert_eq!(NetModelSpec::FixedLatency { ticks: 0 }.latency_ticks(), 1);
+        assert_eq!(
+            NetModelSpec::Bernoulli {
+                loss_ppm: 0,
+                latency: 0
+            }
+            .latency_ticks(),
+            1
+        );
+        let mut link = NetModelSpec::FixedLatency { ticks: 0 }.link(9);
+        assert_eq!(link.route(ep(0), ep(1)), Fate::Deliver(0));
+    }
+
+    #[test]
+    fn bernoulli_fate_is_coordinate_addressed() {
+        let spec = NetModelSpec::Bernoulli {
+            loss_ppm: 300_000,
+            latency: 1,
+        };
+        // The nth message on a pair has the same fate regardless of
+        // what other links carried first.
+        let mut a = spec.link(7);
+        let mut b = spec.link(7);
+        for i in 0..50 {
+            b.route(ep(90 + i), ep(91 + i)); // unrelated traffic
+        }
+        let fates_a: Vec<Fate> = (0..64).map(|_| a.route(ep(3), ep(4))).collect();
+        let fates_b: Vec<Fate> = (0..64).map(|_| b.route(ep(3), ep(4))).collect();
+        assert_eq!(fates_a, fates_b);
+        // A 30% model drops some but not all of 64 messages.
+        let drops = fates_a.iter().filter(|f| **f == Fate::Drop).count();
+        assert!(drops > 0 && drops < 64, "drops = {drops}");
+        // Different seeds shift the weather.
+        let mut c = spec.link(8);
+        let fates_c: Vec<Fate> = (0..64).map(|_| c.route(ep(3), ep(4))).collect();
+        assert_ne!(fates_a, fates_c);
+    }
+
+    #[test]
+    fn bernoulli_extremes_behave() {
+        let mut never = NetModelSpec::Bernoulli {
+            loss_ppm: 0,
+            latency: 2,
+        }
+        .link(3);
+        let mut always = NetModelSpec::Bernoulli {
+            loss_ppm: 1_000_000,
+            latency: 1,
+        }
+        .link(3);
+        // An overflowing ppm is clamped, not wrapped.
+        let mut over = NetModelSpec::Bernoulli {
+            loss_ppm: u32::MAX,
+            latency: 1,
+        }
+        .link(3);
+        for i in 0..32 {
+            assert_eq!(never.route(ep(0), ep(i)), Fate::Deliver(1));
+            assert_eq!(always.route(ep(0), ep(i)), Fate::Drop);
+            assert_eq!(over.route(ep(0), ep(i)), Fate::Drop);
+        }
+    }
+
+    #[test]
+    fn jammer_drops_inside_the_disk_only() {
+        let spec = NetModelSpec::Jammer {
+            x_mm: 10_000,
+            y_mm: 10_000,
+            radius_mm: 5_000,
+        };
+        let mut link = spec.link(1);
+        let inside = Endpoint {
+            cell: 0,
+            pos: (10.0, 12.0),
+        };
+        let rim = Endpoint {
+            cell: 1,
+            pos: (10.0, 15.0), // exactly on the rim: outside (strict disk)
+        };
+        let outside = Endpoint {
+            cell: 2,
+            pos: (30.0, 30.0),
+        };
+        assert_eq!(link.route(inside, outside), Fate::Drop);
+        assert_eq!(link.route(outside, inside), Fate::Drop);
+        assert_eq!(link.route(outside, rim), Fate::Deliver(0));
+        assert_eq!(link.route(rim, outside), Fate::Deliver(0));
+        assert_eq!(link.health.messages_dropped, 2);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        let specs = [
+            NetModelSpec::Ideal,
+            NetModelSpec::FixedLatency { ticks: 3 },
+            NetModelSpec::Bernoulli {
+                loss_ppm: 300_000,
+                latency: 2,
+            },
+            NetModelSpec::Jammer {
+                x_mm: 5,
+                y_mm: 6,
+                radius_mm: 7,
+            },
+        ];
+        for spec in specs {
+            let token = spec.token();
+            assert_eq!(NetModelSpec::parse_token(&token), Some(spec), "{token}");
+            assert!(
+                token.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "token {token} must stay filesystem-safe"
+            );
+        }
+        assert_eq!(NetModelSpec::parse_token("weather"), None);
+        assert_eq!(NetModelSpec::parse_token("latx"), None);
+        assert_eq!(NetModelSpec::parse_token("loss5"), None);
+    }
+
+    #[test]
+    fn health_merge_and_cleanliness() {
+        let mut h = ProtocolHealth::default();
+        assert!(h.is_clean());
+        h.merge(&ProtocolHealth {
+            messages_sent: 5,
+            messages_dropped: 1,
+            duplicate_initiations: 2,
+            lost_cascades: 1,
+            stalled_repairs: 1,
+            superseded_repairs: 0,
+        });
+        assert!(!h.is_clean());
+        assert_eq!(h.messages_sent, 5);
+        assert_eq!(h.duplicate_initiations, 2);
+        let clean = ProtocolHealth {
+            messages_sent: 10,
+            ..ProtocolHealth::default()
+        };
+        assert!(clean.is_clean(), "message traffic alone is not a failure");
+        assert!(clean.to_string().contains("sent 10"));
+    }
+
+    #[test]
+    fn sense_and_local_feed_the_ledger() {
+        let mut link = NetModelSpec::Ideal.link(0);
+        assert!(link.sense(ep(1), ep(2)));
+        link.local();
+        assert_eq!(link.health.messages_sent, 2);
+        assert_eq!(link.health.messages_dropped, 0);
+    }
+}

@@ -98,6 +98,19 @@ pub enum TraceEvent {
         /// Distance covered, meters.
         distance: f64,
     },
+    /// An inter-cell envelope was handed to the network model by the
+    /// event-driven engine.
+    NetMessage {
+        /// Message kind token (e.g. `hole_announce`, `move_ack`).
+        msg: String,
+        /// Sender cell.
+        from: (u16, u16),
+        /// Receiver cell.
+        to: (u16, u16),
+        /// Scheduled delivery round, or `None` when the network
+        /// dropped the envelope.
+        deliver_at: Option<Round>,
+    },
 }
 
 impl TraceEvent {
@@ -113,6 +126,7 @@ impl TraceEvent {
             TraceEvent::ProcessFailed { .. } => "process_failed",
             TraceEvent::HeadElected { .. } => "head_elected",
             TraceEvent::NodeRepositioned { .. } => "node_repositioned",
+            TraceEvent::NetMessage { .. } => "net_message",
         }
     }
 }
@@ -172,6 +186,23 @@ impl fmt::Display for TraceEvent {
             TraceEvent::NodeRepositioned { node, to, distance } => {
                 write!(f, "{node} repositioned to {to} [{distance:.2} m]")
             }
+            TraceEvent::NetMessage {
+                msg,
+                from,
+                to,
+                deliver_at,
+            } => match deliver_at {
+                Some(t) => write!(
+                    f,
+                    "{msg} ({}, {}) -> ({}, {}) due round {t}",
+                    from.0, from.1, to.0, to.1
+                ),
+                None => write!(
+                    f,
+                    "{msg} ({}, {}) -> ({}, {}) dropped",
+                    from.0, from.1, to.0, to.1
+                ),
+            },
         }
     }
 }
@@ -336,6 +367,19 @@ impl TraceLog {
                     fields.push(("y", json_f64(to.y)));
                     fields.push(("distance", json_f64(*distance)));
                 }
+                TraceEvent::NetMessage {
+                    msg,
+                    from,
+                    to,
+                    deliver_at,
+                } => {
+                    fields.push(("msg", format!("\"{}\"", json_escape(msg))));
+                    fields.push(("from", format!("[{},{}]", from.0, from.1)));
+                    fields.push(("to", format!("[{},{}]", to.0, to.1)));
+                    if let Some(t) = deliver_at {
+                        fields.push(("deliver_at", t.to_string()));
+                    }
+                }
             }
             let _ = write!(out, "{{\"kind\":\"{kind}\"");
             for (k, v) in fields {
@@ -358,7 +402,7 @@ impl TraceLog {
     /// # Errors
     ///
     /// [`TraceCodecError::Json`] naming the 1-based line and the reason
-    /// when a line is not one of the nine known record shapes.
+    /// when a line is not one of the ten known record shapes.
     pub fn from_json_lines(s: &str) -> Result<TraceLog, TraceCodecError> {
         let mut log = TraceLog::new();
         for (i, line) in s.lines().enumerate() {
@@ -480,6 +524,7 @@ pub mod binary {
     const TAG_PROCESS_FAILED: u8 = 6;
     const TAG_HEAD_ELECTED: u8 = 7;
     const TAG_NODE_REPOSITIONED: u8 = 8;
+    const TAG_NET_MESSAGE: u8 = 9;
 
     fn put_varint(out: &mut Vec<u8>, mut v: u64) {
         loop {
@@ -589,6 +634,24 @@ pub mod binary {
                     put_f64(&mut out, to.x);
                     put_f64(&mut out, to.y);
                     put_f64(&mut out, *distance);
+                }
+                TraceEvent::NetMessage {
+                    msg,
+                    from,
+                    to,
+                    deliver_at,
+                } => {
+                    out.push(TAG_NET_MESSAGE);
+                    put_str(&mut out, msg);
+                    put_cell(&mut out, *from);
+                    put_cell(&mut out, *to);
+                    match deliver_at {
+                        Some(t) => {
+                            out.push(1);
+                            put_varint(&mut out, *t);
+                        }
+                        None => out.push(0),
+                    }
                 }
             }
         }
@@ -740,6 +803,21 @@ pub mod binary {
                     to: Point2::new(r.f64()?, r.f64()?),
                     distance: r.f64()?,
                 },
+                TAG_NET_MESSAGE => {
+                    let msg = r.string()?;
+                    let from = r.cell()?;
+                    let to = r.cell()?;
+                    let deliver_at = match r.byte()? {
+                        0 => None,
+                        _ => Some(r.varint()?),
+                    };
+                    TraceEvent::NetMessage {
+                        msg,
+                        from,
+                        to,
+                        deliver_at,
+                    }
+                }
                 other => return Err(TraceCodecError::BadTag(other)),
             };
             // Push directly: a disabled log must still round-trip its
@@ -979,6 +1057,15 @@ mod json {
                 to: Point2::new(get_f64(&map, "x")?, get_f64(&map, "y")?),
                 distance: get_f64(&map, "distance")?,
             },
+            "net_message" => TraceEvent::NetMessage {
+                msg: get_str(&map, "msg")?,
+                from: get_cell(&map, "from")?,
+                to: get_cell(&map, "to")?,
+                deliver_at: match map.get("deliver_at") {
+                    Some(_) => Some(get_u64(&map, "deliver_at")?),
+                    None => None,
+                },
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         };
         Ok((round, event))
@@ -1116,6 +1203,12 @@ mod tests {
                 to: Point2::new(1.0, 2.0),
                 distance: 2.0,
             },
+            TraceEvent::NetMessage {
+                msg: "hole_announce".into(),
+                from: (2, 2),
+                to: (2, 1),
+                deliver_at: Some(4),
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         for e in &events {
@@ -1123,7 +1216,7 @@ mod tests {
         }
         kinds.sort_unstable();
         kinds.dedup();
-        assert_eq!(kinds.len(), 9, "kinds must be distinct");
+        assert_eq!(kinds.len(), 10, "kinds must be distinct");
     }
 
     #[test]
@@ -1218,6 +1311,18 @@ mod tests {
                 node: NodeId::new(3),
                 to: Point2::new(-1.5, 2e-300),
                 distance: f64::MIN_POSITIVE,
+            },
+            TraceEvent::NetMessage {
+                msg: "hole_announce".into(),
+                from: (3, 3),
+                to: (3, 2),
+                deliver_at: Some(12),
+            },
+            TraceEvent::NetMessage {
+                msg: "move_ack \"odd\"\n".into(),
+                from: (u16::MAX, 1),
+                to: (0, 0),
+                deliver_at: None,
             },
         ]
     }
@@ -1378,12 +1483,18 @@ mod tests {
                 to: Point2::new(1.0, 2.0),
                 distance: 2.0,
             },
+            TraceEvent::NetMessage {
+                msg: "monitor_probe".into(),
+                from: (1, 0),
+                to: (1, 1),
+                deliver_at: None,
+            },
         ];
         for (i, e) in events.into_iter().enumerate() {
             log.record(i as u64, e);
         }
         let jsonl = log.to_json_lines();
-        assert_eq!(jsonl.lines().count(), 9);
+        assert_eq!(jsonl.lines().count(), 10);
         for kind in [
             "node_disabled",
             "vacancy_detected",
@@ -1394,6 +1505,7 @@ mod tests {
             "process_failed",
             "head_elected",
             "node_repositioned",
+            "net_message",
         ] {
             assert!(jsonl.contains(&format!("\"kind\":\"{kind}\"")), "{kind}");
         }

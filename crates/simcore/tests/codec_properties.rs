@@ -20,7 +20,7 @@ const REASONS: [&str; 7] = [
 
 fn event() -> impl Strategy<Value = TraceEvent> {
     (
-        (0u8..9, 0u64..u64::MAX, 0u32..u32::MAX),
+        (0u8..10, 0u64..u64::MAX, 0u32..u32::MAX),
         (0u16..u16::MAX, 0u16..u16::MAX),
         (0u16..u16::MAX, 0u16..u16::MAX),
         (-1e9..1e9f64, -1e9..1e9f64),
@@ -64,10 +64,16 @@ fn event() -> impl Strategy<Value = TraceEvent> {
                 cell: c1,
                 node: NodeId::new(node),
             },
-            _ => TraceEvent::NodeRepositioned {
+            8 => TraceEvent::NodeRepositioned {
                 node: NodeId::new(node),
                 to: wsn_geometry::Point2::new(d1, d2),
                 distance: d1.abs(),
+            },
+            _ => TraceEvent::NetMessage {
+                msg: reason.to_string(),
+                from: c1,
+                to: c2,
+                deliver_at: (n % 2 == 0).then_some(n),
             },
         })
 }
