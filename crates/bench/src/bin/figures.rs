@@ -32,16 +32,83 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use wsn_baselines::builtins;
-use wsn_bench::campaign::{run_campaign, CampaignConfig};
+use wsn_bench::campaign::{
+    run_campaign_resumable, CampaignCheckpoint, CampaignConfig, CampaignObserver, CampaignResult,
+    CampaignRun,
+};
 use wsn_bench::figures;
 use wsn_bench::sweep::{run_sweep, sweep_to_json, SweepConfig};
 use wsn_coverage::SchemeId;
+use wsn_simcore::shutdown;
 use wsn_stats::table::TextTable;
 
 fn out_dir() -> PathBuf {
     std::env::var_os("WSN_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Winds the campaign down at the next trial boundary after
+/// SIGINT/SIGTERM.
+struct SignalObserver;
+
+impl CampaignObserver for SignalObserver {
+    fn cancel_requested(&self) -> bool {
+        shutdown::requested()
+    }
+}
+
+/// Runs a campaign under the process shutdown flag. A signal flushes a
+/// resumable checkpoint to `<dir>/<name>.checkpoint.json` instead of
+/// discarding the completed trials; a matching checkpoint left by an
+/// earlier interrupted run is picked up automatically and removed once
+/// the campaign completes.
+fn run_campaign_graceful(cfg: &CampaignConfig, dir: &PathBuf) -> Result<CampaignResult, String> {
+    let checkpoint_path = dir.join(format!("{}.checkpoint.json", cfg.name));
+    let start = match std::fs::read_to_string(&checkpoint_path) {
+        Ok(text) => match CampaignCheckpoint::from_json_str(&text) {
+            Ok(cp) if cp.config.to_json().to_string() == cfg.to_json().to_string() => {
+                eprintln!(
+                    "resuming '{}' from {} ({} of {} trials done)",
+                    cfg.name,
+                    checkpoint_path.display(),
+                    cp.trials_done(),
+                    cfg.trial_count()
+                );
+                Some(cp)
+            }
+            Ok(_) => {
+                eprintln!(
+                    "ignoring {}: it snapshots a different campaign",
+                    checkpoint_path.display()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("ignoring {}: {e}", checkpoint_path.display());
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    match run_campaign_resumable(cfg, start, &SignalObserver).map_err(|e| e.to_string())? {
+        CampaignRun::Complete(result) => {
+            let _unused = std::fs::remove_file(&checkpoint_path);
+            Ok(result)
+        }
+        CampaignRun::Interrupted(cp) => {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            std::fs::write(&checkpoint_path, cp.to_json().to_file_string())
+                .map_err(|e| e.to_string())?;
+            Err(format!(
+                "interrupted by signal after {} of {} trials; resumable checkpoint flushed to {} \
+                 (rerun the same command to finish)",
+                cp.trials_done(),
+                cfg.trial_count(),
+                checkpoint_path.display()
+            ))
+        }
+    }
 }
 
 /// Parses `--schemes a,b,c` / `--schemes=a,b,c` against the built-in
@@ -114,6 +181,9 @@ fn smoke_config() -> SweepConfig {
 }
 
 fn main() -> ExitCode {
+    // SIGINT/SIGTERM wind campaigns down at the next trial boundary and
+    // flush a resumable checkpoint instead of dying mid-matrix.
+    shutdown::install_signal_traps();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let schemes = match parse_schemes_flag(&mut args) {
         Ok(s) => s,
@@ -221,7 +291,7 @@ fn main() -> ExitCode {
             cfg.seeds_per_cell,
             cfg.trial_count()
         );
-        let result = match run_campaign(&cfg) {
+        let result = match run_campaign_graceful(&cfg, &dir) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("masked campaign failed: {e}");
@@ -282,7 +352,7 @@ fn main() -> ExitCode {
             cfg.seeds_per_cell,
             cfg.trial_count()
         );
-        let result = match run_campaign(&cfg) {
+        let result = match run_campaign_graceful(&cfg, &dir) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("campaign failed: {e}");
@@ -454,7 +524,7 @@ fn main() -> ExitCode {
             cfg.seeds_per_cell,
             cfg.steady.ticks
         );
-        let result = match run_campaign(&cfg) {
+        let result = match run_campaign_graceful(&cfg, &dir) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("steady-state campaign failed: {e}");
@@ -517,7 +587,7 @@ fn main() -> ExitCode {
             cfg.seeds_per_cell,
             cfg.trial_count()
         );
-        let result = match run_campaign(&cfg) {
+        let result = match run_campaign_graceful(&cfg, &dir) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("degraded campaign failed: {e}");

@@ -28,6 +28,7 @@ use std::process::ExitCode;
 use wsn_bench::perf::{
     bench_avail, bench_campaign, bench_core, bench_event, compare_dirs, DEFAULT_THRESHOLD_PERCENT,
 };
+use wsn_simcore::shutdown;
 use wsn_stats::JsonValue;
 
 fn out_dir() -> PathBuf {
@@ -110,9 +111,23 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
         println!("-> {}", path.display());
         Ok(())
     };
-    write_throughput("BENCH_campaign.json", &bench_campaign(smoke))?;
-    write_throughput("BENCH_avail.json", &bench_avail(smoke))?;
-    write_throughput("BENCH_event.json", &bench_event(smoke))?;
+    // Each ledger is flushed as soon as it is measured, so a
+    // SIGINT/SIGTERM between sections keeps everything already written;
+    // the sections themselves are seconds, not minutes.
+    type Section = fn(bool) -> JsonValue;
+    let sections: [(&str, Section); 3] = [
+        ("BENCH_campaign.json", bench_campaign),
+        ("BENCH_avail.json", bench_avail),
+        ("BENCH_event.json", bench_event),
+    ];
+    for (file, section) in sections {
+        if shutdown::requested() {
+            return Err(format!(
+                "interrupted by signal; ledgers before {file} are written and complete"
+            ));
+        }
+        write_throughput(file, &section(smoke))?;
+    }
     Ok(())
 }
 
@@ -166,6 +181,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cmd = args.remove(0);
+    shutdown::install_signal_traps();
     let outcome: Result<bool, String> = match cmd.as_str() {
         "run" => cmd_run(args).map(|()| true),
         "compare" => cmd_compare(args),

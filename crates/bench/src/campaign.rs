@@ -107,6 +107,56 @@ use wsn_grid::{deploy, GridNetwork, GridSystem, RegionMask, RegionShape};
 use wsn_simcore::{derive_stream_seed, Metrics, NetModelSpec, ProtocolHealth, SimRng};
 use wsn_stats::{Histogram, JsonValue, StreamingStat};
 
+/// Reads an exactly-representable non-negative integer field from a wire
+/// object. [`JsonValue`] numbers are `f64`, so anything above 2^53 (or
+/// fractional, or negative) is rejected rather than silently rounded —
+/// a daemon restoring a checkpointed `master_seed` must get the exact
+/// seed back or refuse.
+pub(crate) fn wire_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let n = wire_f64(v, key)?;
+    if !(n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0) {
+        return Err(format!("field '{key}': {n} is not an exact u64"));
+    }
+    Ok(n as u64)
+}
+
+/// [`wire_u64`] narrowed to `usize`.
+pub(crate) fn wire_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    usize::try_from(wire_u64(v, key)?).map_err(|_| format!("field '{key}' overflows usize"))
+}
+
+/// Reads a finite `f64` field from a wire object.
+pub(crate) fn wire_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    let n = v
+        .get(key)
+        .ok_or_else(|| format!("field '{key}' missing"))?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("field '{key}' is not finite"));
+    }
+    Ok(n)
+}
+
+/// Reads an array field from a wire object.
+fn wire_arr<'v>(v: &'v JsonValue, key: &str) -> Result<&'v [JsonValue], String> {
+    v.get(key)
+        .ok_or_else(|| format!("field '{key}' missing"))?
+        .as_arr()
+        .ok_or_else(|| format!("field '{key}' is not an array"))
+}
+
+/// [`wire_u64`] for a bare array element (no key to index by).
+fn elem_u64(v: &JsonValue, what: &str) -> Result<u64, String> {
+    let n = v
+        .as_f64()
+        .ok_or_else(|| format!("{what} is not a number"))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0) {
+        return Err(format!("{what}: {n} is not an exact u64"));
+    }
+    Ok(n as u64)
+}
+
 /// What one campaign trial measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CampaignMode {
@@ -140,6 +190,17 @@ impl CampaignMode {
             CampaignMode::SteadyState => "steady_state",
             CampaignMode::Degraded => "degraded",
         }
+    }
+
+    fn from_json_name(name: &str) -> Option<CampaignMode> {
+        [
+            CampaignMode::FullRecovery,
+            CampaignMode::SingleReplacement,
+            CampaignMode::SteadyState,
+            CampaignMode::Degraded,
+        ]
+        .into_iter()
+        .find(|m| m.json_name() == name)
     }
 }
 
@@ -215,6 +276,22 @@ impl DegradedParams {
                 ),
             ),
         ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<DegradedParams, String> {
+        let axis = |key: &str| -> Result<Vec<u32>, String> {
+            wire_arr(v, key)?
+                .iter()
+                .map(|e| {
+                    u32::try_from(elem_u64(e, &format!("'{key}' element"))?)
+                        .map_err(|_| format!("'{key}' element overflows u32"))
+                })
+                .collect()
+        };
+        Ok(DegradedParams {
+            latencies: axis("latencies")?,
+            loss_ppms: axis("loss_ppms")?,
+        })
     }
 }
 
@@ -492,7 +569,15 @@ impl CampaignConfig {
         self.degraded.spec(cell % self.net_combo_count())
     }
 
-    fn validate(&self, registry: &SchemeRegistry) -> Result<(), CampaignError> {
+    /// Validates the matrix against `registry` — the same gate
+    /// [`run_campaign_with`] applies before executing. Public so
+    /// front-ends (the `served` daemon's `POST /jobs`) can reject bad
+    /// configs at submission time instead of at run time.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CampaignError`] the config violates.
+    pub fn validate(&self, registry: &SchemeRegistry) -> Result<(), CampaignError> {
         if self.schemes.is_empty()
             || self.regions.is_empty()
             || self.grids.is_empty()
@@ -572,10 +657,11 @@ impl CampaignConfig {
         Ok(())
     }
 
-    /// JSON view of the matrix definition. Deliberately excludes
-    /// `workers`: the artifact must be bit-identical however the
-    /// campaign was scheduled.
-    fn to_json(&self) -> JsonValue {
+    /// JSON view of the matrix definition — the `wsn-campaign/3` wire
+    /// form [`CampaignConfig::from_json`] parses back. Deliberately
+    /// excludes `workers`: the artifact must be bit-identical however
+    /// the campaign was scheduled.
+    pub fn to_json(&self) -> JsonValue {
         let mut fields = vec![
             ("name", JsonValue::from(self.name.as_str())),
             ("mode", JsonValue::from(self.mode.json_name())),
@@ -631,6 +717,106 @@ impl CampaignConfig {
         }
         JsonValue::obj(fields)
     }
+
+    /// Parses the [`CampaignConfig::to_json`] wire form — the `config`
+    /// block of a `wsn-campaign/3` artifact, or the body of a job
+    /// submitted to the `served` daemon — back into a config.
+    ///
+    /// `workers` is never on the wire, so it comes back `None`
+    /// (available parallelism); the `steady`/`degraded` blocks default
+    /// when absent, mirroring how [`CampaignConfig::to_json`] omits
+    /// them outside their modes. Shape errors (missing fields, wrong
+    /// types, inexact integers) are reported here; *range* errors stay
+    /// with [`CampaignConfig::validate`], which callers still run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_json(v: &JsonValue) -> Result<CampaignConfig, String> {
+        let str_field = |key: &str| -> Result<&str, String> {
+            v.get(key)
+                .ok_or_else(|| format!("field '{key}' missing"))?
+                .as_str()
+                .ok_or_else(|| format!("field '{key}' is not a string"))
+        };
+        let name = str_field("name")?.to_owned();
+        let mode_name = str_field("mode")?;
+        let mode = CampaignMode::from_json_name(mode_name)
+            .ok_or_else(|| format!("unknown campaign mode '{mode_name}'"))?;
+        let schemes = wire_arr(v, "schemes")?
+            .iter()
+            .map(|e| {
+                let id = e.as_str().ok_or("'schemes' element is not a string")?;
+                SchemeId::new(id).map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<SchemeId>, String>>()?;
+        let regions = wire_arr(v, "regions")?
+            .iter()
+            .map(|e| {
+                let label = e.as_str().ok_or("'regions' element is not a string")?;
+                RegionShape::from_label(label)
+                    .ok_or_else(|| format!("unknown region shape '{label}'"))
+            })
+            .collect::<Result<Vec<RegionShape>, String>>()?;
+        let grids = wire_arr(v, "grids")?
+            .iter()
+            .map(|e| {
+                let pair = e.as_arr().ok_or("'grids' element is not an array")?;
+                if pair.len() != 2 {
+                    return Err(format!(
+                        "'grids' element has {} entries, want [cols, rows]",
+                        pair.len()
+                    ));
+                }
+                let dim = |which: usize, what: &str| -> Result<u16, String> {
+                    u16::try_from(elem_u64(&pair[which], what)?)
+                        .map_err(|_| format!("{what} overflows u16"))
+                };
+                Ok((dim(0, "grid cols")?, dim(1, "grid rows")?))
+            })
+            .collect::<Result<Vec<(u16, u16)>, String>>()?;
+        let targets = wire_arr(v, "targets")?
+            .iter()
+            .map(|e| {
+                usize::try_from(elem_u64(e, "'targets' element")?)
+                    .map_err(|_| "'targets' element overflows usize".to_owned())
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        let steady = match v.get("steady") {
+            Some(s) => SteadyParams::from_json(s)?,
+            None => SteadyParams::default(),
+        };
+        let degraded = match v.get("degraded") {
+            Some(d) => DegradedParams::from_json(d)?,
+            None => DegradedParams::default(),
+        };
+        Ok(CampaignConfig {
+            name,
+            schemes,
+            regions,
+            grids,
+            targets,
+            comm_range: wire_f64(v, "comm_range")?,
+            seeds_per_cell: wire_u64(v, "seeds_per_cell")?,
+            master_seed: wire_u64(v, "master_seed")?,
+            mode,
+            steady,
+            degraded,
+            ci_level: wire_f64(v, "ci_level")?,
+            workers: None,
+        })
+    }
+
+    /// [`CampaignConfig::from_json`] over raw JSON text (a `served` job
+    /// body, a config file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse error or the first malformed field.
+    pub fn from_json_str(text: &str) -> Result<CampaignConfig, String> {
+        let v = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        CampaignConfig::from_json(&v)
+    }
 }
 
 /// Campaign configuration errors.
@@ -672,6 +858,11 @@ pub enum CampaignError {
     UnsupportedCiLevel(f64),
     /// `comm_range` must be finite and positive.
     BadCommRange(f64),
+    /// A resume checkpoint does not belong to the campaign being run
+    /// (different config wire form, or inconsistent cell/watermark
+    /// shape). Resuming it would silently produce a franken-artifact,
+    /// so the engine refuses.
+    CheckpointMismatch(String),
     /// A grid in the matrix cannot run the configured schemes (invalid
     /// dimensions, no Hamilton structure for SR, or no single cycle for
     /// SR-SC).
@@ -722,6 +913,9 @@ impl fmt::Display for CampaignError {
             }
             CampaignError::BadCommRange(r) => {
                 write!(f, "comm_range must be finite and positive, got {r}")
+            }
+            CampaignError::CheckpointMismatch(reason) => {
+                write!(f, "checkpoint does not match this campaign: {reason}")
             }
             CampaignError::InvalidGrid { cols, rows, reason } => {
                 write!(f, "grid {cols}x{rows} cannot run this matrix: {reason}")
@@ -802,6 +996,45 @@ impl HealthSummary {
                 self.superseded_repairs.to_json(ci_level),
             ),
         ])
+    }
+
+    /// One `(name, accumulator)` view over the six counters — the single
+    /// place their checkpoint order is defined.
+    fn stats(&self) -> [(&'static str, &StreamingStat); 6] {
+        [
+            ("messages_sent", &self.messages_sent),
+            ("messages_dropped", &self.messages_dropped),
+            ("duplicate_initiations", &self.duplicate_initiations),
+            ("lost_cascades", &self.lost_cascades),
+            ("stalled_repairs", &self.stalled_repairs),
+            ("superseded_repairs", &self.superseded_repairs),
+        ]
+    }
+
+    fn to_state_json(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.stats()
+                .into_iter()
+                .map(|(name, stat)| (name.to_owned(), stat.to_state_json()))
+                .collect(),
+        )
+    }
+
+    fn from_state_json(v: &JsonValue) -> Result<HealthSummary, String> {
+        let stat = |key: &str| -> Result<StreamingStat, String> {
+            StreamingStat::from_state_json(
+                v.get(key)
+                    .ok_or_else(|| format!("health state field '{key}' missing"))?,
+            )
+        };
+        Ok(HealthSummary {
+            messages_sent: stat("messages_sent")?,
+            messages_dropped: stat("messages_dropped")?,
+            duplicate_initiations: stat("duplicate_initiations")?,
+            lost_cascades: stat("lost_cascades")?,
+            stalled_repairs: stat("stalled_repairs")?,
+            superseded_repairs: stat("superseded_repairs")?,
+        })
     }
 }
 
@@ -911,6 +1144,74 @@ impl CellStats {
             .iter()
             .position(|&f| f == name)
             .map(|i| &self.metrics[i])
+    }
+
+    /// Serializes the cell's mutable *state* — fold counters and every
+    /// accumulator register — for campaign checkpoints. The identity
+    /// fields (scheme, region, grid, target, net) are not on this wire:
+    /// they re-derive from the config and the cell's dense index, so a
+    /// checkpoint cannot describe a cell its config does not.
+    pub fn to_state_json(&self) -> JsonValue {
+        let metric_fields: Vec<(String, JsonValue)> = Metrics::FIELD_NAMES
+            .iter()
+            .zip(&self.metrics)
+            .map(|(&name, stat)| (name.to_owned(), stat.to_state_json()))
+            .collect();
+        let mut fields = vec![
+            ("trials", JsonValue::from(self.trials)),
+            ("covered_trials", JsonValue::from(self.covered_trials)),
+            ("holes", self.holes.to_state_json()),
+            ("spares", self.spares.to_state_json()),
+            ("metrics", JsonValue::Obj(metric_fields)),
+        ];
+        if let Some(summary) = &self.steady {
+            fields.push(("steady", summary.to_state_json()));
+        }
+        if let Some(summary) = &self.health {
+            fields.push(("health", summary.to_state_json()));
+        }
+        JsonValue::obj(fields)
+    }
+
+    /// Restores a [`CellStats::to_state_json`] state into this freshly
+    /// built cell (identity fields already set by [`CellStats::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field,
+    /// including a steady/health block that disagrees with the cell's
+    /// mode.
+    fn apply_state_json(&mut self, v: &JsonValue) -> Result<(), String> {
+        self.trials = wire_u64(v, "trials")?;
+        self.covered_trials = wire_u64(v, "covered_trials")?;
+        self.holes =
+            StreamingStat::from_state_json(v.get("holes").ok_or("cell field 'holes' missing")?)?;
+        self.spares =
+            StreamingStat::from_state_json(v.get("spares").ok_or("cell field 'spares' missing")?)?;
+        let metrics = v.get("metrics").ok_or("cell field 'metrics' missing")?;
+        self.metrics = Metrics::FIELD_NAMES
+            .iter()
+            .map(|&name| {
+                StreamingStat::from_state_json(
+                    metrics
+                        .get(name)
+                        .ok_or_else(|| format!("cell metric '{name}' missing"))?,
+                )
+            })
+            .collect::<Result<Vec<StreamingStat>, String>>()?;
+        match (&mut self.steady, v.get("steady")) {
+            (Some(_), Some(s)) => self.steady = Some(SteadySummary::from_state_json(s)?),
+            (None, None) => {}
+            (Some(_), None) => return Err("steady-state cell lacks a 'steady' block".into()),
+            (None, Some(_)) => return Err("non-steady cell carries a 'steady' block".into()),
+        }
+        match (&mut self.health, v.get("health")) {
+            (Some(_), Some(h)) => self.health = Some(HealthSummary::from_state_json(h)?),
+            (None, None) => {}
+            (Some(_), None) => return Err("degraded cell lacks a 'health' block".into()),
+            (None, Some(_)) => return Err("non-degraded cell carries a 'health' block".into()),
+        }
+        Ok(())
     }
 
     fn to_json(&self, ci_level: f64) -> JsonValue {
@@ -1445,15 +1746,249 @@ impl Folder {
         }
     }
 
-    fn fold(&mut self, trial_index: u64, seeds_per_cell: u64, outcome: TrialOutcome) {
+    /// Restores a folder from a checkpoint: cells and watermarks come
+    /// back, the reorder buffers start empty (outcomes beyond a cell's
+    /// watermark were deliberately dropped at checkpoint time — they
+    /// re-run on resume, and coordinate-addressed RNG streams make the
+    /// re-run byte-identical).
+    fn from_checkpoint(start: CampaignCheckpoint) -> Folder {
+        let n = start.cells.len();
+        Folder {
+            cells: start.cells,
+            next_trial: start.done,
+            pending: vec![BTreeMap::new(); n],
+        }
+    }
+
+    fn fold(
+        &mut self,
+        trial_index: u64,
+        seeds_per_cell: u64,
+        outcome: TrialOutcome,
+        observer: &dyn CampaignObserver,
+    ) {
         let cell = (trial_index / seeds_per_cell) as usize;
         let trial = trial_index % seeds_per_cell;
         self.pending[cell].insert(trial, outcome);
         while let Some(o) = self.pending[cell].remove(&self.next_trial[cell]) {
             self.cells[cell].push(&o);
             self.next_trial[cell] += 1;
+            observer.trial_folded(cell, self.next_trial[cell], &self.cells[cell]);
         }
     }
+}
+
+/// Progress and cancellation hooks for campaign execution.
+///
+/// [`CampaignObserver::trial_folded`] fires once per trial, *in each
+/// cell's trial order*, under the folder lock — so every observer sees
+/// the one canonical fold sequence regardless of worker count or
+/// scheduling. That ordering is what lets the `served` daemon stream
+/// per-cell deltas to any number of subscribers and promise them all
+/// the same sequence. Keep the callback cheap: it runs on the fold
+/// critical path.
+///
+/// [`CampaignObserver::cancel_requested`] is polled by every worker
+/// between trials. Returning `true` drains the run: in-flight trials
+/// finish and fold, queued ones are abandoned, and the engine returns
+/// [`CampaignRun::Interrupted`] with a resumable checkpoint.
+pub trait CampaignObserver: Sync {
+    /// One trial folded into `stats` (the cell's aggregate after the
+    /// fold); `done` is the cell's new in-order watermark.
+    fn trial_folded(&self, cell: usize, done: u64, stats: &CellStats) {
+        let _ = (cell, done, stats);
+    }
+
+    /// Whether the run should wind down at the next safe point.
+    fn cancel_requested(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op observer: no progress reporting, never cancels.
+impl CampaignObserver for () {}
+
+/// An observer that cancels once a global trial budget is reached —
+/// the test harness for interruption, and the building block daemons
+/// compose with shutdown flags.
+#[derive(Debug)]
+pub struct CancelAfter {
+    budget: std::sync::atomic::AtomicU64,
+}
+
+impl CancelAfter {
+    /// Cancels after `trials` folds have been observed.
+    pub fn new(trials: u64) -> CancelAfter {
+        CancelAfter {
+            budget: std::sync::atomic::AtomicU64::new(trials),
+        }
+    }
+}
+
+impl CampaignObserver for CancelAfter {
+    fn trial_folded(&self, _cell: usize, _done: u64, _stats: &CellStats) {
+        // Saturating: the budget may already be 0 when late folds land.
+        self.budget
+            .fetch_update(
+                std::sync::atomic::Ordering::SeqCst,
+                std::sync::atomic::Ordering::SeqCst,
+                |b| Some(b.saturating_sub(1)),
+            )
+            .expect("fetch_update closure never returns None");
+    }
+
+    fn cancel_requested(&self) -> bool {
+        self.budget.load(std::sync::atomic::Ordering::SeqCst) == 0
+    }
+}
+
+/// A resumable snapshot of a partially executed campaign: the config
+/// echo, each cell's in-order fold watermark, and each cell's
+/// accumulator state at that watermark.
+///
+/// The contract: running the same config from a checkpoint produces the
+/// byte-identical final artifact the uninterrupted run would have —
+/// per-trial RNG streams are coordinate-addressed and cells fold
+/// strictly in trial order, so "skip everything below the watermark,
+/// run the rest" reconstructs the exact fold sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// The campaign the snapshot belongs to (`workers` not preserved —
+    /// it never affects results).
+    pub config: CampaignConfig,
+    /// Per-cell count of trials already folded, in dense cell order.
+    pub done: Vec<u64>,
+    /// Per-cell aggregates at the watermark, in dense cell order.
+    pub cells: Vec<CellStats>,
+}
+
+impl CampaignCheckpoint {
+    /// Trials already folded, across all cells.
+    pub fn trials_done(&self) -> u64 {
+        self.done.iter().sum()
+    }
+
+    /// Whether every trial has folded (the checkpoint of a finished
+    /// campaign — resuming it returns immediately).
+    pub fn is_complete(&self) -> bool {
+        self.done.iter().all(|&d| d == self.config.seeds_per_cell)
+    }
+
+    /// Serializes the checkpoint (schema `wsn-checkpoint/1`): the
+    /// `wsn-campaign/3` config block plus per-cell watermarks and
+    /// accumulator states, fixed key order throughout.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("schema", JsonValue::from("wsn-checkpoint/1")),
+            ("config", self.config.to_json()),
+            (
+                "done",
+                JsonValue::Arr(self.done.iter().map(|&d| JsonValue::from(d)).collect()),
+            ),
+            (
+                "cells",
+                JsonValue::Arr(self.cells.iter().map(CellStats::to_state_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a [`CampaignCheckpoint::to_json`] snapshot against the
+    /// built-in scheme registry.
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignCheckpoint::from_json_with`].
+    pub fn from_json(v: &JsonValue) -> Result<CampaignCheckpoint, String> {
+        CampaignCheckpoint::from_json_with(v, &builtins())
+    }
+
+    /// Parses a [`CampaignCheckpoint::to_json`] snapshot, resolving
+    /// scheme labels (and validating the embedded config) against
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: wrong
+    /// schema tag, malformed config, axis/cell count disagreement,
+    /// watermark past `seeds_per_cell`, or accumulator state that does
+    /// not fit the config's mode.
+    pub fn from_json_with(
+        v: &JsonValue,
+        registry: &SchemeRegistry,
+    ) -> Result<CampaignCheckpoint, String> {
+        match v.get("schema").and_then(JsonValue::as_str) {
+            Some("wsn-checkpoint/1") => {}
+            Some(other) => return Err(format!("unsupported checkpoint schema '{other}'")),
+            None => return Err("checkpoint lacks a 'schema' tag".into()),
+        }
+        let config =
+            CampaignConfig::from_json(v.get("config").ok_or("checkpoint lacks a 'config' block")?)?;
+        config.validate(registry).map_err(|e| e.to_string())?;
+        let done = wire_arr(v, "done")?
+            .iter()
+            .map(|d| elem_u64(d, "'done' element"))
+            .collect::<Result<Vec<u64>, String>>()?;
+        let cell_states = wire_arr(v, "cells")?;
+        if done.len() != config.cell_count() || cell_states.len() != config.cell_count() {
+            return Err(format!(
+                "checkpoint shape mismatch: config has {} cells, snapshot has {} watermarks and {} cell states",
+                config.cell_count(),
+                done.len(),
+                cell_states.len()
+            ));
+        }
+        let mut cells = Vec::with_capacity(cell_states.len());
+        for (i, state) in cell_states.iter().enumerate() {
+            let (scheme, region, grid, n) = config.cell_params(i);
+            let net = (config.mode == CampaignMode::Degraded).then(|| config.cell_net(i));
+            let label = registry
+                .get(scheme.as_str())
+                .expect("config validated above")
+                .label()
+                .to_owned();
+            let mut cell = CellStats::new(scheme.clone(), label, region, grid, n, net, &config);
+            cell.apply_state_json(state)
+                .map_err(|e| format!("cell {i}: {e}"))?;
+            if cell.trials != done[i] {
+                return Err(format!(
+                    "cell {i}: watermark says {} trials folded but the aggregate counted {}",
+                    done[i], cell.trials
+                ));
+            }
+            if done[i] > config.seeds_per_cell {
+                return Err(format!(
+                    "cell {i}: watermark {} exceeds seeds_per_cell {}",
+                    done[i], config.seeds_per_cell
+                ));
+            }
+            cells.push(cell);
+        }
+        Ok(CampaignCheckpoint {
+            config,
+            done,
+            cells,
+        })
+    }
+
+    /// [`CampaignCheckpoint::from_json`] over raw JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse error or the first structural problem.
+    pub fn from_json_str(text: &str) -> Result<CampaignCheckpoint, String> {
+        let v = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        CampaignCheckpoint::from_json(&v)
+    }
+}
+
+/// How a resumable campaign run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignRun {
+    /// Every trial folded; the artifact is final.
+    Complete(CampaignResult),
+    /// The observer cancelled mid-matrix; the checkpoint resumes the
+    /// run with no recomputation below each cell's watermark.
+    Interrupted(CampaignCheckpoint),
 }
 
 /// Expands and executes the campaign matrix against the built-in scheme
@@ -1479,7 +2014,78 @@ pub fn run_campaign_with(
     cfg: &CampaignConfig,
     registry: &SchemeRegistry,
 ) -> Result<CampaignResult, CampaignError> {
+    match run_campaign_resumable_with(cfg, registry, None, &())? {
+        CampaignRun::Complete(result) => Ok(result),
+        CampaignRun::Interrupted(_) => unreachable!("the no-op observer never cancels"),
+    }
+}
+
+/// [`run_campaign_resumable_with`] against the built-in registry.
+///
+/// # Errors
+///
+/// As [`run_campaign_resumable_with`].
+pub fn run_campaign_resumable(
+    cfg: &CampaignConfig,
+    start: Option<CampaignCheckpoint>,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignRun, CampaignError> {
+    run_campaign_resumable_with(cfg, &builtins(), start, observer)
+}
+
+/// The resumable campaign engine behind [`run_campaign`] and the
+/// `served` daemon: executes the matrix from scratch or from a
+/// [`CampaignCheckpoint`], reporting every fold to `observer` and
+/// winding down (with a fresh checkpoint) when the observer cancels.
+///
+/// Trials below a resumed cell's watermark are skipped without
+/// recomputation; everything else runs exactly as a fresh campaign
+/// would, so the completed artifact is byte-identical whether the run
+/// was interrupted zero or many times, at any worker count.
+///
+/// # Errors
+///
+/// As [`run_campaign_with`], plus [`CampaignError::CheckpointMismatch`]
+/// when `start` snapshots a different campaign (config wire forms must
+/// match exactly) or is internally inconsistent.
+pub fn run_campaign_resumable_with(
+    cfg: &CampaignConfig,
+    registry: &SchemeRegistry,
+    start: Option<CampaignCheckpoint>,
+    observer: &dyn CampaignObserver,
+) -> Result<CampaignRun, CampaignError> {
     cfg.validate(registry)?;
+    let folder = match start {
+        Some(checkpoint) => {
+            // Wire-form equality: `workers` is excluded on both sides,
+            // everything that affects results must agree byte for byte.
+            if checkpoint.config.to_json().to_string() != cfg.to_json().to_string() {
+                return Err(CampaignError::CheckpointMismatch(
+                    "the checkpoint's config block differs from the campaign's".into(),
+                ));
+            }
+            let cell_count = cfg.cell_count();
+            if checkpoint.done.len() != cell_count || checkpoint.cells.len() != cell_count {
+                return Err(CampaignError::CheckpointMismatch(format!(
+                    "config has {cell_count} cells, checkpoint has {} watermarks and {} cell states",
+                    checkpoint.done.len(),
+                    checkpoint.cells.len()
+                )));
+            }
+            if let Some(over) = checkpoint.done.iter().find(|&&d| d > cfg.seeds_per_cell) {
+                return Err(CampaignError::CheckpointMismatch(format!(
+                    "watermark {over} exceeds seeds_per_cell {}",
+                    cfg.seeds_per_cell
+                )));
+            }
+            Folder::from_checkpoint(checkpoint)
+        }
+        None => Folder::new(cfg, registry),
+    };
+    // The immutable skip map: trials below these watermarks already
+    // folded. Workers must consult this frozen copy, never the live
+    // `next_trial` (which advances as they fold).
+    let done0 = folder.next_trial.clone();
     let total = cfg.trial_count();
     let workers = cfg
         .workers
@@ -1491,11 +2097,12 @@ pub fn run_campaign_with(
         .clamp(1, 256)
         .min(total.max(1) as usize);
     let queue = WorkQueue::new(total, workers);
-    let folder = Mutex::new(Folder::new(cfg, registry));
+    let folder = Mutex::new(folder);
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queue = &queue;
             let folder = &folder;
+            let done0 = &done0;
             scope.spawn(move || {
                 // One arena per worker: network allocations are reused
                 // across every trial the worker runs on the same
@@ -1504,6 +2111,12 @@ pub fn run_campaign_with(
                 while let Some(idx) = queue.pop(w) {
                     let cell = (idx / cfg.seeds_per_cell) as usize;
                     let trial = idx % cfg.seeds_per_cell;
+                    if trial < done0[cell] {
+                        continue; // folded before the checkpoint
+                    }
+                    if observer.cancel_requested() {
+                        break;
+                    }
                     let (scheme, region, grid, n) = cfg.cell_params(cell);
                     let net_spec = cfg.cell_net(cell);
                     let scheme = registry.get(scheme.as_str()).expect("validated ids");
@@ -1518,18 +2131,28 @@ pub fn run_campaign_with(
                         idx,
                         cfg.seeds_per_cell,
                         outcome,
+                        observer,
                     );
                 }
             });
         }
     });
     let folder = folder.into_inner().expect("scope joined");
-    debug_assert!(folder.pending.iter().all(BTreeMap::is_empty));
-    debug_assert!(folder.next_trial.iter().all(|&t| t == cfg.seeds_per_cell));
-    Ok(CampaignResult {
+    if folder.next_trial.iter().all(|&t| t == cfg.seeds_per_cell) {
+        debug_assert!(folder.pending.iter().all(BTreeMap::is_empty));
+        return Ok(CampaignRun::Complete(CampaignResult {
+            config: cfg.clone(),
+            cells: folder.cells,
+        }));
+    }
+    // Interrupted: keep each cell's in-order prefix, drop out-of-order
+    // completions beyond the watermark (they re-run on resume — their
+    // coordinate-addressed streams make the re-run identical).
+    Ok(CampaignRun::Interrupted(CampaignCheckpoint {
         config: cfg.clone(),
+        done: folder.next_trial,
         cells: folder.cells,
-    })
+    }))
 }
 
 #[cfg(test)]

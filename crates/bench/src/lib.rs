@@ -42,8 +42,9 @@ pub mod steady;
 pub mod sweep;
 
 pub use campaign::{
-    run_campaign, run_campaign_with, CampaignConfig, CampaignError, CampaignMode, CampaignResult,
-    CellStats,
+    run_campaign, run_campaign_resumable, run_campaign_resumable_with, run_campaign_with,
+    CampaignCheckpoint, CampaignConfig, CampaignError, CampaignMode, CampaignObserver,
+    CampaignResult, CampaignRun, CancelAfter, CellStats,
 };
 pub use replay::{
     record, scheme_with_plan, shrink_between, Recording, ReplayArtifact, ReplayError, ReplaySpec,

@@ -47,14 +47,15 @@ pub const DEFAULT_THRESHOLD_PERCENT: f64 = 25.0;
 
 /// The ledger files `perf run` writes and `perf compare` checks. The
 /// replay bench (`replay bench`) contributes `BENCH_replay.json` in the
-/// same shape; `BENCH_avail.json` carries the steady-state availability
-/// throughput.
-pub const LEDGER_FILES: [&str; 5] = [
+/// same shape, the serve bench (`served bench`) `BENCH_serve.json`;
+/// `BENCH_avail.json` carries the steady-state availability throughput.
+pub const LEDGER_FILES: [&str; 6] = [
     "BENCH_core.json",
     "BENCH_campaign.json",
     "BENCH_replay.json",
     "BENCH_avail.json",
     "BENCH_event.json",
+    "BENCH_serve.json",
 ];
 
 /// Times one closure `samples` times and returns (min, mean, max) in

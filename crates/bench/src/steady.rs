@@ -100,6 +100,17 @@ impl SpareRotation {
             ]),
         }
     }
+
+    fn from_json(v: &JsonValue) -> Result<SpareRotation, String> {
+        match v.get("policy").and_then(JsonValue::as_str) {
+            Some("off") => Ok(SpareRotation::Off),
+            Some("retire_below") => Ok(SpareRotation::RetireBelow {
+                fraction: crate::campaign::wire_f64(v, "fraction")?,
+            }),
+            Some(other) => Err(format!("unknown rotation policy '{other}'")),
+            None => Err("rotation block needs a 'policy' string".into()),
+        }
+    }
 }
 
 /// Configuration of one steady-state availability workload.
@@ -238,6 +249,37 @@ impl SteadyParams {
                 ]),
             ),
         ])
+    }
+
+    /// Parses the [`SteadyParams::to_json`] wire form back into params.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    /// Range validation stays with [`SteadyParams::validate`]; this only
+    /// enforces wire-level shape (numbers are numbers, integers are
+    /// exactly-representable integers).
+    pub fn from_json(v: &JsonValue) -> Result<SteadyParams, String> {
+        use crate::campaign::{wire_f64, wire_u64, wire_usize};
+        let energy = v.get("energy").ok_or("steady field 'energy' missing")?;
+        Ok(SteadyParams {
+            ticks: wire_u64(v, "ticks")?,
+            fault_rate: wire_f64(v, "fault_rate")?,
+            arrival_rate: wire_f64(v, "arrival_rate")?,
+            arrival_battery: wire_f64(v, "arrival_battery")?,
+            jammer_period: wire_u64(v, "jammer_period")?,
+            jammer_radius_cells: wire_f64(v, "jammer_radius_cells")?,
+            coverage_sla: wire_f64(v, "coverage_sla")?,
+            rotation: SpareRotation::from_json(
+                v.get("rotation").ok_or("steady field 'rotation' missing")?,
+            )?,
+            hole_life_bins: wire_usize(v, "hole_life_bins")?,
+            energy: EnergyModel {
+                move_cost_per_meter: wire_f64(energy, "move_cost_per_meter")?,
+                message_cost: wire_f64(energy, "message_cost")?,
+                idle_cost_per_round: wire_f64(energy, "idle_cost_per_round")?,
+            },
+        })
     }
 }
 
@@ -584,6 +626,56 @@ impl SteadySummary {
             ("retired_spares", JsonValue::from(self.retired_spares)),
             ("battery_deaths", JsonValue::from(self.battery_deaths)),
         ])
+    }
+
+    /// Serializes the aggregate *state* (accumulator registers and raw
+    /// counters) for campaign checkpoints. [`SteadySummary::to_json`] is
+    /// the report; this round-trips through
+    /// [`SteadySummary::from_state_json`] so a resumed campaign keeps
+    /// folding exactly where the interrupted one stopped.
+    pub fn to_state_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("availability", self.availability.to_state_json()),
+            ("mttr", self.mttr.to_state_json()),
+            ("energy_rate", self.energy_rate.to_state_json()),
+            ("hole_lifetimes", self.hole_lifetimes.to_state_json()),
+            ("repaired_holes", JsonValue::from(self.repaired_holes)),
+            ("censored_holes", JsonValue::from(self.censored_holes)),
+            ("failures", JsonValue::from(self.failures)),
+            ("arrivals", JsonValue::from(self.arrivals)),
+            ("retired_spares", JsonValue::from(self.retired_spares)),
+            ("battery_deaths", JsonValue::from(self.battery_deaths)),
+        ])
+    }
+
+    /// Restores a [`SteadySummary::to_state_json`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or malformed field.
+    pub fn from_state_json(v: &JsonValue) -> Result<SteadySummary, String> {
+        use crate::campaign::wire_u64;
+        let stat = |key: &str| -> Result<StreamingStat, String> {
+            StreamingStat::from_state_json(
+                v.get(key)
+                    .ok_or_else(|| format!("steady state field '{key}' missing"))?,
+            )
+        };
+        Ok(SteadySummary {
+            availability: stat("availability")?,
+            mttr: stat("mttr")?,
+            energy_rate: stat("energy_rate")?,
+            hole_lifetimes: Histogram::from_state_json(
+                v.get("hole_lifetimes")
+                    .ok_or("steady state field 'hole_lifetimes' missing")?,
+            )?,
+            repaired_holes: wire_u64(v, "repaired_holes")?,
+            censored_holes: wire_u64(v, "censored_holes")?,
+            failures: wire_u64(v, "failures")?,
+            arrivals: wire_u64(v, "arrivals")?,
+            retired_spares: wire_u64(v, "retired_spares")?,
+            battery_deaths: wire_u64(v, "battery_deaths")?,
+        })
     }
 }
 

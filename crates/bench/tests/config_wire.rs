@@ -1,0 +1,192 @@
+//! Wire-form round-trips for [`CampaignConfig`]: `parse ∘ serialize`
+//! must be the identity for every campaign mode.
+//!
+//! The `served` daemon accepts `wsn-campaign/3` config JSON over
+//! `POST /jobs` and re-reads the same block out of its own checkpoints,
+//! so the wire codec cannot be lossy: a config that changes shape on
+//! the way through the daemon would silently run a different
+//! experiment. The property test below sweeps mode-consistent configs
+//! across all four modes (closed full-recovery, masked regions,
+//! steady-state, degraded-network) and asserts the parsed config equals
+//! the original structurally — which, because artifacts serialize the
+//! config back out, also pins the byte-level round-trip.
+
+use proptest::prelude::*;
+use wsn_bench::campaign::{CampaignConfig, CampaignMode, DegradedParams};
+use wsn_bench::steady::{SpareRotation, SteadyParams};
+use wsn_coverage::SchemeId;
+use wsn_grid::RegionShape;
+
+/// A mode-consistent config: `steady`/`degraded` keep their defaults
+/// outside their modes (the wire form omits those blocks there, and
+/// the parser restores defaults), and `workers` stays `None` (never on
+/// the wire by design).
+#[allow(clippy::too_many_arguments)]
+fn wire_config(
+    mode_idx: usize,
+    scheme_idx: usize,
+    region_idx: usize,
+    cols: u16,
+    rows: u16,
+    target: usize,
+    seeds: u64,
+    master: u64,
+    comm_range: f64,
+    rate: f64,
+    ticks: u64,
+    latency: u32,
+    loss_ppm: u32,
+) -> CampaignConfig {
+    let mode = [
+        CampaignMode::FullRecovery,
+        CampaignMode::SingleReplacement,
+        CampaignMode::SteadyState,
+        CampaignMode::Degraded,
+    ][mode_idx % 4];
+    // SingleReplacement is SR-only by validation; keep the generated
+    // matrix honest so these configs could actually run.
+    let schemes = if mode == CampaignMode::SingleReplacement {
+        SchemeId::list(&["sr"])
+    } else {
+        [
+            SchemeId::list(&["ar", "sr"]),
+            SchemeId::list(&["sr"]),
+            SchemeId::list(&["ar", "sr", "sr-sc"]),
+        ][scheme_idx % 3]
+            .clone()
+    };
+    let regions = [
+        vec![RegionShape::Full],
+        vec![RegionShape::Full, RegionShape::LShape],
+        vec![RegionShape::Annulus, RegionShape::Corridor],
+        RegionShape::ALL.to_vec(),
+    ][region_idx % 4]
+        .clone();
+    let steady = if mode == CampaignMode::SteadyState {
+        SteadyParams {
+            ticks,
+            fault_rate: rate,
+            arrival_rate: rate * 0.5,
+            rotation: if ticks.is_multiple_of(2) {
+                SpareRotation::Off
+            } else {
+                SpareRotation::RetireBelow {
+                    fraction: rate.clamp(0.05, 1.0),
+                }
+            },
+            ..SteadyParams::default()
+        }
+    } else {
+        SteadyParams::default()
+    };
+    let degraded = if mode == CampaignMode::Degraded {
+        DegradedParams {
+            latencies: vec![1, latency],
+            loss_ppms: vec![0, loss_ppm],
+        }
+    } else {
+        DegradedParams::default()
+    };
+    CampaignConfig {
+        name: format!("wire{mode_idx}"),
+        schemes,
+        regions,
+        grids: vec![(cols, rows)],
+        targets: vec![target, target + 7],
+        comm_range,
+        seeds_per_cell: seeds,
+        master_seed: master,
+        mode,
+        steady,
+        degraded,
+        ci_level: [0.90, 0.95, 0.99][mode_idx % 3],
+        workers: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn config_wire_round_trips_for_all_modes(
+        mode_idx in 0usize..4,
+        scheme_idx in 0usize..3,
+        region_idx in 0usize..4,
+        cols in 2u16..40,
+        rows in 2u16..40,
+        target in 1usize..2000,
+        seeds in 1u64..500,
+        // Capped below 2^53: JSON numbers are f64 on this wire, and the
+        // parser rejects (rather than rounds) anything bigger.
+        master in 0u64..9_007_199_254_740_992,
+        comm_range in 0.5f64..250.0,
+        rate in 0.01f64..8.0,
+        ticks in 1u64..4096,
+        latency in 2u32..64,
+        loss_ppm in 1u32..1_000_000,
+    ) {
+        let cfg = wire_config(
+            mode_idx, scheme_idx, region_idx, cols, rows, target, seeds,
+            master, comm_range, rate, ticks, latency, loss_ppm,
+        );
+        let text = cfg.to_json().to_string();
+        let parsed = CampaignConfig::from_json_str(&text)
+            .expect("serialized config must parse");
+        prop_assert_eq!(&parsed, &cfg);
+        // And the re-serialization is byte-identical, so artifacts that
+        // embed a parsed config echo the submitted bytes.
+        prop_assert_eq!(parsed.to_json().to_string(), text);
+    }
+}
+
+#[test]
+fn every_preset_round_trips() {
+    for (label, cfg) in [
+        ("paper", CampaignConfig::paper()),
+        ("quick", CampaignConfig::quick()),
+        ("smoke", CampaignConfig::smoke()),
+        ("masked", CampaignConfig::masked()),
+        ("masked_smoke", CampaignConfig::masked_smoke()),
+        ("avail", CampaignConfig::avail()),
+        ("avail_smoke", CampaignConfig::avail_smoke()),
+        ("degraded", CampaignConfig::degraded()),
+        ("degraded_smoke", CampaignConfig::degraded_smoke()),
+    ] {
+        let parsed = CampaignConfig::from_json_str(&cfg.to_json().to_string())
+            .unwrap_or_else(|e| panic!("preset '{label}' failed to parse: {e}"));
+        // `workers` is an execution knob, never on the wire.
+        let mut expect = cfg;
+        expect.workers = None;
+        assert_eq!(parsed, expect, "preset '{label}' changed across the wire");
+    }
+}
+
+#[test]
+fn parser_rejects_malformed_configs() {
+    let good = CampaignConfig::smoke().to_json().to_string();
+    assert!(CampaignConfig::from_json_str(&good).is_ok());
+    let cases: &[(&str, &str)] = &[
+        ("not json at all", "{nope"),
+        ("unknown mode", &good.replace("full_recovery", "sideways")),
+        ("unknown region", &good.replace("\"full\"", "\"hexagon\"")),
+        ("bad scheme id", &good.replace("\"sr\"", "\"NOT AN ID\"")),
+        (
+            "fractional seeds",
+            &good.replace("\"seeds_per_cell\":", "\"seeds_per_cell\":0.5,\"x\":"),
+        ),
+        (
+            "oversized master seed",
+            &good.replace("\"master_seed\":", "\"master_seed\":1e300,\"x\":"),
+        ),
+        ("missing name", &good.replace("\"name\"", "\"nom\"")),
+    ];
+    for (label, text) in cases {
+        assert!(
+            CampaignConfig::from_json_str(text).is_err(),
+            "{label}: expected a parse error"
+        );
+    }
+    // A grid pair with the wrong arity is shape-invalid even though
+    // every element is a fine integer.
+    let arity = good.replace("[8,8]", "[8,8,8]");
+    assert!(CampaignConfig::from_json_str(&arity).is_err());
+}

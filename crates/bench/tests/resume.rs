@@ -1,0 +1,230 @@
+//! The resumability honesty contract: a campaign interrupted at any
+//! watermark and resumed — possibly repeatedly, through a JSON
+//! checkpoint round-trip, at different worker counts — produces the
+//! byte-identical final artifact of the uninterrupted run.
+//!
+//! This is the property the `served` daemon's kill-and-restart story
+//! stands on: per-trial RNG streams are coordinate-addressed (so a
+//! re-run trial replays exactly), cells fold strictly in trial order
+//! (so the fold sequence is canonical), and checkpoints snapshot the
+//! fold watermark plus exact accumulator registers (so resumed Welford
+//! state is bit-equal). Break any of those and these tests fail.
+
+use std::sync::Mutex;
+
+use wsn_bench::campaign::{
+    run_campaign, run_campaign_resumable, CampaignCheckpoint, CampaignConfig, CampaignError,
+    CampaignObserver, CampaignRun, CancelAfter, CellStats,
+};
+use wsn_coverage::SchemeId;
+use wsn_grid::RegionShape;
+
+fn tiny_classic() -> CampaignConfig {
+    CampaignConfig {
+        name: "resume".into(),
+        schemes: SchemeId::list(&["ar", "sr"]),
+        grids: vec![(6, 6)],
+        targets: vec![5, 20],
+        seeds_per_cell: 3,
+        ..CampaignConfig::paper()
+    }
+}
+
+fn tiny_masked() -> CampaignConfig {
+    CampaignConfig {
+        name: "resume_mask".into(),
+        regions: vec![RegionShape::Full, RegionShape::LShape],
+        seeds_per_cell: 2,
+        ..tiny_classic()
+    }
+}
+
+fn tiny_steady() -> CampaignConfig {
+    CampaignConfig {
+        name: "resume_steady".into(),
+        seeds_per_cell: 2,
+        ..CampaignConfig::avail_smoke()
+    }
+}
+
+fn tiny_degraded() -> CampaignConfig {
+    CampaignConfig {
+        name: "resume_deg".into(),
+        seeds_per_cell: 2,
+        ..CampaignConfig::degraded_smoke()
+    }
+}
+
+/// Runs `cfg` to completion through repeated interruptions: cancel
+/// after `step` folds, checkpoint, round-trip the checkpoint through
+/// its JSON text, resume. Returns the final artifact and how many
+/// interruptions occurred.
+fn run_with_interruptions(cfg: &CampaignConfig, step: u64) -> (String, usize) {
+    let mut checkpoint: Option<CampaignCheckpoint> = None;
+    let mut interruptions = 0;
+    loop {
+        let observer = CancelAfter::new(step);
+        match run_campaign_resumable(cfg, checkpoint.take(), &observer).expect("valid matrix") {
+            CampaignRun::Complete(result) => return (result.to_json().to_string(), interruptions),
+            CampaignRun::Interrupted(cp) => {
+                interruptions += 1;
+                assert!(interruptions < 10_000, "resume loop makes no progress");
+                // The checkpoint must survive its own wire form: what
+                // the daemon writes to disk is the JSON text, not the
+                // in-memory struct.
+                let restored = CampaignCheckpoint::from_json_str(&cp.to_json().to_string())
+                    .expect("checkpoint round-trips");
+                assert_eq!(restored.done, cp.done, "watermarks changed across the wire");
+                assert_eq!(
+                    restored.cells, cp.cells,
+                    "cell state changed across the wire"
+                );
+                checkpoint = Some(restored);
+            }
+        }
+    }
+}
+
+#[test]
+fn interrupted_runs_reproduce_the_uninterrupted_artifact() {
+    for (label, cfg, step) in [
+        ("classic", tiny_classic(), 3),
+        ("masked", tiny_masked(), 2),
+        ("steady", tiny_steady(), 2),
+        ("degraded", tiny_degraded(), 2),
+    ] {
+        let golden = run_campaign(&cfg)
+            .expect("valid matrix")
+            .to_json()
+            .to_string();
+        let (resumed, interruptions) = run_with_interruptions(&cfg, step);
+        assert!(
+            interruptions > 0,
+            "{label}: the interruption harness never interrupted — the contract went untested"
+        );
+        assert_eq!(
+            resumed, golden,
+            "{label}: resumed artifact differs from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn resume_skips_completed_trials_and_differing_worker_counts_agree() {
+    let cfg = tiny_classic();
+    let golden = run_campaign(&cfg)
+        .expect("valid matrix")
+        .to_json()
+        .to_string();
+    // Interrupt on a single worker, resume on eight.
+    let observer = CancelAfter::new(4);
+    let first = run_campaign_resumable(&cfg.clone().with_workers(1), None, &observer)
+        .expect("valid matrix");
+    let CampaignRun::Interrupted(cp) = first else {
+        panic!(
+            "a 4-trial budget must interrupt a {}-trial matrix",
+            cfg.trial_count()
+        );
+    };
+    let done_before = cp.trials_done();
+    assert!(done_before >= 4, "the budget admits at least its own count");
+    let resumed =
+        run_campaign_resumable(&cfg.clone().with_workers(8), Some(cp), &()).expect("valid matrix");
+    let CampaignRun::Complete(result) = resumed else {
+        panic!("no-op observer must run to completion");
+    };
+    assert_eq!(result.to_json().to_string(), golden);
+}
+
+#[test]
+fn folds_arrive_in_per_cell_trial_order() {
+    /// Records the `(cell, done)` fold sequence the engine reports.
+    struct Recorder(Mutex<Vec<(usize, u64)>>);
+    impl CampaignObserver for Recorder {
+        fn trial_folded(&self, cell: usize, done: u64, stats: &CellStats) {
+            assert_eq!(stats.trials, done, "aggregate lags its own watermark");
+            self.0.lock().unwrap().push((cell, done));
+        }
+    }
+    let cfg = tiny_classic().with_workers(8);
+    let recorder = Recorder(Mutex::new(Vec::new()));
+    let run = run_campaign_resumable(&cfg, None, &recorder).expect("valid matrix");
+    assert!(matches!(run, CampaignRun::Complete(_)));
+    let folds = recorder.0.into_inner().unwrap();
+    assert_eq!(folds.len() as u64, cfg.trial_count());
+    // Per cell, the watermark strictly increments 1..=seeds_per_cell —
+    // the canonical order every observer (and stream subscriber) sees.
+    let mut seen = vec![0u64; cfg.cell_count()];
+    for (cell, done) in folds {
+        assert_eq!(done, seen[cell] + 1, "cell {cell} folded out of order");
+        seen[cell] = done;
+    }
+    assert!(seen.iter().all(|&s| s == cfg.seeds_per_cell));
+}
+
+#[test]
+fn mismatched_checkpoints_are_refused() {
+    let cfg = tiny_classic();
+    let observer = CancelAfter::new(2);
+    let CampaignRun::Interrupted(cp) = run_campaign_resumable(&cfg, None, &observer).unwrap()
+    else {
+        panic!("budgeted observer must interrupt");
+    };
+    // Same matrix, different master seed: resuming would graft trials
+    // from one experiment onto accumulators of another.
+    let other = CampaignConfig {
+        master_seed: cfg.master_seed + 1,
+        ..cfg.clone()
+    };
+    let err = run_campaign_resumable(&other, Some(cp.clone()), &()).unwrap_err();
+    assert!(matches!(err, CampaignError::CheckpointMismatch(_)), "{err}");
+    // Tampered watermark shape is refused too.
+    let mut bad = cp;
+    bad.done.pop();
+    bad.cells.pop();
+    let err = run_campaign_resumable(&cfg, Some(bad), &()).unwrap_err();
+    assert!(matches!(err, CampaignError::CheckpointMismatch(_)), "{err}");
+}
+
+#[test]
+fn complete_checkpoints_resume_to_the_same_artifact_without_work() {
+    // Interrupt at the very end: a checkpoint whose every watermark is
+    // full resumes into the complete artifact with zero trials re-run.
+    let cfg = tiny_classic();
+    let golden = run_campaign(&cfg).unwrap().to_json().to_string();
+    let total = cfg.trial_count();
+    /// Cancels only after every fold has been observed.
+    struct CancelAtEnd {
+        total: u64,
+        seen: std::sync::atomic::AtomicU64,
+    }
+    impl CampaignObserver for CancelAtEnd {
+        fn trial_folded(&self, _cell: usize, _done: u64, _stats: &CellStats) {
+            self.seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
+        fn cancel_requested(&self) -> bool {
+            self.seen.load(std::sync::atomic::Ordering::SeqCst) >= self.total
+        }
+    }
+    let observer = CancelAtEnd {
+        total,
+        seen: std::sync::atomic::AtomicU64::new(0),
+    };
+    match run_campaign_resumable(&cfg, None, &observer).unwrap() {
+        // Either shape is legal at the boundary; both must reproduce
+        // the golden artifact.
+        CampaignRun::Complete(result) => {
+            assert_eq!(result.to_json().to_string(), golden);
+        }
+        CampaignRun::Interrupted(cp) => {
+            assert!(cp.is_complete());
+            assert_eq!(cp.trials_done(), total);
+            let CampaignRun::Complete(result) =
+                run_campaign_resumable(&cfg, Some(cp), &()).unwrap()
+            else {
+                panic!("complete checkpoint must finish immediately");
+            };
+            assert_eq!(result.to_json().to_string(), golden);
+        }
+    }
+}

@@ -496,6 +496,16 @@ impl RegionShape {
         }
     }
 
+    /// Parses a [`RegionShape::label`] back into the shape — the wire
+    /// direction for configs arriving as campaign JSON (`None` for
+    /// unknown labels).
+    pub fn from_label(label: &str) -> Option<RegionShape> {
+        RegionShape::ALL
+            .iter()
+            .copied()
+            .find(|s| s.label() == label)
+    }
+
     /// Stable numeric id used in RNG stream paths (never reordered).
     pub fn stream_id(&self) -> u64 {
         match self {
@@ -661,6 +671,15 @@ mod tests {
         let ids: std::collections::HashSet<u64> =
             RegionShape::ALL.iter().map(|s| s.stream_id()).collect();
         assert_eq!(ids.len(), RegionShape::ALL.len());
+    }
+
+    #[test]
+    fn shape_labels_round_trip_through_from_label() {
+        for shape in RegionShape::ALL {
+            assert_eq!(RegionShape::from_label(shape.label()), Some(shape));
+        }
+        assert_eq!(RegionShape::from_label("moon-base"), None);
+        assert_eq!(RegionShape::from_label(""), None);
     }
 
     #[test]

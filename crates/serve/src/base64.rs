@@ -1,0 +1,103 @@
+//! Standard-alphabet base64 (RFC 4648 §4), for the WebSocket handshake.
+//!
+//! `Sec-WebSocket-Accept` is the only base64 the daemon produces — the
+//! client's `Sec-WebSocket-Key` is hashed verbatim, never decoded — so
+//! only the encoder is load-bearing. A strict decoder rides along for
+//! the round-trip tests (and for symmetric-looking call sites).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` with padding, RFC 4648 §4.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let sextets = [(n >> 18) & 63, (n >> 12) & 63, (n >> 6) & 63, n & 63];
+        for (i, &s) in sextets.iter().enumerate() {
+            if i <= chunk.len() {
+                out.push(ALPHABET[s as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+/// Decodes padded RFC 4648 §4 text. Strict: rejects bad lengths, bad
+/// characters, and misplaced padding.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed quantum.
+pub fn decode(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!("length {} is not a multiple of 4", bytes.len()));
+    }
+    let value = |c: u8| -> Result<u32, String> {
+        ALPHABET
+            .iter()
+            .position(|&a| a == c)
+            .map(|i| i as u32)
+            .ok_or_else(|| format!("invalid base64 byte 0x{c:02x}"))
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (qi, quad) in bytes.chunks_exact(4).enumerate() {
+        let last = qi + 1 == bytes.len() / 4;
+        let pad = quad.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err("misplaced padding".into());
+        }
+        if quad[..4 - pad].contains(&b'=') {
+            return Err("padding before data".into());
+        }
+        let mut n = 0u32;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let full = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&full[..3 - pad]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        for (plain, encoded) in [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ] {
+            assert_eq!(encode(plain.as_bytes()), encoded);
+            assert_eq!(decode(encoded).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decoder_is_strict() {
+        for bad in ["abc", "a===", "=abc", "ab=c", "Zm9v!A==", "Zg==Zg=="] {
+            assert!(decode(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Campaign-as-a-service: the `served` daemon and everything it speaks.
+//!
+//! The rest of the workspace runs campaigns as one-shot processes
+//! (`figures`, `perf`). This crate turns the same engine into a
+//! long-running service: submit a `wsn-campaign/3` config over HTTP,
+//! watch per-trial deltas stream over a WebSocket, fetch the final
+//! artifact — and kill the daemon at any point without losing the run,
+//! because jobs checkpoint (`wsn-checkpoint/1`) and resume to a
+//! byte-identical artifact.
+//!
+//! Everything is hand-rolled over `std::net` — the workspace has no
+//! network dependencies, so this crate carries its own HTTP/1.1 codec
+//! ([`http`]), RFC 6455 WebSocket codec ([`ws`]) with the SHA-1
+//! ([`sha1`]) and base64 ([`base64`]) primitives the handshake needs,
+//! a replay-from-zero stream log ([`stream`]), and atomic on-disk job
+//! state ([`checkpoint`]). [`job`] is the queue and runner, [`server`]
+//! the daemon, [`client`] the matching test/bench client, and [`mod@bench`]
+//! the `BENCH_serve.json` throughput ledger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base64;
+pub mod bench;
+pub mod checkpoint;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod server;
+pub mod sha1;
+pub mod stream;
+pub mod ws;
+
+pub use checkpoint::CheckpointStore;
+pub use job::{JobQueue, JobSnapshot, JobState, STREAM_SCHEMA};
+pub use server::{ServeConfig, Server};
+pub use stream::StreamLog;

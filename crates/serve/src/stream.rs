@@ -1,0 +1,152 @@
+//! The per-job stream log: an append-only sequence of JSON lines every
+//! subscriber replays from the beginning.
+//!
+//! This is what makes the daemon's streaming contract trivial to state
+//! and test: subscribers do not tap a live firehose, they read one
+//! shared, ordered, immutable-once-written log (schema `wsn-serve/1`,
+//! one JSON object per line). A subscriber that connects late replays
+//! the prefix it missed and then blocks on the tail; two subscribers —
+//! whenever they connect — therefore observe the *identical* ordered
+//! sequence, which is the acceptance criterion the serve e2e tests pin.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    lines: Vec<Arc<str>>,
+    closed: bool,
+}
+
+/// An append-only, close-once log of stream lines with blocking tail
+/// reads.
+#[derive(Debug, Default)]
+pub struct StreamLog {
+    inner: Mutex<Inner>,
+    grew: Condvar,
+}
+
+impl StreamLog {
+    /// An empty, open log.
+    pub fn new() -> StreamLog {
+        StreamLog::default()
+    }
+
+    /// Appends one line (no trailing newline) and wakes tail readers.
+    /// Appends to a closed log are dropped — the log's final state is
+    /// immutable so late folds cannot reorder what subscribers saw.
+    pub fn append(&self, line: impl Into<Arc<str>>) {
+        let mut inner = self.inner.lock().expect("stream log lock");
+        if !inner.closed {
+            inner.lines.push(line.into());
+            self.grew.notify_all();
+        }
+    }
+
+    /// Closes the log: no further appends, tail readers drain and
+    /// return.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("stream log lock");
+        inner.closed = true;
+        self.grew.notify_all();
+    }
+
+    /// Number of lines appended so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("stream log lock").lines.len()
+    }
+
+    /// Whether no line has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`StreamLog::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("stream log lock").closed
+    }
+
+    /// Reads lines from index `from`, blocking up to `timeout` for
+    /// growth when the log is still open and `from` is at the tail.
+    /// Returns the new lines (possibly empty on timeout) and whether
+    /// the log is closed with everything at or past `from` returned —
+    /// i.e. the subscriber is done.
+    pub fn read_from(&self, from: usize, timeout: Duration) -> (Vec<Arc<str>>, bool) {
+        let mut inner = self.inner.lock().expect("stream log lock");
+        if from >= inner.lines.len() && !inner.closed {
+            let (guard, _timed_out) = self
+                .grew
+                .wait_timeout_while(inner, timeout, |i| from >= i.lines.len() && !i.closed)
+                .expect("stream log lock");
+            inner = guard;
+        }
+        let lines: Vec<Arc<str>> = inner.lines.get(from..).unwrap_or_default().to_vec();
+        let done = inner.closed;
+        (lines, done)
+    }
+
+    /// Snapshot of the full log so far.
+    pub fn snapshot(&self) -> Vec<Arc<str>> {
+        self.inner.lock().expect("stream log lock").lines.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn subscribers_replay_the_identical_sequence() {
+        let log = Arc::new(StreamLog::new());
+        let writer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 0..200 {
+                    log.append(format!("line-{i}"));
+                }
+                log.close();
+            })
+        };
+        // Two subscribers racing the writer from different start
+        // times still read the same ordered sequence.
+        let subscribe = |log: Arc<StreamLog>| {
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    let (lines, done) = log.read_from(seen.len(), Duration::from_millis(50));
+                    seen.extend(lines.iter().map(|l| l.to_string()));
+                    if done && seen.len() == log.len() {
+                        return seen;
+                    }
+                }
+            })
+        };
+        let early = subscribe(Arc::clone(&log));
+        std::thread::sleep(Duration::from_millis(5));
+        let late = subscribe(Arc::clone(&log));
+        writer.join().unwrap();
+        let a = early.join().unwrap();
+        let b = late.join().unwrap();
+        assert_eq!(a.len(), 200);
+        assert_eq!(a, b);
+        assert_eq!(a[0], "line-0");
+        assert_eq!(a[199], "line-199");
+    }
+
+    #[test]
+    fn closed_logs_drop_appends_and_release_readers() {
+        let log = StreamLog::new();
+        log.append("kept");
+        log.close();
+        log.append("dropped");
+        assert_eq!(log.len(), 1);
+        let (lines, done) = log.read_from(0, Duration::from_millis(1));
+        assert_eq!(lines.len(), 1);
+        assert!(done);
+        // Reading past the end of a closed log returns immediately.
+        let (lines, done) = log.read_from(5, Duration::from_secs(5));
+        assert!(lines.is_empty());
+        assert!(done);
+    }
+}

@@ -28,6 +28,9 @@
 //!   cost accounting.
 //! * [`metrics`] — counters for movements, distance, messages and
 //!   replacement processes.
+//! * [`shutdown`] — the process-wide SIGINT/SIGTERM graceful-shutdown
+//!   flag every long-running binary polls so checkpoints and ledgers
+//!   flush instead of dying mid-write.
 //! * [`trace`] — structured event log for debugging and for the
 //!   examples, with lossless JSON-Lines and versioned binary codecs.
 //! * [`replay`] — event-log diffing and delta-debugging fault-schedule
@@ -44,7 +47,11 @@
 //! assert_eq!(a, rng2.uniform_f64()); // fully deterministic
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`shutdown`] module carries the workspace's
+// single unsafe block — the two-line `signal(2)` FFI binding behind the
+// SIGINT/SIGTERM graceful-shutdown flag — under a scoped allow. Every
+// other module (and every other crate) still rejects unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;
@@ -56,6 +63,7 @@ pub mod net;
 pub mod node;
 pub mod replay;
 pub mod rng;
+pub mod shutdown;
 pub mod trace;
 
 pub use energy::{Battery, EnergyModel};

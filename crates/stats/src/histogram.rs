@@ -4,6 +4,9 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::summary::{state_f64, u64_value};
+use crate::JsonValue;
+
 /// A histogram over `[min, max)` with equal-width bins; values outside
 /// the range are clamped into the edge bins so no observation is lost.
 ///
@@ -136,6 +139,42 @@ impl Histogram {
         // occupied bin.
         let last = self.counts.iter().rposition(|&c| c > 0)?;
         Some(self.min + (last as f64 + 1.0) * width)
+    }
+
+    /// Serializes the full histogram *state* — range and every bin
+    /// count — so [`Histogram::from_state_json`] restores an identical
+    /// accumulator (the checkpoint counterpart of
+    /// [`crate::Summary::to_state_json`]).
+    pub fn to_state_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("min", JsonValue::from(self.min)),
+            ("max", JsonValue::from(self.max)),
+            (
+                "counts",
+                JsonValue::Arr(self.counts.iter().map(|&c| JsonValue::from(c)).collect()),
+            ),
+        ])
+    }
+
+    /// Restores a [`Histogram::to_state_json`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field (including a
+    /// range [`Histogram::new`] would reject).
+    pub fn from_state_json(v: &JsonValue) -> Result<Histogram, String> {
+        let min = state_f64(v, "min")?;
+        let max = state_f64(v, "max")?;
+        let counts = v
+            .get("counts")
+            .and_then(JsonValue::as_arr)
+            .ok_or("state field 'counts' missing or not an array")?;
+        let mut h = Histogram::new(min, max, counts.len())
+            .ok_or_else(|| format!("invalid histogram range [{min}, {max}) x {}", counts.len()))?;
+        for (i, c) in counts.iter().enumerate() {
+            h.counts[i] = u64_value(c).map_err(|e| format!("counts[{i}]: {e}"))?;
+        }
+        Ok(h)
     }
 
     /// Center of bin `i`.

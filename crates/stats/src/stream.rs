@@ -179,6 +179,35 @@ impl StreamingStat {
         }
         JsonValue::obj(fields)
     }
+
+    /// Serializes the accumulator *state* — the Welford registers plus
+    /// (when attached) the histogram's range and counts — so
+    /// [`StreamingStat::from_state_json`] restores an accumulator that
+    /// keeps folding exactly as this one would. [`StreamingStat::to_json`]
+    /// is the human/figure-facing report; this is the checkpoint codec
+    /// the campaign-as-a-service daemon persists between runs.
+    pub fn to_state_json(&self) -> JsonValue {
+        let mut fields = vec![("summary", self.summary.to_state_json())];
+        if let Some(h) = &self.histogram {
+            fields.push(("histogram", h.to_state_json()));
+        }
+        JsonValue::obj(fields)
+    }
+
+    /// Restores a [`StreamingStat::to_state_json`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_state_json(v: &JsonValue) -> Result<StreamingStat, String> {
+        let summary =
+            Summary::from_state_json(v.get("summary").ok_or("state field 'summary' missing")?)?;
+        let histogram = match v.get("histogram") {
+            Some(h) => Some(Histogram::from_state_json(h)?),
+            None => None,
+        };
+        Ok(StreamingStat { summary, histogram })
+    }
 }
 
 impl Default for StreamingStat {

@@ -3,6 +3,39 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::JsonValue;
+
+/// Reads one finite number out of a state-codec object field.
+pub(crate) fn state_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    let n = v
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("state field '{key}' missing or not a number"))?;
+    if !n.is_finite() {
+        return Err(format!("state field '{key}' is not finite"));
+    }
+    Ok(n)
+}
+
+/// Converts one JSON number into a non-negative integer (exactly
+/// representable in `f64`).
+pub(crate) fn u64_value(v: &JsonValue) -> Result<u64, String> {
+    let n = v.as_f64().ok_or("expected a number")?;
+    if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+        return Err(format!("{n} is not an exactly-representable u64"));
+    }
+    Ok(n as u64)
+}
+
+/// Reads one non-negative integer (exactly representable in `f64`) out
+/// of a state-codec object field.
+pub(crate) fn state_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let field = v
+        .get(key)
+        .ok_or_else(|| format!("state field '{key}' missing"))?;
+    u64_value(field).map_err(|e| format!("state field '{key}': {e}"))
+}
+
 /// Streaming summary statistics over `f64` observations.
 ///
 /// Uses Welford's numerically stable online algorithm, so millions of
@@ -124,6 +157,50 @@ impl Summary {
         self.count += other.count;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Serializes the accumulator *state* (not a report): every Welford
+    /// register, rendered in shortest-round-trip decimal so
+    /// [`Summary::from_state_json`] restores the bit-identical
+    /// accumulator. This is the unit the campaign checkpoint codec is
+    /// built from — a restored summary must keep folding exactly as the
+    /// original would have.
+    pub fn to_state_json(&self) -> JsonValue {
+        // min/max are ±inf while empty; JSON has no infinities, so the
+        // empty extrema are encoded as null and restored from `count`.
+        let finite = |x: f64| {
+            if x.is_finite() {
+                JsonValue::from(x)
+            } else {
+                JsonValue::Null
+            }
+        };
+        JsonValue::obj([
+            ("count", JsonValue::from(self.count)),
+            ("mean", JsonValue::from(self.mean)),
+            ("m2", JsonValue::from(self.m2)),
+            ("min", finite(self.min)),
+            ("max", finite(self.max)),
+        ])
+    }
+
+    /// Restores a [`Summary::to_state_json`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_state_json(v: &JsonValue) -> Result<Summary, String> {
+        let count = state_u64(v, "count")?;
+        if count == 0 {
+            return Ok(Summary::new());
+        }
+        Ok(Summary {
+            count,
+            mean: state_f64(v, "mean")?,
+            m2: state_f64(v, "m2")?,
+            min: state_f64(v, "min")?,
+            max: state_f64(v, "max")?,
+        })
     }
 }
 

@@ -125,3 +125,84 @@ fn streaming_stat_without_histogram_has_no_percentile() {
     let empty = StreamingStat::with_histogram(Histogram::new(0.0, 1.0, 2).unwrap());
     assert_eq!(empty.percentile(99.9), None);
 }
+
+// --- State-codec round trips (the checkpoint honesty contract) -------
+//
+// The campaign-as-a-service daemon persists folded accumulators and
+// resumes them in another process; a resumed accumulator must be
+// *bit-identical* to the original — not merely close — or resumed
+// artifacts drift from uninterrupted ones. JSON text round-trips through
+// the real parser, exactly as a checkpoint file does.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn summary_state_round_trips_bit_identically(
+        samples in prop::collection::vec(-1e9f64..1e9, 0..200),
+    ) {
+        let s: wsn_stats::Summary = samples.iter().copied().collect();
+        let text = s.to_state_json().to_string();
+        let parsed = wsn_stats::JsonValue::parse(&text).unwrap();
+        let restored = wsn_stats::Summary::from_state_json(&parsed).unwrap();
+        // PartialEq on Summary is field-for-field over the raw Welford
+        // registers, so equality here *is* bit-identity (mod -0.0 == 0.0,
+        // which folds identically forever after).
+        prop_assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn streaming_stat_state_round_trips_and_keeps_folding(
+        samples in prop::collection::vec(0.0f64..1000.0, 1..150),
+        tail in prop::collection::vec(0.0f64..1000.0, 1..50),
+        bins in 1usize..32,
+    ) {
+        let mut orig = StreamingStat::with_histogram(
+            Histogram::new(0.0, 1000.0, bins).unwrap(),
+        );
+        for &x in &samples {
+            orig.push(x);
+        }
+        let text = orig.to_state_json().to_string();
+        let parsed = wsn_stats::JsonValue::parse(&text).unwrap();
+        let mut restored = StreamingStat::from_state_json(&parsed).unwrap();
+        prop_assert_eq!(&restored, &orig);
+        // The restored accumulator continues the fold identically.
+        for &x in &tail {
+            orig.push(x);
+            restored.push(x);
+        }
+        prop_assert_eq!(
+            restored.to_state_json().to_string(),
+            orig.to_state_json().to_string()
+        );
+    }
+}
+
+#[test]
+fn state_codecs_reject_malformed_input() {
+    use wsn_stats::{JsonValue, Summary};
+    for bad in [
+        "{}",
+        r#"{"count":-1,"mean":0,"m2":0,"min":0,"max":0}"#,
+        r#"{"count":1.5,"mean":0,"m2":0,"min":0,"max":0}"#,
+        r#"{"count":1,"mean":null,"m2":0,"min":0,"max":0}"#,
+    ] {
+        let v = JsonValue::parse(bad).unwrap();
+        assert!(Summary::from_state_json(&v).is_err(), "{bad}");
+    }
+    // Empty summaries restore their infinite extrema from count alone.
+    let empty = Summary::new();
+    let v = JsonValue::parse(&empty.to_state_json().to_string()).unwrap();
+    assert_eq!(Summary::from_state_json(&v).unwrap(), empty);
+    // Histograms with a broken range are rejected, not mis-restored.
+    let v = JsonValue::parse(r#"{"min":5,"max":5,"counts":[0]}"#).unwrap();
+    assert!(Histogram::from_state_json(&v).is_err());
+    // A bare stat round-trips without a histogram block.
+    let mut s = StreamingStat::new();
+    s.push(7.0);
+    let text = s.to_state_json().to_string();
+    assert!(!text.contains("histogram"));
+    let v = JsonValue::parse(&text).unwrap();
+    assert_eq!(StreamingStat::from_state_json(&v).unwrap(), s);
+}
